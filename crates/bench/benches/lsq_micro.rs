@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks of the ELSQ building blocks: HL-LSQ searches,
+//! ERT lookups (line and hash), SQM searches, SSBF checks and full-pipeline
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use elsq_core::config::{ElsqConfig, ErtKind};
+use elsq_core::elsq::Elsq;
+use elsq_core::ert::Ert;
+use elsq_core::queue::MemOpKind;
+use elsq_core::sqm::StoreQueueMirror;
+use elsq_core::ssbf::StoreSequenceBloomFilter;
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_isa::MemAccess;
+use elsq_workload::streaming::StreamingFp;
+
+fn bench_ert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ert");
+    for (name, kind) in [
+        ("hash_10b", ErtKind::Hash { bits: 10 }),
+        ("line_32B", ErtKind::Line),
+    ] {
+        group.bench_function(format!("{name}_set_query_clear"), |b| {
+            b.iter_batched(
+                || Ert::new(kind, 16, 32),
+                |mut ert| {
+                    for i in 0..256u64 {
+                        ert.set_store(0x1000 + i * 8, (i % 16) as usize);
+                    }
+                    let mut hits = 0u32;
+                    for i in 0..256u64 {
+                        hits += ert.query_stores(0x1000 + i * 8).count();
+                    }
+                    for bank in 0..16 {
+                        ert.clear_epoch(bank);
+                    }
+                    hits
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_forwarding_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forwarding");
+    group.bench_function("hl_local_forward", |b| {
+        b.iter_batched(
+            || {
+                let mut lsq = Elsq::new(ElsqConfig::default());
+                lsq.allocate_hl(MemOpKind::Store, 1).unwrap();
+                lsq.hl_store_address_ready(1, MemAccess::new(0x100, 8), 5);
+                lsq.allocate_hl(MemOpKind::Load, 2).unwrap();
+                lsq
+            },
+            |mut lsq| lsq.issue_hl_load(2, MemAccess::new(0x100, 8), 6),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("remote_forward_via_sqm", |b| {
+        b.iter_batched(
+            || {
+                let mut lsq = Elsq::new(ElsqConfig::default());
+                lsq.allocate_hl(MemOpKind::Store, 1).unwrap();
+                lsq.hl_store_address_ready(1, MemAccess::new(0x200, 8), 4);
+                lsq.open_epoch(1).unwrap();
+                lsq.migrate_to_ll(MemOpKind::Store, 1, None).unwrap();
+                lsq.allocate_hl(MemOpKind::Load, 10).unwrap();
+                lsq
+            },
+            |mut lsq| lsq.issue_hl_load(10, MemAccess::new(0x200, 8), 20),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sqm_search_64_entries", |b| {
+        let mut sqm = StoreQueueMirror::new();
+        for i in 0..64u64 {
+            sqm.upsert(i, MemAccess::new(0x1000 + i * 8, 8), (i % 16) as usize, true, i);
+        }
+        b.iter(|| sqm.search(1000, &MemAccess::new(0x1000 + 63 * 8, 8)))
+    });
+    group.bench_function("ssbf_record_and_check", |b| {
+        let mut ssbf = StoreSequenceBloomFilter::new(10);
+        let mut ssn = 0u64;
+        b.iter(|| {
+            ssn += 1;
+            ssbf.record_store_commit(0x40 + (ssn % 4096) * 8, ssn);
+            ssbf.must_reexecute(0x40 + ((ssn * 7) % 4096) * 8, ssn.saturating_sub(32))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("ooo64", CpuConfig::ooo64()),
+        ("fmc_elsq_hash_sqm", CpuConfig::fmc_hash(true)),
+    ] {
+        group.bench_function(format!("{name}_10k_insts"), |b| {
+            b.iter_batched(
+                || StreamingFp::swim_like(1),
+                |mut workload| Processor::new(cfg).run(&mut workload, 10_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ert,
+    bench_forwarding_paths,
+    bench_pipeline_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates the Section 6 energy comparison.
+
+use elsq_workload::suite::WorkloadClass;
+
+fn main() {
+    let params = elsq_bench::full_params();
+    for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+        let table = elsq_sim::experiments::energy::run(class, &params);
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: SVW load re-execution vs SSBF size.
+
+fn main() {
+    let table = elsq_sim::experiments::fig10::run(&elsq_bench::sweep_params());
+    println!("{table}");
+}

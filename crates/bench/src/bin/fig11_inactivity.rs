@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: LL-LSQ inactivity vs L2 size.
+
+fn main() {
+    let table = elsq_sim::experiments::fig11::run(&elsq_bench::full_params());
+    println!("{table}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 1: decode→address-calculation distance distributions.
+
+fn main() {
+    let params = elsq_bench::full_params();
+    let table = elsq_sim::experiments::fig1::run(&params);
+    println!("{table}");
+    // Also dump the raw histograms as CSV-like series for plotting.
+    for dist in elsq_sim::experiments::fig1::measure(&params) {
+        println!("# {} load/store histogram (30-cycle bins)", dist.class);
+        println!("bin_start,loads,stores");
+        let loads = dist.loads.bins();
+        let stores = dist.stores.bins();
+        for (i, (l, s)) in loads.iter().zip(stores.iter()).enumerate() {
+            println!("{},{},{}", i as u64 * dist.loads.bin_width(), l, s);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: speed-up of large-window LSQ schemes over OoO-64.
+
+fn main() {
+    let table = elsq_sim::experiments::fig7::run(&elsq_bench::full_params());
+    println!("{table}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8a: ERT false positives vs filter size.
+
+fn main() {
+    let table = elsq_sim::experiments::fig8::run_accuracy(&elsq_bench::sweep_params());
+    println!("{table}");
+}

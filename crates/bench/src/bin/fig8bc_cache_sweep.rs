@@ -1,0 +1,11 @@
+//! Regenerates Figure 8b/8c: line vs hash ERT across L1 geometries.
+
+use elsq_workload::suite::WorkloadClass;
+
+fn main() {
+    let params = elsq_bench::sweep_params();
+    for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+        let table = elsq_sim::experiments::fig8::run_cache_sensitivity(class, &params);
+        println!("{table}");
+    }
+}

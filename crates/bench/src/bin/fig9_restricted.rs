@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: restricted disambiguation models.
+
+fn main() {
+    let table = elsq_sim::experiments::fig9::run(&elsq_bench::full_params());
+    println!("{table}");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2: accesses to the LSQ components.
+
+use elsq_workload::suite::WorkloadClass;
+
+fn main() {
+    let params = elsq_bench::full_params();
+    for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+        let table = elsq_sim::experiments::table2::run(class, &params);
+        println!("{table}");
+    }
+}

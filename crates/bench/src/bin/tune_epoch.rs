@@ -1,0 +1,6 @@
+//! Regenerates the Section 5.2 epoch/LSQ sizing study.
+
+fn main() {
+    let table = elsq_sim::experiments::tuning::run(&elsq_bench::full_params());
+    println!("{table}");
+}

@@ -1,0 +1,43 @@
+//! Benchmark and figure-regeneration harness for the ELSQ reproduction.
+//!
+//! * `src/bin/` — one binary per paper table/figure; each runs the
+//!   corresponding experiment from `elsq-sim` at full size and prints the
+//!   table (`cargo run --release -p elsq-bench --bin fig7_speedup`).
+//! * `benches/` — `cargo bench` targets: reduced-size versions of the same
+//!   experiments (so a bench run regenerates every artifact in minutes) plus
+//!   Criterion microbenchmarks of the ELSQ data structures (`lsq_micro`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use elsq_sim::driver::ExperimentParams;
+
+/// Parameters used by the figure-regeneration binaries.
+pub fn full_params() -> ExperimentParams {
+    ExperimentParams::standard()
+}
+
+/// Parameters used by the `cargo bench` targets (smaller, so the whole bench
+/// suite completes quickly).
+pub fn bench_params() -> ExperimentParams {
+    ExperimentParams {
+        commits: 8_000,
+        seed: 7,
+    }
+}
+
+/// Parameters for the wide sweeps (Figure 8 and Figure 10).
+pub fn sweep_params() -> ExperimentParams {
+    ExperimentParams::sweep()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_presets_are_ordered_by_cost() {
+        assert!(bench_params().commits <= full_params().commits);
+        assert!(sweep_params().commits <= full_params().commits);
+    }
+}

@@ -1,0 +1,272 @@
+//! The low-locality LSQ: an age-ordered collection of epochs.
+//!
+//! [`LlLsq`] owns the epoch banks, allocates new epochs in program order,
+//! retires the oldest epoch when it commits and squashes suffixes of epochs
+//! during recovery. Bank indices recycle; age ordering is maintained through
+//! monotonically increasing epoch identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::epoch::{Epoch, EpochLimits};
+use crate::queue::MemOpKind;
+
+/// Error returned when a new epoch is needed but every bank is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoFreeEpochError;
+
+impl std::fmt::Display for NoFreeEpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all epoch banks are in use")
+    }
+}
+
+impl std::error::Error for NoFreeEpochError {}
+
+/// The banked low-locality LSQ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlLsq {
+    banks: Vec<Option<Epoch>>,
+    /// Bank indices of live epochs in age order (front = oldest).
+    order: VecDeque<usize>,
+    limits: EpochLimits,
+    next_id: u64,
+    /// Total number of epochs ever allocated (reported as
+    /// `epochs_allocated`).
+    allocated: u64,
+}
+
+impl LlLsq {
+    /// Creates an LL-LSQ with `num_banks` banks and per-epoch `limits`.
+    pub fn new(num_banks: usize, limits: EpochLimits) -> Self {
+        Self {
+            banks: (0..num_banks).map(|_| None).collect(),
+            order: VecDeque::with_capacity(num_banks),
+            limits,
+            next_id: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Number of banks (live or free).
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Number of live epochs.
+    pub fn live_epochs(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total number of epochs allocated over the lifetime of the queue.
+    pub fn total_allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Whether no epoch is live (the Memory Processor is idle and the
+    /// LL-LSQ can sit in its low-power mode — Figure 11).
+    pub fn is_idle(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Opens a new epoch whose first instruction is `first_seq` and returns
+    /// its bank index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoFreeEpochError`] when every bank holds a live epoch.
+    pub fn open_epoch(&mut self, first_seq: u64) -> Result<usize, NoFreeEpochError> {
+        let bank = self
+            .banks
+            .iter()
+            .position(|b| b.is_none())
+            .ok_or(NoFreeEpochError)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocated += 1;
+        self.banks[bank] = Some(Epoch::new(bank, id, first_seq, self.limits));
+        self.order.push_back(bank);
+        Ok(bank)
+    }
+
+    /// The bank of the youngest (currently filling) epoch, if any.
+    pub fn youngest_bank(&self) -> Option<usize> {
+        self.order.back().copied()
+    }
+
+    /// The bank of the oldest live epoch, if any.
+    pub fn oldest_bank(&self) -> Option<usize> {
+        self.order.front().copied()
+    }
+
+    /// Shared access to the epoch in `bank`.
+    pub fn epoch(&self, bank: usize) -> Option<&Epoch> {
+        self.banks.get(bank).and_then(|b| b.as_ref())
+    }
+
+    /// Mutable access to the epoch in `bank`.
+    pub fn epoch_mut(&mut self, bank: usize) -> Option<&mut Epoch> {
+        self.banks.get_mut(bank).and_then(|b| b.as_mut())
+    }
+
+    /// Whether the youngest epoch can accept another entry of `kind`.
+    /// Returns `false` when no epoch is live.
+    pub fn youngest_has_room(&self, kind: MemOpKind) -> bool {
+        self.youngest_bank()
+            .and_then(|b| self.epoch(b))
+            .map(|e| e.has_room(kind))
+            .unwrap_or(false)
+    }
+
+    /// Banks of live epochs ordered from youngest to oldest — the order in
+    /// which a global search walks remote epochs ("starting from the most
+    /// recent one", Section 3.4).
+    pub fn banks_young_to_old(&self) -> Vec<usize> {
+        self.order.iter().rev().copied().collect()
+    }
+
+    /// Retires the oldest epoch (it committed) and returns it.
+    pub fn commit_oldest(&mut self) -> Option<Epoch> {
+        let bank = self.order.pop_front()?;
+        self.banks[bank].take()
+    }
+
+    /// Squashes the epoch in `bank` and every younger epoch, returning the
+    /// squashed epochs oldest-first (checkpoint recovery restarts from the
+    /// first instruction of the oldest squashed epoch).
+    pub fn squash_from_bank(&mut self, bank: usize) -> Vec<Epoch> {
+        let Some(pos) = self.order.iter().position(|&b| b == bank) else {
+            return Vec::new();
+        };
+        let squashed_banks: Vec<usize> = self.order.drain(pos..).collect();
+        squashed_banks
+            .into_iter()
+            .filter_map(|b| self.banks[b].take())
+            .collect()
+    }
+
+    /// Squashes every live epoch (full-window recovery), returning them
+    /// oldest-first.
+    pub fn squash_all(&mut self) -> Vec<Epoch> {
+        let banks: Vec<usize> = self.order.drain(..).collect();
+        banks.into_iter().filter_map(|b| self.banks[b].take()).collect()
+    }
+
+    /// Total loads across live epochs.
+    pub fn total_loads(&self) -> usize {
+        self.order
+            .iter()
+            .filter_map(|&b| self.epoch(b))
+            .map(|e| e.load_count())
+            .sum()
+    }
+
+    /// Total stores across live epochs.
+    pub fn total_stores(&self) -> usize {
+        self.order
+            .iter()
+            .filter_map(|&b| self.epoch(b))
+            .map(|e| e.store_count())
+            .sum()
+    }
+
+    /// Whether any live epoch holds a store with an unknown address.
+    pub fn has_unresolved_stores(&self) -> bool {
+        self.order
+            .iter()
+            .filter_map(|&b| self.epoch(b))
+            .any(|e| e.unresolved_stores() > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::MemEntry;
+
+    fn ll(banks: usize) -> LlLsq {
+        LlLsq::new(
+            banks,
+            EpochLimits {
+                max_loads: 4,
+                max_stores: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn open_and_exhaust_banks() {
+        let mut q = ll(2);
+        assert!(q.is_idle());
+        let b0 = q.open_epoch(10).unwrap();
+        let b1 = q.open_epoch(20).unwrap();
+        assert_ne!(b0, b1);
+        assert_eq!(q.open_epoch(30), Err(NoFreeEpochError));
+        assert_eq!(q.live_epochs(), 2);
+        assert_eq!(q.total_allocated(), 2);
+        assert!(!q.is_idle());
+        assert_eq!(q.oldest_bank(), Some(b0));
+        assert_eq!(q.youngest_bank(), Some(b1));
+    }
+
+    #[test]
+    fn commit_frees_bank_for_reuse() {
+        let mut q = ll(2);
+        let b0 = q.open_epoch(0).unwrap();
+        let _b1 = q.open_epoch(100).unwrap();
+        let committed = q.commit_oldest().unwrap();
+        assert_eq!(committed.bank(), b0);
+        assert_eq!(q.live_epochs(), 1);
+        // The freed bank can be reused, and age order is preserved by ids.
+        let b2 = q.open_epoch(200).unwrap();
+        assert_eq!(b2, b0);
+        let ids: Vec<u64> = q
+            .banks_young_to_old()
+            .iter()
+            .map(|&b| q.epoch(b).unwrap().id())
+            .collect();
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn squash_from_bank_removes_suffix() {
+        let mut q = ll(4);
+        let b0 = q.open_epoch(0).unwrap();
+        let b1 = q.open_epoch(10).unwrap();
+        let b2 = q.open_epoch(20).unwrap();
+        let squashed = q.squash_from_bank(b1);
+        assert_eq!(squashed.len(), 2);
+        assert_eq!(squashed[0].bank(), b1);
+        assert_eq!(squashed[1].bank(), b2);
+        assert_eq!(q.live_epochs(), 1);
+        assert_eq!(q.oldest_bank(), Some(b0));
+        // Squashing an unknown bank is a no-op.
+        assert!(q.squash_from_bank(b2).is_empty());
+    }
+
+    #[test]
+    fn squash_all_empties_queue() {
+        let mut q = ll(3);
+        q.open_epoch(0).unwrap();
+        q.open_epoch(5).unwrap();
+        let squashed = q.squash_all();
+        assert_eq!(squashed.len(), 2);
+        assert!(q.is_idle());
+        assert_eq!(q.total_allocated(), 2);
+    }
+
+    #[test]
+    fn room_and_occupancy_tracking() {
+        let mut q = ll(2);
+        assert!(!q.youngest_has_room(MemOpKind::Load));
+        let b = q.open_epoch(0).unwrap();
+        assert!(q.youngest_has_room(MemOpKind::Load));
+        let ep = q.epoch_mut(b).unwrap();
+        ep.insert(MemOpKind::Store, MemEntry::pending(1)).unwrap();
+        ep.insert(MemOpKind::Store, MemEntry::pending(2)).unwrap();
+        assert!(!q.youngest_has_room(MemOpKind::Store));
+        assert_eq!(q.total_stores(), 2);
+        assert_eq!(q.total_loads(), 0);
+        assert!(q.has_unresolved_stores());
+    }
+}

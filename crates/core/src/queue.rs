@@ -1,0 +1,492 @@
+//! Age-ordered associative memory-operation queues.
+//!
+//! [`AgeQueue`] is the building block shared by every queue in the design:
+//! the high-locality LQ/SQ, each epoch's LQ/SQ, the Store Queue Mirror and
+//! the conventional central LSQ baselines. Entries are kept in program order
+//! (by sequence number); the two searches a load/store queue must support —
+//! *youngest older matching store* for forwarding and *any younger issued
+//! matching load* for violation detection — are provided as methods so every
+//! model counts and behaves identically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use elsq_isa::MemAccess;
+
+/// Whether a memory operation is a load or a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOpKind {
+    /// A load (allocates a Load Queue entry).
+    Load,
+    /// A store (allocates a Store Queue entry).
+    Store,
+}
+
+impl fmt::Display for MemOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOpKind::Load => write!(f, "load"),
+            MemOpKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// Error returned when a bounded queue has no free entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError {
+    /// Capacity of the queue that rejected the allocation.
+    pub capacity: usize,
+}
+
+impl fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue full ({} entries)", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFullError {}
+
+/// One load or store tracked by a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemEntry {
+    /// Global program-order sequence number (assigned at decode).
+    pub seq: u64,
+    /// The effective address, once computed.
+    pub addr: Option<MemAccess>,
+    /// For loads: whether the load has issued (obtained a value). For
+    /// stores: whether the store's data is available for forwarding.
+    pub issued: bool,
+    /// Cycle at which the entry issued / its data became ready.
+    pub ready_at: u64,
+}
+
+impl MemEntry {
+    /// Creates an entry for a newly decoded memory instruction with an
+    /// unknown address.
+    pub fn pending(seq: u64) -> Self {
+        Self {
+            seq,
+            addr: None,
+            issued: false,
+            ready_at: 0,
+        }
+    }
+
+    /// Whether the address is known and overlaps `access`.
+    pub fn overlaps(&self, access: &MemAccess) -> bool {
+        self.addr.map(|a| a.overlaps(access)).unwrap_or(false)
+    }
+}
+
+/// Result of a forwarding search in a store queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardHit {
+    /// Sequence number of the matching store.
+    pub store_seq: u64,
+    /// Whether the store fully covers the load (a partial overlap requires
+    /// waiting for the store to commit, per Section 2.1).
+    pub full_cover: bool,
+    /// Whether the store's data was ready at search time.
+    pub data_ready: bool,
+    /// Cycle at which the store's data becomes/became ready.
+    pub data_ready_at: u64,
+}
+
+/// An age-ordered queue of memory operations with optional bounded capacity.
+///
+/// Entries must be inserted in increasing sequence-number order (program
+/// order), which is how both the HL and the epoch queues are filled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgeQueue {
+    entries: Vec<MemEntry>,
+    capacity: Option<usize>,
+}
+
+impl AgeQueue {
+    /// Creates a queue bounded to `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Creates an unbounded queue (the idealized central LSQ of Figure 7).
+    pub fn unbounded() -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity: None,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue cannot accept another entry.
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.entries.len() >= c)
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Allocates an entry at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the queue is bounded and full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not greater than the current tail's sequence
+    /// number (entries must arrive in program order).
+    pub fn allocate(&mut self, seq: u64) -> Result<(), QueueFullError> {
+        if self.is_full() {
+            return Err(QueueFullError {
+                capacity: self.capacity.unwrap_or(0),
+            });
+        }
+        if let Some(last) = self.entries.last() {
+            assert!(
+                seq > last.seq,
+                "queue entries must be allocated in program order ({} after {})",
+                seq,
+                last.seq
+            );
+        }
+        self.entries.push(MemEntry::pending(seq));
+        Ok(())
+    }
+
+    /// Inserts a fully formed entry at the tail (used when migrating an entry
+    /// from the high-locality queue into an epoch, address and all).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the queue is bounded and full.
+    pub fn push_entry(&mut self, entry: MemEntry) -> Result<(), QueueFullError> {
+        if self.is_full() {
+            return Err(QueueFullError {
+                capacity: self.capacity.unwrap_or(0),
+            });
+        }
+        if let Some(last) = self.entries.last() {
+            assert!(entry.seq > last.seq, "entries must stay in program order");
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Looks up an entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&MemEntry> {
+        self.entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut MemEntry> {
+        self.entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
+            .map(move |i| &mut self.entries[i])
+    }
+
+    /// Records the effective address of entry `seq`. Returns `false` if the
+    /// entry is not present (e.g. already squashed).
+    pub fn set_address(&mut self, seq: u64, addr: MemAccess) -> bool {
+        match self.get_mut(seq) {
+            Some(e) => {
+                e.addr = Some(addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks entry `seq` as issued / data-ready at `cycle`.
+    pub fn set_issued(&mut self, seq: u64, cycle: u64) -> bool {
+        match self.get_mut(seq) {
+            Some(e) => {
+                e.issued = true;
+                e.ready_at = cycle;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the oldest entry if its sequence number is `seq`
+    /// (commit always proceeds in program order).
+    pub fn commit_head(&mut self, seq: u64) -> Option<MemEntry> {
+        if self.entries.first().map(|e| e.seq) == Some(seq) {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Removes the entry with sequence number `seq` regardless of position
+    /// (used by the Store Queue Mirror when an epoch commits out of lockstep
+    /// with the mirror's own ordering).
+    pub fn remove(&mut self, seq: u64) -> Option<MemEntry> {
+        match self.entries.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes every entry with `seq >= from_seq` (squash) and returns how
+    /// many were removed.
+    pub fn squash_from(&mut self, from_seq: u64) -> usize {
+        let keep = self
+            .entries
+            .iter()
+            .take_while(|e| e.seq < from_seq)
+            .count();
+        let removed = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        removed
+    }
+
+    /// Clears the queue and returns the number of entries dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterates over entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &MemEntry> {
+        self.entries.iter()
+    }
+
+    /// Finds the **youngest store older than the load** whose address
+    /// overlaps the load's access — the store-to-load forwarding search.
+    ///
+    /// This treats the queue as a Store Queue; `load_seq` is the searching
+    /// load's sequence number.
+    pub fn find_forwarding_store(&self, load_seq: u64, access: &MemAccess) -> Option<ForwardHit> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| e.seq < load_seq)
+            .find(|e| e.overlaps(access))
+            .map(|e| ForwardHit {
+                store_seq: e.seq,
+                full_cover: e
+                    .addr
+                    .map(|a| access.covered_by(&a))
+                    .unwrap_or(false),
+                data_ready: e.issued,
+                data_ready_at: e.ready_at,
+            })
+    }
+
+    /// Whether any store **older than `load_seq`** still has an unknown
+    /// address (used by the conservative forwarding policies and the SVW
+    /// "CheckStores" filter).
+    pub fn has_older_unknown_address(&self, load_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq < load_seq && e.addr.is_none())
+    }
+
+    /// Whether any store with sequence number in `(after_seq, before_seq)`
+    /// has an unknown address — i.e. between a forwarding store and the load
+    /// that forwarded from it.
+    pub fn has_unknown_address_between(&self, after_seq: u64, before_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq > after_seq && e.seq < before_seq && e.addr.is_none())
+    }
+
+    /// Finds the **oldest load younger than the store** that has already
+    /// issued with an overlapping address — the store-load ordering violation
+    /// check. Returns the violating load's sequence number.
+    ///
+    /// This treats the queue as a Load Queue; `store_seq` is the issuing
+    /// store's sequence number.
+    pub fn find_violating_load(&self, store_seq: u64, access: &MemAccess) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.seq > store_seq && e.issued)
+            .find(|e| e.overlaps(access))
+            .map(|e| e.seq)
+    }
+
+    /// Sequence number of the oldest entry, if any.
+    pub fn head_seq(&self) -> Option<u64> {
+        self.entries.first().map(|e| e.seq)
+    }
+
+    /// Sequence number of the youngest entry, if any.
+    pub fn tail_seq(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(addr: u64, size: u8) -> MemAccess {
+        MemAccess::new(addr, size)
+    }
+
+    #[test]
+    fn allocate_and_capacity() {
+        let mut q = AgeQueue::bounded(2);
+        assert!(q.allocate(1).is_ok());
+        assert!(q.allocate(2).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.allocate(3), Err(QueueFullError { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_allocation_panics() {
+        let mut q = AgeQueue::bounded(4);
+        q.allocate(5).unwrap();
+        let _ = q.allocate(4);
+    }
+
+    #[test]
+    fn unbounded_queue_never_fills() {
+        let mut q = AgeQueue::unbounded();
+        for i in 0..10_000 {
+            q.allocate(i).unwrap();
+        }
+        assert!(!q.is_full());
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn forwarding_finds_youngest_older_store() {
+        let mut sq = AgeQueue::bounded(8);
+        for seq in [1, 3, 5] {
+            sq.allocate(seq).unwrap();
+        }
+        sq.set_address(1, acc(0x100, 8));
+        sq.set_address(3, acc(0x100, 8));
+        sq.set_address(5, acc(0x100, 8));
+        sq.set_issued(3, 20);
+        // Load at seq 4 should forward from store 3 (youngest older), not 1.
+        let hit = sq.find_forwarding_store(4, &acc(0x100, 8)).unwrap();
+        assert_eq!(hit.store_seq, 3);
+        assert!(hit.full_cover);
+        assert!(hit.data_ready);
+        assert_eq!(hit.data_ready_at, 20);
+        // Load at seq 6 forwards from store 5, whose data is not ready.
+        let hit = sq.find_forwarding_store(6, &acc(0x104, 4)).unwrap();
+        assert_eq!(hit.store_seq, 5);
+        assert!(!hit.data_ready);
+        // Load older than every store finds nothing.
+        assert!(sq.find_forwarding_store(0, &acc(0x100, 8)).is_none());
+    }
+
+    #[test]
+    fn partial_overlap_is_not_full_cover() {
+        let mut sq = AgeQueue::bounded(4);
+        sq.allocate(1).unwrap();
+        sq.set_address(1, acc(0x100, 4));
+        let hit = sq.find_forwarding_store(2, &acc(0x102, 4)).unwrap();
+        assert_eq!(hit.store_seq, 1);
+        assert!(!hit.full_cover);
+    }
+
+    #[test]
+    fn unknown_address_checks() {
+        let mut sq = AgeQueue::bounded(8);
+        sq.allocate(1).unwrap();
+        sq.allocate(4).unwrap();
+        sq.allocate(7).unwrap();
+        sq.set_address(1, acc(0x0, 8));
+        sq.set_address(7, acc(0x8, 8));
+        assert!(sq.has_older_unknown_address(6)); // store 4 unknown
+        assert!(!sq.has_older_unknown_address(3));
+        assert!(sq.has_unknown_address_between(1, 6));
+        assert!(!sq.has_unknown_address_between(4, 6));
+    }
+
+    #[test]
+    fn violation_finds_issued_younger_load() {
+        let mut lq = AgeQueue::bounded(8);
+        for seq in [2, 4, 6] {
+            lq.allocate(seq).unwrap();
+        }
+        lq.set_address(4, acc(0x200, 8));
+        lq.set_issued(4, 11);
+        lq.set_address(6, acc(0x300, 8));
+        lq.set_issued(6, 12);
+        // Store at seq 3 to 0x200 violates load 4 (issued, younger, overlap).
+        assert_eq!(lq.find_violating_load(3, &acc(0x200, 4)), Some(4));
+        // Store to an untouched address finds nothing.
+        assert_eq!(lq.find_violating_load(3, &acc(0x400, 4)), None);
+        // A store younger than every load cannot be violated.
+        assert_eq!(lq.find_violating_load(7, &acc(0x200, 4)), None);
+        // Non-issued loads are not violations.
+        lq.allocate(8).unwrap();
+        lq.set_address(8, acc(0x500, 8));
+        assert_eq!(lq.find_violating_load(7, &acc(0x500, 4)), None);
+    }
+
+    #[test]
+    fn commit_and_squash() {
+        let mut q = AgeQueue::bounded(8);
+        for seq in 1..=5 {
+            q.allocate(seq).unwrap();
+        }
+        assert!(q.commit_head(2).is_none()); // not the head
+        assert_eq!(q.commit_head(1).unwrap().seq, 1);
+        assert_eq!(q.squash_from(4), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.tail_seq(), Some(3));
+        assert_eq!(q.head_seq(), Some(2));
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_by_seq() {
+        let mut q = AgeQueue::bounded(8);
+        for seq in [1, 2, 3] {
+            q.allocate(seq).unwrap();
+        }
+        assert_eq!(q.remove(2).unwrap().seq, 2);
+        assert!(q.remove(2).is_none());
+        assert_eq!(q.len(), 2);
+        assert!(q.get(1).is_some());
+        assert!(q.get(2).is_none());
+    }
+
+    #[test]
+    fn set_address_on_missing_entry_returns_false() {
+        let mut q = AgeQueue::bounded(2);
+        q.allocate(1).unwrap();
+        assert!(!q.set_address(9, acc(0, 8)));
+        assert!(!q.set_issued(9, 1));
+    }
+
+    #[test]
+    fn push_entry_preserves_order_and_capacity() {
+        let mut q = AgeQueue::bounded(1);
+        let mut e = MemEntry::pending(5);
+        e.addr = Some(acc(0x40, 8));
+        e.issued = true;
+        q.push_entry(e).unwrap();
+        assert!(q.push_entry(MemEntry::pending(6)).is_err());
+        assert!(q.get(5).unwrap().issued);
+    }
+}

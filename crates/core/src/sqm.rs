@@ -1,0 +1,200 @@
+//! Store Queue Mirror (SQM).
+//!
+//! High-locality loads frequently forward from low-locality stores. Without
+//! extra support every such forwarding pays a CP→MP→CP network round-trip
+//! (≥ 8 cycles). The SQM (Section 4) is a replica of the low-locality store
+//! queues placed next to the ERT in the Cache Processor: it is updated
+//! whenever a store address appears in the Memory Processor and can be
+//! searched one cycle after the ERT, removing the round-trip. It also acts
+//! as the buffer from which committing epochs drain their stores.
+
+use serde::{Deserialize, Serialize};
+
+use elsq_isa::MemAccess;
+
+/// One mirrored store entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MirrorEntry {
+    /// Program-order sequence number of the store.
+    pub seq: u64,
+    /// Store address.
+    pub addr: MemAccess,
+    /// Epoch bank holding the original store.
+    pub bank: usize,
+    /// Whether the store's data is available for forwarding.
+    pub data_ready: bool,
+    /// Cycle at which the data became ready.
+    pub ready_at: u64,
+}
+
+/// Result of a successful SQM search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirrorHit {
+    /// The matching (youngest older) store.
+    pub entry: MirrorEntry,
+    /// Whether the store fully covers the load.
+    pub full_cover: bool,
+}
+
+/// The Store Queue Mirror: an age-ordered replica of every low-locality store
+/// whose address is known.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StoreQueueMirror {
+    entries: Vec<MirrorEntry>,
+}
+
+impl StoreQueueMirror {
+    /// Creates an empty mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mirrored stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or updates) the mirrored copy of a store whose address just
+    /// became known in the Memory Processor.
+    pub fn upsert(&mut self, seq: u64, addr: MemAccess, bank: usize, data_ready: bool, ready_at: u64) {
+        match self.entries.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => {
+                self.entries[i].addr = addr;
+                self.entries[i].bank = bank;
+                self.entries[i].data_ready = data_ready;
+                self.entries[i].ready_at = ready_at;
+            }
+            Err(i) => self.entries.insert(
+                i,
+                MirrorEntry {
+                    seq,
+                    addr,
+                    bank,
+                    data_ready,
+                    ready_at,
+                },
+            ),
+        }
+    }
+
+    /// Marks the mirrored store `seq` as having its data ready.
+    pub fn set_data_ready(&mut self, seq: u64, cycle: u64) -> bool {
+        match self.entries.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => {
+                self.entries[i].data_ready = true;
+                self.entries[i].ready_at = cycle;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Forwarding search: youngest mirrored store older than `load_seq` whose
+    /// address overlaps `access`.
+    pub fn search(&self, load_seq: u64, access: &MemAccess) -> Option<MirrorHit> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| e.seq < load_seq)
+            .find(|e| e.addr.overlaps(access))
+            .map(|e| MirrorHit {
+                entry: *e,
+                full_cover: access.covered_by(&e.addr),
+            })
+    }
+
+    /// Drops every mirrored store belonging to `bank` (its epoch committed or
+    /// was squashed). Returns how many entries were dropped.
+    pub fn drop_bank(&mut self, bank: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.bank != bank);
+        before - self.entries.len()
+    }
+
+    /// Drops every mirrored store with `seq >= from_seq` (partial squash
+    /// inside the youngest epoch).
+    pub fn squash_from(&mut self, from_seq: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.seq < from_seq);
+        before - self.entries.len()
+    }
+
+    /// Iterates over mirrored entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &MirrorEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(a: u64) -> MemAccess {
+        MemAccess::new(a, 8)
+    }
+
+    #[test]
+    fn upsert_insert_and_update() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(5, acc(0x100), 1, false, 0);
+        m.upsert(3, acc(0x200), 0, true, 7);
+        assert_eq!(m.len(), 2);
+        // Entries stay seq-ordered regardless of insertion order.
+        let seqs: Vec<u64> = m.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 5]);
+        // Updating an existing seq does not duplicate.
+        m.upsert(5, acc(0x108), 1, true, 12);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().any(|e| e.seq == 5 && e.data_ready));
+    }
+
+    #[test]
+    fn search_returns_youngest_older_match() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(2, acc(0x100), 0, true, 1);
+        m.upsert(6, acc(0x100), 1, false, 0);
+        let hit = m.search(8, &acc(0x100)).unwrap();
+        assert_eq!(hit.entry.seq, 6);
+        assert!(hit.full_cover);
+        let hit = m.search(5, &acc(0x100)).unwrap();
+        assert_eq!(hit.entry.seq, 2);
+        assert!(m.search(1, &acc(0x100)).is_none());
+        assert!(m.search(8, &acc(0x900)).is_none());
+    }
+
+    #[test]
+    fn partial_cover_detection() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(1, MemAccess::new(0x100, 4), 0, true, 0);
+        let hit = m.search(2, &MemAccess::new(0x102, 4)).unwrap();
+        assert!(!hit.full_cover);
+    }
+
+    #[test]
+    fn data_ready_updates() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(4, acc(0x40), 2, false, 0);
+        assert!(m.set_data_ready(4, 99));
+        assert!(!m.set_data_ready(5, 99));
+        assert!(m.search(10, &acc(0x40)).unwrap().entry.data_ready);
+    }
+
+    #[test]
+    fn drop_bank_and_squash() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(1, acc(0x10), 0, true, 0);
+        m.upsert(2, acc(0x20), 1, true, 0);
+        m.upsert(3, acc(0x30), 0, true, 0);
+        m.upsert(9, acc(0x90), 1, true, 0);
+        assert_eq!(m.drop_bank(0), 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.squash_from(9), 1);
+        assert_eq!(m.len(), 1);
+        assert!(m.is_empty() == false);
+    }
+}

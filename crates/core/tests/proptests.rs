@@ -1,0 +1,129 @@
+//! Property-based tests of the ELSQ core data structures.
+
+use elsq_core::config::ErtKind;
+use elsq_core::ert::Ert;
+use elsq_core::queue::{AgeQueue, MemOpKind};
+use elsq_core::sqm::StoreQueueMirror;
+use elsq_core::ssbf::StoreSequenceBloomFilter;
+use elsq_isa::MemAccess;
+use proptest::prelude::*;
+
+proptest! {
+    /// Forwarding always returns the *youngest* store that is older than the
+    /// load and overlaps it, regardless of how addresses are laid out.
+    #[test]
+    fn forwarding_returns_youngest_older_store(
+        addrs in prop::collection::vec(0u64..256, 1..40),
+        load_pos in 1usize..40,
+        load_addr in 0u64..256,
+    ) {
+        let mut sq = AgeQueue::unbounded();
+        for (i, addr) in addrs.iter().enumerate() {
+            let seq = i as u64 + 1;
+            sq.allocate(seq).unwrap();
+            sq.set_address(seq, MemAccess::new(*addr * 8, 8));
+        }
+        let load_seq = (load_pos.min(addrs.len()) as u64) + 1;
+        let access = MemAccess::new(load_addr * 8, 8);
+        let hit = sq.find_forwarding_store(load_seq, &access);
+        // Reference model: scan backwards.
+        let expected = (0..addrs.len())
+            .map(|i| (i as u64 + 1, addrs[i] * 8))
+            .filter(|(seq, a)| *seq < load_seq && *a == load_addr * 8)
+            .map(|(seq, _)| seq)
+            .max();
+        prop_assert_eq!(hit.map(|h| h.store_seq), expected);
+    }
+
+    /// Squashing from a sequence number removes exactly the younger entries.
+    #[test]
+    fn squash_removes_exactly_younger_entries(
+        count in 1usize..60,
+        cut in 0u64..70,
+    ) {
+        let mut q = AgeQueue::unbounded();
+        for seq in 1..=count as u64 {
+            q.allocate(seq).unwrap();
+        }
+        let removed = q.squash_from(cut);
+        let expected_removed = (1..=count as u64).filter(|s| *s >= cut).count();
+        prop_assert_eq!(removed, expected_removed);
+        prop_assert_eq!(q.len(), count - expected_removed);
+        prop_assert!(q.iter().all(|e| e.seq < cut));
+    }
+
+    /// The ERT never produces false negatives: any (address, bank) that was
+    /// inserted and not cleared is always reported.
+    #[test]
+    fn ert_has_no_false_negatives(
+        bits in 4u32..12,
+        inserts in prop::collection::vec((0u64..4096, 0usize..16), 1..50),
+        cleared_bank in 0usize..16,
+    ) {
+        for kind in [ErtKind::Hash { bits }, ErtKind::Line] {
+            let mut ert = Ert::new(kind, 16, 32);
+            for (addr, bank) in &inserts {
+                ert.set_store(*addr, *bank);
+            }
+            ert.clear_epoch(cleared_bank);
+            for (addr, bank) in &inserts {
+                if *bank != cleared_bank {
+                    prop_assert!(
+                        ert.query_stores(*addr).contains(*bank),
+                        "false negative for addr {addr:#x} bank {bank} with {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The SSBF is conservative: after recording a store, any load to the
+    /// same address with an older safe SSN must re-execute.
+    #[test]
+    fn ssbf_is_conservative(
+        bits in 4u32..14,
+        stores in prop::collection::vec((0u64..100_000, 1u64..1_000_000), 1..50),
+    ) {
+        let mut f = StoreSequenceBloomFilter::new(bits);
+        for (addr, ssn) in &stores {
+            f.record_store_commit(*addr, *ssn);
+        }
+        for (addr, ssn) in &stores {
+            prop_assert!(f.must_reexecute(*addr, ssn.saturating_sub(1)));
+        }
+    }
+
+    /// The Store Queue Mirror agrees with an age-queue reference on which
+    /// store a load forwards from.
+    #[test]
+    fn sqm_matches_reference_store_queue(
+        stores in prop::collection::vec((1u64..200, 0u64..64), 1..40),
+        load_seq in 1u64..220,
+        load_addr in 0u64..64,
+    ) {
+        let mut dedup: Vec<(u64, u64)> = Vec::new();
+        for (seq, addr) in &stores {
+            if !dedup.iter().any(|(s, _)| s == seq) {
+                dedup.push((*seq, *addr));
+            }
+        }
+        let mut sqm = StoreQueueMirror::new();
+        let mut reference = AgeQueue::unbounded();
+        dedup.sort_by_key(|(seq, _)| *seq);
+        for (seq, addr) in &dedup {
+            sqm.upsert(*seq, MemAccess::new(*addr * 8, 8), 0, true, 0);
+            reference.allocate(*seq).unwrap();
+            reference.set_address(*seq, MemAccess::new(*addr * 8, 8));
+        }
+        let access = MemAccess::new(load_addr * 8, 8);
+        let got = sqm.search(load_seq, &access).map(|h| h.entry.seq);
+        let expected = reference.find_forwarding_store(load_seq, &access).map(|h| h.store_seq);
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn mem_op_kind_display_is_stable() {
+    assert_eq!(MemOpKind::Load.to_string(), "load");
+    assert_eq!(MemOpKind::Store.to_string(), "store");
+}

@@ -1,0 +1,238 @@
+//! Simulation results: whole-run counters, per-structure access counts and
+//! the decode→address-calculation histogram of Figure 1.
+
+use serde::{Deserialize, Serialize};
+
+use elsq_stats::counters::{LsqAccessCounters, SimCounters};
+
+/// A fixed-bin histogram (30-cycle bins, as in Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_bins` bins of `bin_width` cycles; values
+    /// beyond the last bin are clamped into it.
+    pub fn new(bin_width: u64, num_bins: usize) -> Self {
+        assert!(bin_width > 0 && num_bins > 0, "histogram must have bins");
+        Self {
+            bin_width,
+            bins: vec![0; num_bins],
+            total: 0,
+        }
+    }
+
+    /// The Figure 1 configuration: 30-cycle bins up to 1350 cycles.
+    pub fn figure1() -> Self {
+        Self::new(30, 46)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin width in cycles.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The smallest value `v` such that at least `fraction` of the samples
+    /// fall at or below `v` (computed at bin granularity) — used for the 95 %
+    /// and 99 % coverage markers of Figure 1.
+    pub fn percentile(&self, fraction: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (self.total as f64 * fraction).ceil() as u64;
+        let mut cumulative = 0;
+        for (i, &count) in self.bins.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return (i as u64 + 1) * self.bin_width;
+            }
+        }
+        self.bins.len() as u64 * self.bin_width
+    }
+
+    /// Fraction of samples in the first bin (address calculated within one
+    /// bin width of decode).
+    pub fn first_bin_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[0] as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another histogram with the same geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width);
+        assert_eq!(self.bins.len(), other.bins.len());
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Whole-run counters (cycles, commits, squashes, MP activity).
+    pub sim: SimCounters,
+    /// LSQ structure access counters (Table 2).
+    pub lsq: LsqAccessCounters,
+    /// Decode→address-calculation distances for committed loads (Figure 1).
+    pub load_addr_hist: Histogram,
+    /// Decode→address-calculation distances for committed stores (Figure 1).
+    pub store_addr_hist: Histogram,
+    /// Name of the workload that produced this result.
+    pub workload: String,
+}
+
+impl SimResult {
+    /// Creates an empty result for `workload`.
+    pub fn new(workload: impl Into<String>) -> Self {
+        Self {
+            sim: SimCounters::default(),
+            lsq: LsqAccessCounters::default(),
+            load_addr_hist: Histogram::figure1(),
+            store_addr_hist: Histogram::figure1(),
+            workload: workload.into(),
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.sim.ipc()
+    }
+
+    /// Access counters rescaled to the paper's per-100M-instructions unit.
+    pub fn lsq_per_100m(&self) -> LsqAccessCounters {
+        self.lsq.scaled_per_100m(self.sim.committed.max(1))
+    }
+
+    /// Arithmetic-mean IPC over a set of results (the paper's averaging
+    /// method).
+    pub fn mean_ipc(results: &[SimResult]) -> f64 {
+        if results.is_empty() {
+            return 0.0;
+        }
+        results.iter().map(|r| r.ipc()).sum::<f64>() / results.len() as f64
+    }
+
+    /// Arithmetic mean of per-100M access counters over a set of results.
+    pub fn mean_lsq_per_100m(results: &[SimResult]) -> LsqAccessCounters {
+        let mut acc = LsqAccessCounters::default();
+        if results.is_empty() {
+            return acc;
+        }
+        for r in results {
+            acc += r.lsq_per_100m();
+        }
+        let n = results.len() as u64;
+        // Integer division is fine at these magnitudes (millions).
+        LsqAccessCounters {
+            hl_lq_searches: acc.hl_lq_searches / n,
+            hl_sq_searches: acc.hl_sq_searches / n,
+            ll_lq_searches: acc.ll_lq_searches / n,
+            ll_sq_searches: acc.ll_sq_searches / n,
+            ert_lookups: acc.ert_lookups / n,
+            ssbf_lookups: acc.ssbf_lookups / n,
+            sqm_lookups: acc.sqm_lookups / n,
+            roundtrips: acc.roundtrips / n,
+            cache_accesses: acc.cache_accesses / n,
+            ert_false_positives: acc.ert_false_positives / n,
+            ert_true_positives: acc.ert_true_positives / n,
+            local_forwards: acc.local_forwards / n,
+            global_forwards: acc.global_forwards / n,
+            order_violations: acc.order_violations / n,
+            load_reexecutions: acc.load_reexecutions / n,
+            lines_locked: acc.lines_locked / n,
+            lock_conflict_squashes: acc.lock_conflict_squashes / n,
+            lock_conflict_stalls: acc.lock_conflict_stalls / n,
+            restricted_stalls: acc.restricted_stalls / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_clamps() {
+        let mut h = Histogram::new(30, 4);
+        h.record(0);
+        h.record(29);
+        h.record(30);
+        h.record(1000); // clamped into the last bin
+        assert_eq!(h.bins(), &[2, 1, 0, 1]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bin_width(), 30);
+        assert!((h.first_bin_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new(10, 10);
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 95] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 10);
+        assert_eq!(h.percentile(0.95), 100);
+        assert_eq!(Histogram::new(10, 10).percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_requires_matching_geometry() {
+        let mut a = Histogram::figure1();
+        let mut b = Histogram::figure1();
+        a.record(10);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn mean_ipc_over_results() {
+        let mut r1 = SimResult::new("a");
+        r1.sim.cycles = 100;
+        r1.sim.committed = 150;
+        let mut r2 = SimResult::new("b");
+        r2.sim.cycles = 100;
+        r2.sim.committed = 50;
+        assert!((SimResult::mean_ipc(&[r1, r2]) - 1.0).abs() < 1e-12);
+        assert_eq!(SimResult::mean_ipc(&[]), 0.0);
+    }
+
+    #[test]
+    fn per_100m_scaling_uses_committed() {
+        let mut r = SimResult::new("x");
+        r.sim.committed = 1_000_000;
+        r.lsq.hl_sq_searches = 270_000;
+        assert_eq!(r.lsq_per_100m().hl_sq_searches, 27_000_000);
+        let mean = SimResult::mean_lsq_per_100m(&[r.clone(), r]);
+        assert_eq!(mean.hl_sq_searches, 27_000_000);
+    }
+}

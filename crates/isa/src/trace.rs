@@ -1,0 +1,217 @@
+//! Trace sources: the interface between workload generators and CPU models.
+//!
+//! A [`TraceSource`] produces the correct-path dynamic instruction stream one
+//! instruction at a time, and can additionally synthesize *wrong-path*
+//! instructions that the front end fetches after a mispredicted branch until
+//! that branch resolves. Wrong-path instructions never commit, but they do
+//! occupy LSQ entries and access caches, which is essential to reproduce the
+//! paper's Table 2 observation that SPEC INT LSQ activity grows with window
+//! aggressiveness.
+
+use crate::inst::{DynInst, InstBuilder};
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+
+/// A source of dynamic instructions.
+///
+/// Implementations must be deterministic for a given construction seed so
+/// experiments are reproducible.
+pub trait TraceSource {
+    /// Returns the next correct-path instruction, or `None` when the trace is
+    /// exhausted. Most synthetic generators are infinite and never return
+    /// `None`; the simulator stops after a configured number of commits.
+    fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// Returns a wrong-path instruction to fetch at `pc`.
+    ///
+    /// The default implementation produces a simple integer ALU instruction;
+    /// generators override this to produce a realistic mix including
+    /// wrong-path loads and stores.
+    fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
+        InstBuilder::alu(pc, OpClass::IntAlu)
+            .dst(ArchReg::int(1))
+            .src(ArchReg::int(1))
+            .wrong_path(true)
+            .build()
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "trace"
+    }
+}
+
+/// A finite trace backed by a vector of instructions; mainly used by tests.
+///
+/// # Example
+///
+/// ```
+/// use elsq_isa::trace::VecTrace;
+/// use elsq_isa::{InstBuilder, OpClass, TraceSource};
+///
+/// let insts = vec![
+///     InstBuilder::alu(0, OpClass::IntAlu).build(),
+///     InstBuilder::alu(4, OpClass::FpAlu).build(),
+/// ];
+/// let mut t = VecTrace::new(insts);
+/// assert!(t.next_inst().is_some());
+/// assert!(t.next_inst().is_some());
+/// assert!(t.next_inst().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    insts: Vec<DynInst>,
+    pos: usize,
+    name: String,
+}
+
+impl VecTrace {
+    /// Creates a trace that yields `insts` in order, once.
+    pub fn new(insts: Vec<DynInst>) -> Self {
+        Self {
+            insts,
+            pos: 0,
+            name: "vec-trace".to_owned(),
+        }
+    }
+
+    /// Creates a named trace (the name shows up in experiment reports).
+    pub fn with_name(insts: Vec<DynInst>, name: impl Into<String>) -> Self {
+        Self {
+            insts,
+            pos: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Number of instructions remaining.
+    pub fn remaining(&self) -> usize {
+        self.insts.len() - self.pos
+    }
+
+    /// Resets the trace to its beginning.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = self.insts.get(self.pos).copied();
+        if inst.is_some() {
+            self.pos += 1;
+        }
+        inst
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A trace source that repeats an inner finite sequence forever.
+///
+/// Useful for turning a hand-written kernel (e.g. in integration tests) into
+/// an infinite stream the simulator can run for an arbitrary number of
+/// committed instructions.
+#[derive(Debug, Clone)]
+pub struct LoopTrace {
+    insts: Vec<DynInst>,
+    pos: usize,
+    iteration: u64,
+    name: String,
+}
+
+impl LoopTrace {
+    /// Creates a looping trace over `insts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty.
+    pub fn new(insts: Vec<DynInst>) -> Self {
+        assert!(!insts.is_empty(), "LoopTrace requires at least one instruction");
+        Self {
+            insts,
+            pos: 0,
+            iteration: 0,
+            name: "loop-trace".to_owned(),
+        }
+    }
+
+    /// Number of completed iterations over the inner sequence.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Sets the report name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl TraceSource for LoopTrace {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = self.insts[self.pos];
+        self.pos += 1;
+        if self.pos == self.insts.len() {
+            self.pos = 0;
+            self.iteration += 1;
+        }
+        Some(inst)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpClass;
+
+    fn mk(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| InstBuilder::alu(i as u64 * 4, OpClass::IntAlu).build())
+            .collect()
+    }
+
+    #[test]
+    fn vec_trace_yields_in_order_then_none() {
+        let mut t = VecTrace::new(mk(3));
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.next_inst().unwrap().pc, 0);
+        assert_eq!(t.next_inst().unwrap().pc, 4);
+        assert_eq!(t.next_inst().unwrap().pc, 8);
+        assert!(t.next_inst().is_none());
+        assert_eq!(t.remaining(), 0);
+        t.reset();
+        assert_eq!(t.remaining(), 3);
+    }
+
+    #[test]
+    fn loop_trace_wraps_and_counts_iterations() {
+        let mut t = LoopTrace::new(mk(2)).named("kernel");
+        assert_eq!(t.name(), "kernel");
+        for _ in 0..5 {
+            assert!(t.next_inst().is_some());
+        }
+        assert_eq!(t.iterations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_loop_trace_panics() {
+        let _ = LoopTrace::new(vec![]);
+    }
+
+    #[test]
+    fn default_wrong_path_inst_is_wrong_path_alu() {
+        let mut t = VecTrace::new(mk(1));
+        let wp = t.wrong_path_inst(0x999);
+        assert!(wp.wrong_path);
+        assert_eq!(wp.pc, 0x999);
+        assert!(!wp.is_mem());
+    }
+}

@@ -1,0 +1,122 @@
+//! Cache port arbitration.
+//!
+//! Table 1 gives the data cache 2 read/write ports. The processor models use
+//! [`PortSchedule`] to find the earliest cycle at which a memory operation
+//! can actually access the cache, which naturally serializes bursts of loads
+//! and the commit-time store traffic as well as SVW re-executions (whose
+//! extra cache pressure is one of the paper's arguments against re-execution
+//! in large windows, Section 5.6).
+
+use std::collections::BTreeMap;
+
+/// Tracks per-cycle usage of a structure with a fixed number of ports and
+/// hands out reservations at the earliest available cycle.
+#[derive(Debug, Clone)]
+pub struct PortSchedule {
+    ports: u32,
+    used: BTreeMap<u64, u32>,
+    /// Cycles below this value may be pruned; reservations are never granted
+    /// in the past.
+    horizon: u64,
+}
+
+impl PortSchedule {
+    /// Creates a schedule with `ports` available slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: u32) -> Self {
+        assert!(ports > 0, "a port schedule needs at least one port");
+        Self {
+            ports,
+            used: BTreeMap::new(),
+            horizon: 0,
+        }
+    }
+
+    /// Number of ports per cycle.
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// Reserves a port at the earliest cycle `>= earliest` and returns that
+    /// cycle.
+    pub fn reserve(&mut self, earliest: u64) -> u64 {
+        let mut cycle = earliest.max(self.horizon);
+        loop {
+            let entry = self.used.entry(cycle).or_insert(0);
+            if *entry < self.ports {
+                *entry += 1;
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    /// Returns how many ports are free at `cycle` (0 if fully used).
+    pub fn free_at(&self, cycle: u64) -> u32 {
+        let used = self.used.get(&cycle).copied().unwrap_or(0);
+        self.ports.saturating_sub(used)
+    }
+
+    /// Advances the pruning horizon: bookkeeping for cycles before `cycle`
+    /// is discarded and no reservation will ever be granted before it.
+    pub fn retire_before(&mut self, cycle: u64) {
+        self.horizon = self.horizon.max(cycle);
+        self.used = self.used.split_off(&cycle);
+    }
+
+    /// Number of cycles currently tracked (bounded by `retire_before`).
+    pub fn tracked_cycles(&self) -> usize {
+        self.used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_fill_cycles_in_order() {
+        let mut p = PortSchedule::new(2);
+        assert_eq!(p.reserve(10), 10);
+        assert_eq!(p.reserve(10), 10);
+        assert_eq!(p.reserve(10), 11);
+        assert_eq!(p.free_at(10), 0);
+        assert_eq!(p.free_at(11), 1);
+        assert_eq!(p.free_at(12), 2);
+    }
+
+    #[test]
+    fn reserve_respects_earliest() {
+        let mut p = PortSchedule::new(1);
+        assert_eq!(p.reserve(5), 5);
+        assert_eq!(p.reserve(3), 3);
+        assert_eq!(p.reserve(3), 4);
+        assert_eq!(p.reserve(3), 6);
+    }
+
+    #[test]
+    fn retire_prunes_and_prevents_past_reservations() {
+        let mut p = PortSchedule::new(1);
+        p.reserve(1);
+        p.reserve(2);
+        p.retire_before(100);
+        assert_eq!(p.tracked_cycles(), 0);
+        assert_eq!(p.reserve(5), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        let _ = PortSchedule::new(0);
+    }
+
+    #[test]
+    fn single_port_serializes() {
+        let mut p = PortSchedule::new(1);
+        let cycles: Vec<u64> = (0..5).map(|_| p.reserve(0)).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests of the cache model.
+
+use elsq_mem::cache::{CacheConfig, LockOutcome, SetAssocCache};
+use proptest::prelude::*;
+
+fn small_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 8 * 2 * 32,
+        assoc: 2,
+        line_bytes: 32,
+        latency: 1,
+    }
+}
+
+proptest! {
+    /// An access always hits immediately afterwards (the line was filled),
+    /// unless the set was entirely locked by other lines.
+    #[test]
+    fn access_then_probe_hits(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut c = SetAssocCache::new(small_config());
+        for addr in addrs {
+            c.access(addr, false);
+            prop_assert!(c.probe(addr));
+        }
+    }
+
+    /// Locked lines survive arbitrary interleaved traffic.
+    #[test]
+    fn locked_lines_are_never_evicted(
+        locked in 0u64..512,
+        traffic in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        let mut c = SetAssocCache::new(small_config());
+        prop_assume!(matches!(c.lock_line(locked), LockOutcome::Locked));
+        for addr in traffic {
+            c.access(addr, addr % 3 == 0);
+            prop_assert!(c.probe(locked), "locked line {locked:#x} was evicted");
+        }
+        c.unlock_line(locked);
+        prop_assert!(!c.is_locked(locked));
+    }
+
+    /// Hit + miss counts always equal the number of accesses, and the miss
+    /// ratio stays in [0, 1].
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let mut c = SetAssocCache::new(CacheConfig::default_l1());
+        for addr in &addrs {
+            c.access(*addr, false);
+        }
+        let stats = c.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        prop_assert!(stats.miss_ratio() >= 0.0 && stats.miss_ratio() <= 1.0);
+    }
+}

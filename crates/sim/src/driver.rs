@@ -1,0 +1,92 @@
+//! Runs processor configurations over workload suites.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_cpu::result::SimResult;
+use elsq_workload::suite::{suite, WorkloadClass};
+
+/// Parameters shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// Committed instructions simulated per workload.
+    pub commits: u64,
+    /// Seed for the workload generators.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// A quick configuration for unit tests and doc examples.
+    pub fn quick() -> Self {
+        Self {
+            commits: 5_000,
+            seed: 7,
+        }
+    }
+
+    /// The default configuration used by the figure-regeneration binaries:
+    /// large enough for stable averages, small enough to finish in seconds
+    /// per configuration.
+    pub fn standard() -> Self {
+        Self {
+            commits: 60_000,
+            seed: 7,
+        }
+    }
+
+    /// A reduced configuration for the wider parameter sweeps.
+    pub fn sweep() -> Self {
+        Self {
+            commits: 30_000,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Runs `config` over every workload of `class` and returns the per-workload
+/// results.
+pub fn run_suite(config: CpuConfig, class: WorkloadClass, params: &ExperimentParams) -> Vec<SimResult> {
+    suite(class, params.seed)
+        .into_iter()
+        .map(|mut workload| Processor::new(config).run(workload.as_mut(), params.commits))
+        .collect()
+}
+
+/// Mean IPC of `config` over the given suite.
+pub fn mean_ipc(config: CpuConfig, class: WorkloadClass, params: &ExperimentParams) -> f64 {
+    SimResult::mean_ipc(&run_suite(config, class, params))
+}
+
+/// Both suites in the order the paper's figures plot them (INT first in some
+/// figures, FP first in others; the experiments pick what they need).
+pub const CLASSES: [WorkloadClass; 2] = [WorkloadClass::Int, WorkloadClass::Fp];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_suite_produces_one_result_per_workload() {
+        let results = run_suite(CpuConfig::ooo64(), WorkloadClass::Fp, &ExperimentParams::quick());
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert!(r.sim.committed > 0);
+            assert!(r.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_ipc_is_positive_and_bounded() {
+        let ipc = mean_ipc(
+            CpuConfig::ooo64(),
+            WorkloadClass::Int,
+            &ExperimentParams::quick(),
+        );
+        assert!(ipc > 0.0 && ipc <= 4.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Section 6 — energy considerations.
+//!
+//! Combines the Table 2 access counts with the calibrated per-access energy
+//! model: the ERT read energy is ~2 % of an L1 read, so the extra filter
+//! lookups of the ELSQ cost little, and restricted SAC compares favourably
+//! against SVW re-execution.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::result::SimResult;
+use elsq_stats::energy::{EnergyModel, LsqStructureSpecs};
+use elsq_stats::report::{fmt_f, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{run_suite, ExperimentParams};
+
+/// Configurations compared in the Section 6 discussion.
+pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
+    vec![
+        ("OoO-64", CpuConfig::ooo64()),
+        ("FMC-Hash", CpuConfig::fmc_hash(true)),
+        ("FMC-Hash-RSAC", CpuConfig::fmc_hash_rsac()),
+        ("FMC-Hash-SVW", CpuConfig::fmc_hash_svw(10, false)),
+    ]
+}
+
+/// Renders the per-configuration LSQ dynamic-energy table (µJ per 100 M
+/// instructions) for one workload class.
+pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
+    let model = EnergyModel::default();
+    let specs = LsqStructureSpecs::default();
+    let mut table = Table::new(
+        format!("Section 6 ({class}): LSQ dynamic energy per 100M instructions"),
+        &["configuration", "LSQ energy (uJ)", "of which ERT (uJ)", "cache (uJ)"],
+    );
+    for (name, cfg) in configurations() {
+        let results = run_suite(cfg, class, params);
+        let mean = SimResult::mean_lsq_per_100m(&results);
+        let breakdown = model.lsq_energy_breakdown(&mean, &specs);
+        table.row_owned(vec![
+            name.to_owned(),
+            fmt_f(breakdown.total_nj / 1000.0),
+            fmt_f(breakdown.of("ert") / 1000.0),
+            fmt_f(breakdown.of("dcache") / 1000.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn table_has_one_row_per_configuration() {
+        let t = run(WorkloadClass::Fp, &tiny_params());
+        assert_eq!(t.len(), configurations().len());
+    }
+
+    #[test]
+    fn ert_energy_is_a_small_fraction_of_the_total() {
+        let params = crate::driver::ExperimentParams {
+            commits: 3_000,
+            seed: 3,
+        };
+        let t = run(WorkloadClass::Fp, &params);
+        let fmc = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == "FMC-Hash")
+            .expect("FMC-Hash row");
+        let total: f64 = fmc[1].parse().unwrap();
+        let ert: f64 = fmc[2].parse().unwrap();
+        assert!(total > 0.0);
+        assert!(
+            ert < 0.25 * total,
+            "the ERT ({ert}) should be a small part of the total ({total})"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 11 — percentage of cycles the low-locality machinery is idle.
+//!
+//! With larger L2 caches fewer misses reach memory, the Memory Processor is
+//! needed less often and the LL-LSQ (plus the ERT and SQM) can stay in its
+//! low-power mode for a larger fraction of the execution: roughly a third of
+//! the time at 1 MB rising towards half at 8 MB in the paper.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_stats::report::{fmt_f, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{run_suite, ExperimentParams};
+
+/// L2 capacities swept (MB).
+pub const L2_MB: [u64; 4] = [1, 2, 4, 8];
+
+/// Mean LL-LSQ idle fraction for one class and L2 size.
+pub fn idle_fraction(class: WorkloadClass, l2_mb: u64, params: &ExperimentParams) -> f64 {
+    let mut cfg = CpuConfig::fmc_hash(true);
+    cfg.hierarchy = cfg.hierarchy.with_l2_mb(l2_mb);
+    let results = run_suite(cfg, class, params);
+    results
+        .iter()
+        .map(|r| r.sim.ll_idle_fraction())
+        .sum::<f64>()
+        / results.len() as f64
+}
+
+/// Renders the Figure 11 table.
+pub fn run(params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        "Figure 11: LL-LSQ inactivity cycles (%) vs L2 size",
+        &["L2 size", "SPEC INT", "SPEC FP"],
+    );
+    for mb in L2_MB {
+        table.row_owned(vec![
+            format!("{mb}MB"),
+            fmt_f(100.0 * idle_fraction(WorkloadClass::Int, mb, params)),
+            fmt_f(100.0 * idle_fraction(WorkloadClass::Fp, mb, params)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn idle_fraction_is_a_fraction() {
+        let f = idle_fraction(WorkloadClass::Int, 2, &tiny_params());
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn table_has_one_row_per_l2_size() {
+        let t = run(&tiny_params());
+        assert_eq!(t.len(), L2_MB.len());
+    }
+
+    #[test]
+    fn bigger_l2_does_not_reduce_idle_time() {
+        let params = crate::driver::ExperimentParams {
+            commits: 4_000,
+            seed: 3,
+        };
+        let small = idle_fraction(WorkloadClass::Fp, 1, &params);
+        let big = idle_fraction(WorkloadClass::Fp, 8, &params);
+        assert!(
+            big + 0.05 >= small,
+            "8MB idle fraction {big} should not fall below 1MB idle fraction {small}"
+        );
+    }
+}

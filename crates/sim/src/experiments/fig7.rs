@@ -1,0 +1,79 @@
+//! Figure 7 — speed-up of large-window LSQ schemes over the OoO-64 baseline.
+//!
+//! The paper reports, for SPEC INT and SPEC FP, the speed-up of five
+//! large-window configurations over a conventional 64-entry-ROB processor:
+//! an idealized central LSQ, the ELSQ with a line-based ERT (with and without
+//! the Store Queue Mirror) and the ELSQ with a hash-based ERT (with and
+//! without the SQM). The expected shape: FP gains ≈ 2×, INT gains ≈ 1.2×,
+//! the SQM matters mostly for INT, and ELSQ+SQM matches or slightly exceeds
+//! the idealized central queue.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_stats::report::{fmt_f, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{mean_ipc, ExperimentParams};
+
+/// The schemes plotted in Figure 7, in plot order.
+pub fn schemes() -> Vec<(&'static str, CpuConfig)> {
+    vec![
+        ("Central LSQ", CpuConfig::fmc_central_ideal()),
+        ("ELSQ line ERT", CpuConfig::fmc_line(false)),
+        ("ELSQ line ERT + SQM", CpuConfig::fmc_line(true)),
+        ("ELSQ hash ERT", CpuConfig::fmc_hash(false)),
+        ("ELSQ hash ERT + SQM", CpuConfig::fmc_hash(true)),
+    ]
+}
+
+/// Speed-ups over OoO-64 for one workload class, in scheme order.
+pub fn speedups(class: WorkloadClass, params: &ExperimentParams) -> Vec<(String, f64)> {
+    let base = mean_ipc(CpuConfig::ooo64(), class, params);
+    schemes()
+        .into_iter()
+        .map(|(name, cfg)| (name.to_owned(), mean_ipc(cfg, class, params) / base))
+        .collect()
+}
+
+/// Renders the Figure 7 table (one column per suite, one row per scheme).
+pub fn run(params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        "Figure 7: speed-up over a conventional 64-entry ROB",
+        &["scheme", "SPEC INT", "SPEC FP"],
+    );
+    let int = speedups(WorkloadClass::Int, params);
+    let fp = speedups(WorkloadClass::Fp, params);
+    for ((name, int_speedup), (_, fp_speedup)) in int.into_iter().zip(fp) {
+        table.row_owned(vec![name, fmt_f(int_speedup), fmt_f(fp_speedup)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn table_lists_all_schemes() {
+        let t = run(&tiny_params());
+        assert_eq!(t.len(), schemes().len());
+    }
+
+    #[test]
+    fn fp_speedup_exceeds_int_speedup_for_elsq_with_sqm() {
+        let params = crate::driver::ExperimentParams {
+            commits: 4_000,
+            seed: 3,
+        };
+        let int = speedups(WorkloadClass::Int, &params);
+        let fp = speedups(WorkloadClass::Fp, &params);
+        let last = int.len() - 1; // ELSQ hash ERT + SQM
+        assert!(
+            fp[last].1 > int[last].1,
+            "FP speed-up {} should exceed INT speed-up {}",
+            fp[last].1,
+            int[last].1
+        );
+        assert!(fp[last].1 > 1.0, "the large window must help SPEC FP");
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 8 — global-disambiguation filter accuracy and L1 sensitivity.
+//!
+//! * (a) false-positive remote searches per 100 M instructions as a function
+//!   of the hash-ERT index width (6–16 bits) and for the line-based ERT,
+//!   together with the estimated hardware budget;
+//! * (b, c) relative performance of the line-based and hash-based ERT as the
+//!   L1 size (32 / 64 KB) and associativity (1–8 ways) change — the
+//!   line-based filter needs enough associativity because it locks lines.
+
+use elsq_core::config::{ElsqConfig, ErtKind};
+use elsq_cpu::config::CpuConfig;
+use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{mean_ipc, run_suite, ExperimentParams};
+
+/// Hash widths swept in Figure 8a.
+pub const HASH_BITS: [u32; 7] = [6, 8, 10, 11, 12, 14, 16];
+
+/// False positives per 100 M instructions for one filter configuration.
+pub fn false_positives(ert: ErtKind, class: WorkloadClass, params: &ExperimentParams) -> u64 {
+    let config = CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ert).with_sqm(false));
+    let results = run_suite(config, class, params);
+    let mean = elsq_cpu::result::SimResult::mean_lsq_per_100m(&results);
+    mean.ert_false_positives
+}
+
+/// Renders Figure 8a: filter accuracy vs hardware budget.
+pub fn run_accuracy(params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        "Figure 8a: ERT false positives per 100M instructions",
+        &["filter", "budget (bytes)", "SPEC FP", "SPEC INT"],
+    );
+    let l1_lines = 32 * 1024 / 32;
+    for bits in HASH_BITS {
+        let kind = ErtKind::Hash { bits };
+        table.row_owned(vec![
+            format!("hash {bits} bits"),
+            format!("{}", kind.storage_bytes(l1_lines)),
+            fmt_millions(false_positives(kind, WorkloadClass::Fp, params)),
+            fmt_millions(false_positives(kind, WorkloadClass::Int, params)),
+        ]);
+    }
+    table.row_owned(vec![
+        "line-based".to_owned(),
+        format!("{}", ErtKind::Line.storage_bytes(l1_lines)),
+        fmt_millions(false_positives(ErtKind::Line, WorkloadClass::Fp, params)),
+        fmt_millions(false_positives(ErtKind::Line, WorkloadClass::Int, params)),
+    ]);
+    table
+}
+
+/// L1 configurations swept in Figure 8b/8c: (size KB, associativity).
+pub fn l1_sweep() -> Vec<(u64, u32)> {
+    let mut v = Vec::new();
+    for size_kb in [32u64, 64] {
+        for assoc in [1u32, 2, 4, 8] {
+            v.push((size_kb, assoc));
+        }
+    }
+    v
+}
+
+/// Renders Figure 8b (FP) or 8c (INT): relative performance of the two
+/// filters as the L1 geometry changes, normalized to the best configuration.
+pub fn run_cache_sensitivity(class: WorkloadClass, params: &ExperimentParams) -> Table {
+    let title = match class {
+        WorkloadClass::Fp => "Figure 8b: SPEC FP relative performance vs L1 geometry",
+        WorkloadClass::Int => "Figure 8c: SPEC INT relative performance vs L1 geometry",
+    };
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (size_kb, assoc) in l1_sweep() {
+        let mut line_cfg = CpuConfig::fmc_line(true);
+        line_cfg.hierarchy = line_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
+        let bits = if size_kb == 32 { 10 } else { 11 };
+        let mut hash_cfg =
+            CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ErtKind::Hash { bits }));
+        hash_cfg.hierarchy = hash_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
+        rows.push((
+            format!("{size_kb}KB {assoc}-way"),
+            mean_ipc(line_cfg, class, params),
+            mean_ipc(hash_cfg, class, params),
+        ));
+    }
+    let best = rows
+        .iter()
+        .flat_map(|(_, a, b)| [*a, *b])
+        .fold(f64::MIN, f64::max);
+    let mut table = Table::new(title, &["L1 config", "line-based ERT", "hash-based ERT"]);
+    for (label, line, hash) in rows {
+        table.row_owned(vec![label, fmt_f(line / best), fmt_f(hash / best)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn fewer_hash_bits_mean_more_false_positives() {
+        let params = crate::driver::ExperimentParams {
+            commits: 4_000,
+            seed: 3,
+        };
+        let narrow = false_positives(ErtKind::Hash { bits: 6 }, WorkloadClass::Int, &params);
+        let wide = false_positives(ErtKind::Hash { bits: 16 }, WorkloadClass::Int, &params);
+        assert!(
+            narrow >= wide,
+            "6-bit filter ({narrow}) should not beat 16-bit filter ({wide})"
+        );
+    }
+
+    #[test]
+    fn accuracy_table_covers_all_filters() {
+        let t = run_accuracy(&tiny_params());
+        assert_eq!(t.len(), HASH_BITS.len() + 1);
+    }
+
+    #[test]
+    fn cache_sensitivity_table_covers_the_sweep() {
+        let t = run_cache_sensitivity(WorkloadClass::Fp, &tiny_params());
+        assert_eq!(t.len(), l1_sweep().len());
+        // Values are normalized: none exceeds 1.0 by construction.
+        for row in t.rows() {
+            let line: f64 = row[1].parse().unwrap();
+            let hash: f64 = row[2].parse().unwrap();
+            assert!(line <= 1.0 + 1e-9 && hash <= 1.0 + 1e-9);
+        }
+    }
+}

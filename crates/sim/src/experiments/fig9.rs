@@ -1,0 +1,79 @@
+//! Figure 9 — relative performance of the restricted disambiguation models.
+//!
+//! Full disambiguation is the baseline; Restricted SAC loses at most a
+//! couple of percent, Restricted LAC loses more (low-locality load address
+//! calculations are much more common than store ones), and Restricted
+//! SAC+LAC tracks Restricted LAC.
+
+use elsq_core::config::ElsqConfig;
+use elsq_core::disambig::DisambiguationModel;
+use elsq_cpu::config::CpuConfig;
+use elsq_stats::report::{fmt_f, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{mean_ipc, ExperimentParams};
+
+/// Mean IPC of each disambiguation model for one class, in Figure 9 order.
+pub fn model_ipcs(class: WorkloadClass, params: &ExperimentParams) -> Vec<(DisambiguationModel, f64)> {
+    DisambiguationModel::ALL
+        .iter()
+        .map(|&model| {
+            let cfg = CpuConfig::fmc_elsq(ElsqConfig::default().with_disambiguation(model));
+            (model, mean_ipc(cfg, class, params))
+        })
+        .collect()
+}
+
+/// Renders Figure 9: performance relative to full disambiguation.
+pub fn run(params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        "Figure 9: relative performance of restricted disambiguation models",
+        &["model", "SPEC INT", "SPEC FP"],
+    );
+    let int = model_ipcs(WorkloadClass::Int, params);
+    let fp = model_ipcs(WorkloadClass::Fp, params);
+    let int_base = int[0].1;
+    let fp_base = fp[0].1;
+    for ((model, int_ipc), (_, fp_ipc)) in int.into_iter().zip(fp) {
+        table.row_owned(vec![
+            model.to_string(),
+            fmt_f(int_ipc / int_base),
+            fmt_f(fp_ipc / fp_base),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn table_covers_all_models_and_full_is_the_baseline() {
+        let t = run(&tiny_params());
+        assert_eq!(t.len(), DisambiguationModel::ALL.len());
+        let first = &t.rows()[0];
+        assert_eq!(first[0], "full");
+        assert_eq!(first[1], "1.000");
+        assert_eq!(first[2], "1.000");
+    }
+
+    #[test]
+    fn restricted_models_do_not_speed_things_up_dramatically() {
+        let params = crate::driver::ExperimentParams {
+            commits: 4_000,
+            seed: 5,
+        };
+        for (model, ipc) in model_ipcs(WorkloadClass::Fp, &params) {
+            let (_, full) = model_ipcs(WorkloadClass::Fp, &params)[0];
+            // Restricting disambiguation can only remove scheduling freedom;
+            // small noise aside it should not beat full disambiguation by
+            // more than a few percent.
+            assert!(
+                ipc <= full * 1.05,
+                "{model} unexpectedly beat full disambiguation: {ipc} vs {full}"
+            );
+        }
+    }
+}

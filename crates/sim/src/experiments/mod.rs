@@ -1,0 +1,19 @@
+//! One module per figure/table of the paper's evaluation.
+
+pub mod energy;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod tuning;
+
+#[cfg(test)]
+pub(crate) fn tiny_params() -> crate::driver::ExperimentParams {
+    crate::driver::ExperimentParams {
+        commits: 1_200,
+        seed: 3,
+    }
+}

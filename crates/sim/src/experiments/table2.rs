@@ -1,0 +1,103 @@
+//! Table 2 — number of accesses to the LSQ components (in millions per 100 M
+//! committed instructions) for the evaluated configurations, plus speed-up.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::result::SimResult;
+use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{run_suite, ExperimentParams};
+
+/// The configurations listed in Table 2, in row order.
+pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
+    vec![
+        ("OoO-64", CpuConfig::ooo64()),
+        ("OoO-64-SVW", CpuConfig::ooo64_svw(10, false)),
+        ("FMC-Line", CpuConfig::fmc_line(true)),
+        ("FMC-Hash", CpuConfig::fmc_hash(true)),
+        ("FMC-Hash-SVW", CpuConfig::fmc_hash_svw(10, false)),
+        ("FMC-Hash-RSAC", CpuConfig::fmc_hash_rsac()),
+    ]
+}
+
+/// Renders Table 2 for one workload class.
+pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        format!("Table 2 ({class}): accesses to LSQ components (millions per 100M insts)"),
+        &[
+            "configuration",
+            "HL-LQ",
+            "HL-SQ",
+            "LL-LQ",
+            "LL-SQ",
+            "ERT",
+            "SSBF",
+            "RoundTrips",
+            "Cache",
+            "Speed-Up",
+        ],
+    );
+    let baseline = SimResult::mean_ipc(&run_suite(CpuConfig::ooo64(), class, params));
+    for (name, cfg) in configurations() {
+        let results = run_suite(cfg, class, params);
+        let ipc = SimResult::mean_ipc(&results);
+        let mean = SimResult::mean_lsq_per_100m(&results);
+        table.row_owned(vec![
+            name.to_owned(),
+            fmt_millions(mean.hl_lq_searches),
+            fmt_millions(mean.hl_sq_searches),
+            fmt_millions(mean.ll_lq_searches),
+            fmt_millions(mean.ll_sq_searches),
+            fmt_millions(mean.ert_lookups),
+            fmt_millions(mean.ssbf_lookups),
+            fmt_millions(mean.roundtrips),
+            fmt_millions(mean.cache_accesses),
+            fmt_f(ipc / baseline),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn table_has_one_row_per_configuration() {
+        let t = run(WorkloadClass::Int, &tiny_params());
+        assert_eq!(t.len(), configurations().len());
+    }
+
+    #[test]
+    fn structural_properties_of_the_rows() {
+        let params = crate::driver::ExperimentParams {
+            commits: 3_000,
+            seed: 3,
+        };
+        let t = run(WorkloadClass::Fp, &params);
+        let find = |name: &str| -> Vec<String> {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("row present")
+                .clone()
+        };
+        let parse = |s: &str| -> f64 { s.parse().unwrap() };
+        // The conventional processor never touches LL queues, the ERT or the
+        // network.
+        let ooo = find("OoO-64");
+        assert_eq!(parse(&ooo[3]), 0.0);
+        assert_eq!(parse(&ooo[4]), 0.0);
+        assert_eq!(parse(&ooo[5]), 0.0);
+        assert_eq!(parse(&ooo[7]), 0.0);
+        // SVW configurations have no associative load-queue searches but do
+        // access the SSBF.
+        let svw = find("OoO-64-SVW");
+        assert_eq!(parse(&svw[1]), 0.0);
+        assert!(parse(&svw[6]) > 0.0);
+        // The FMC configurations exercise the ERT.
+        let fmc = find("FMC-Hash");
+        assert!(parse(&fmc[5]) > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Section 5.2 — sizing the per-epoch load/store queues.
+//!
+//! The paper fixes 16 epochs of 128 instructions and then sizes the
+//! per-epoch load and store queues, finding that 64 loads / 32 stores stays
+//! within ~1 % of an unlimited LSQ (with a 7 % worst case) while being much
+//! cheaper. This experiment sweeps the per-epoch queue sizes on SPEC FP (the
+//! suite the paper uses for sizing because it is the more sensitive one at
+//! large window sizes).
+
+use elsq_core::config::ElsqConfig;
+use elsq_cpu::config::CpuConfig;
+use elsq_stats::report::{fmt_f, Table};
+use elsq_workload::suite::WorkloadClass;
+
+use crate::driver::{mean_ipc, ExperimentParams};
+
+/// The (loads, stores) sizes swept.
+pub const SIZES: [(usize, usize); 4] = [(16, 8), (32, 16), (64, 32), (128, 64)];
+
+/// Renders the sizing table: IPC relative to generously sized epoch queues.
+pub fn run(params: &ExperimentParams) -> Table {
+    let mut table = Table::new(
+        "Section 5.2: per-epoch LSQ sizing (SPEC FP, relative to 128/64)",
+        &["loads/stores per epoch", "relative IPC"],
+    );
+    let reference_cfg = CpuConfig::fmc_elsq(ElsqConfig {
+        epoch_max_loads: 128,
+        epoch_max_stores: 64,
+        ..ElsqConfig::default()
+    });
+    let reference = mean_ipc(reference_cfg, WorkloadClass::Fp, params);
+    for (loads, stores) in SIZES {
+        let cfg = CpuConfig::fmc_elsq(ElsqConfig {
+            epoch_max_loads: loads,
+            epoch_max_stores: stores,
+            ..ElsqConfig::default()
+        });
+        let ipc = mean_ipc(cfg, WorkloadClass::Fp, params);
+        table.row_owned(vec![format!("{loads}/{stores}"), fmt_f(ipc / reference)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tiny_params;
+
+    #[test]
+    fn table_covers_the_sweep() {
+        let t = run(&tiny_params());
+        assert_eq!(t.len(), SIZES.len());
+    }
+
+    #[test]
+    fn paper_sizing_stays_close_to_unlimited() {
+        let params = crate::driver::ExperimentParams {
+            commits: 4_000,
+            seed: 3,
+        };
+        let t = run(&params);
+        let row = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == "64/32")
+            .expect("64/32 row present");
+        let rel: f64 = row[1].parse().unwrap();
+        assert!(rel > 0.85, "64/32 epochs should be close to unlimited, got {rel}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment harness reproducing every table and figure of the ELSQ paper.
+//!
+//! Each experiment module mirrors one piece of the evaluation (Section 5 and
+//! 6 of the paper) and produces [`elsq_stats::Table`]s whose rows follow the
+//! same layout as the corresponding figure or table:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::fig1`] | Figure 1 — decode→address-calculation distance distributions |
+//! | [`experiments::tuning`] | Section 5.2 — epoch / LSQ sizing study |
+//! | [`experiments::fig7`] | Figure 7 — speed-up of large-window LSQ schemes over OoO-64 |
+//! | [`experiments::fig8`] | Figure 8 — ERT filter accuracy and L1 sensitivity |
+//! | [`experiments::fig9`] | Figure 9 — restricted disambiguation models |
+//! | [`experiments::fig10`] | Figure 10 — SVW re-execution vs SSBF size |
+//! | [`experiments::fig11`] | Figure 11 — LL-LSQ inactivity vs L2 size |
+//! | [`experiments::table2`] | Table 2 — structure access counts |
+//! | [`experiments::energy`] | Section 6 — per-access energy comparison |
+//!
+//! The [`driver`] module runs a processor configuration over a full workload
+//! suite and averages the results with the arithmetic mean, matching the
+//! paper's methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use elsq_sim::driver::{ExperimentParams, run_suite};
+//! use elsq_cpu::config::CpuConfig;
+//! use elsq_workload::suite::WorkloadClass;
+//!
+//! let params = ExperimentParams::quick();
+//! let results = run_suite(CpuConfig::ooo64(), WorkloadClass::Int, &params);
+//! assert_eq!(results.len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiments;
+
+pub use driver::{run_suite, ExperimentParams};

@@ -1,0 +1,204 @@
+//! Plain-text and CSV table rendering for experiment reports.
+//!
+//! Every figure/table regeneration binary prints its results through
+//! [`Table`] so the output is consistent, aligned and easy to diff against
+//! the numbers recorded in `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use elsq_stats::report::Table;
+///
+/// let mut t = Table::new("Speed-up over OoO-64", &["scheme", "SPEC INT", "SPEC FP"]);
+/// t.row(&["Central LSQ", "1.19", "2.08"]);
+/// t.row(&["ELSQ hash + SQM", "1.19", "2.10"]);
+/// let text = t.render();
+/// assert!(text.contains("Central LSQ"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("scheme,SPEC INT,SPEC FP"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of string cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of headers.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells (e.g. formatted numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of headers.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access to the raw rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, comma separated, no quoting —
+    /// cells produced by the harness never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with 3 significant decimals, the precision used in the
+/// paper's figures.
+pub fn fmt_f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a count in millions with 3 decimals (Table 2 unit).
+pub fn fmt_millions(x: u64) -> String {
+    format!("{:.3}", x as f64 / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_cells() {
+        let mut t = Table::new("demo", &["a", "long header", "c"]);
+        t.row(&["1", "2", "3"]);
+        t.row(&["wide cell", "x", "y"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("wide cell"));
+        assert!(s.contains("long header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_f(1.2345), "1.234");
+        assert_eq!(fmt_millions(27_006_000), "27.006");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("d", &["h"]);
+        t.row(&["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn row_owned_accepts_formatted_cells() {
+        let mut t = Table::new("d", &["a", "b"]);
+        t.row_owned(vec![fmt_f(2.0), fmt_millions(1_000_000)]);
+        assert_eq!(t.rows()[0], vec!["2.000".to_owned(), "1.000".to_owned()]);
+    }
+}

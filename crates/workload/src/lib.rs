@@ -1,0 +1,51 @@
+//! Synthetic SPEC-like workload generators for the ELSQ simulator.
+//!
+//! The paper evaluates the ELSQ on SPEC CPU 2000 Alpha binaries. Running
+//! those binaries is outside the scope of this reproduction, so this crate
+//! generates **synthetic dynamic instruction streams** that reproduce the
+//! statistical properties the ELSQ's behaviour depends on:
+//!
+//! * instruction mix (loads ≈ 25–30 %, stores ≈ 8–15 %, branches ≈ 5–20 %),
+//! * **execution locality**: the fraction of address calculations that
+//!   depend on L2-missing loads (tiny for FP-style streaming code, sizable
+//!   for pointer-chasing integer code — Figure 1),
+//! * memory-level parallelism (independent miss streams for FP,
+//!   serially-dependent misses for pointer chasing),
+//! * store→load forwarding distance locality (register-spill style reloads),
+//! * branch misprediction rates (low for FP, higher for INT), which drive
+//!   the wrong-path LSQ activity visible in Table 2.
+//!
+//! Six FP-like and six INT-like workloads are provided; [`suite`] groups
+//! them into the two suites every experiment averages over, mirroring the
+//! paper's SPEC FP / SPEC INT split.
+//!
+//! # Example
+//!
+//! ```
+//! use elsq_workload::suite::{fp_suite, int_suite};
+//! use elsq_isa::TraceSource;
+//!
+//! let mut fp = fp_suite(42);
+//! assert!(fp.len() >= 3);
+//! let inst = fp[0].next_inst().expect("generators are infinite");
+//! assert!(inst.pc > 0);
+//! let int = int_suite(42);
+//! assert!(int.len() >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod hashtab;
+pub mod matrix;
+pub mod mix;
+pub mod pointer;
+pub mod regions;
+pub mod sortmerge;
+pub mod stencil;
+pub mod streaming;
+pub mod suite;
+
+pub use mix::{MixParams, WrongPathSynth};
+pub use suite::{fp_suite, int_suite, WorkloadClass};

@@ -1,0 +1,304 @@
+//! Shared plumbing for workload generators: instruction emission, basic-block
+//! buffering and wrong-path synthesis.
+//!
+//! Every workload produces instructions a basic block at a time through the
+//! [`BlockSource`] trait; [`BlockTrace`] adapts a block source into the
+//! [`TraceSource`] interface the processor models consume and synthesizes
+//! wrong-path instructions after mispredicted branches.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use elsq_isa::{ArchReg, DynInst, InstBuilder, OpClass, TraceSource};
+
+/// Default instruction footprint of one "program counter" step.
+pub const PC_STEP: u64 = 4;
+
+/// Tunable knobs shared by several generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixParams {
+    /// Probability that a conditional branch is mispredicted.
+    pub mispredict_rate: f64,
+    /// Probability that a conditional branch is taken.
+    pub taken_rate: f64,
+    /// Probability of emitting a register-spill store + later reload pair
+    /// around a block (drives close store→load forwarding).
+    pub spill_rate: f64,
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        Self {
+            mispredict_rate: 0.02,
+            taken_rate: 0.6,
+            spill_rate: 0.05,
+        }
+    }
+}
+
+/// Emits instructions with monotonically increasing program counters.
+#[derive(Debug, Clone)]
+pub struct Emitter {
+    pc: u64,
+}
+
+impl Emitter {
+    /// Creates an emitter starting at `start_pc`.
+    pub fn new(start_pc: u64) -> Self {
+        Self { pc: start_pc }
+    }
+
+    fn step(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc += PC_STEP;
+        pc
+    }
+
+    /// Current program counter (the next instruction's PC).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Emits an ALU instruction of `class` writing `dst` from `srcs`.
+    pub fn alu(&mut self, class: OpClass, dst: ArchReg, srcs: &[ArchReg]) -> DynInst {
+        let mut b = InstBuilder::alu(self.step(), class).dst(dst);
+        for &s in srcs.iter().take(2) {
+            b = b.src(s);
+        }
+        b.build()
+    }
+
+    /// Emits a load of `size` bytes from `addr` into `dst`, whose address is
+    /// computed from `addr_src`.
+    pub fn load(&mut self, addr: u64, size: u8, dst: ArchReg, addr_src: ArchReg) -> DynInst {
+        InstBuilder::load(self.step(), addr, size)
+            .dst(dst)
+            .src(addr_src)
+            .build()
+    }
+
+    /// Emits a store of `size` bytes to `addr`, whose address comes from
+    /// `addr_src` and whose data comes from `data_src`.
+    pub fn store(&mut self, addr: u64, size: u8, addr_src: ArchReg, data_src: ArchReg) -> DynInst {
+        InstBuilder::store(self.step(), addr, size)
+            .src(addr_src)
+            .src(data_src)
+            .build()
+    }
+
+    /// Emits a conditional branch whose condition depends on `cond_src`,
+    /// drawing the outcome and the misprediction from `rng` according to
+    /// `params`.
+    pub fn branch(&mut self, rng: &mut SmallRng, params: &MixParams, cond_src: ArchReg) -> DynInst {
+        let pc = self.step();
+        let taken = rng.gen_bool(params.taken_rate);
+        let mispredicted = rng.gen_bool(params.mispredict_rate);
+        InstBuilder::branch(pc, taken, mispredicted, pc.wrapping_add(64))
+            .src(cond_src)
+            .build()
+    }
+}
+
+/// Synthesizes wrong-path instructions fetched after a mispredicted branch.
+///
+/// Wrong-path code looks statistically like nearby correct-path code: mostly
+/// ALU operations with some loads into the same regions, so it exercises the
+/// LSQ and the caches until the branch resolves and the window is squashed.
+#[derive(Debug, Clone)]
+pub struct WrongPathSynth {
+    rng: SmallRng,
+    region_base: u64,
+    region_size: u64,
+    load_rate: f64,
+}
+
+impl WrongPathSynth {
+    /// Creates a wrong-path synthesizer probing `region_size` bytes starting
+    /// at `region_base` for its loads.
+    pub fn new(seed: u64, region_base: u64, region_size: u64, load_rate: f64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ WRONG_PATH_SEED_MIX),
+            region_base,
+            region_size: region_size.max(64),
+            load_rate,
+        }
+    }
+
+    /// Produces one wrong-path instruction at `pc`.
+    pub fn inst(&mut self, pc: u64) -> DynInst {
+        if self.rng.gen_bool(self.load_rate) {
+            let offset = self.rng.gen_range(0..self.region_size / 8) * 8;
+            InstBuilder::load(pc, self.region_base + offset, 8)
+                .dst(ArchReg::int(9))
+                .src(ArchReg::int(8))
+                .wrong_path(true)
+                .build()
+        } else {
+            InstBuilder::alu(pc, OpClass::IntAlu)
+                .dst(ArchReg::int(9))
+                .src(ArchReg::int(9))
+                .wrong_path(true)
+                .build()
+        }
+    }
+}
+
+/// Constant mixed into wrong-path RNG seeds so wrong-path streams are
+/// decorrelated from correct-path randomness ("WRONG_PT" in ASCII).
+const WRONG_PATH_SEED_MIX: u64 = 0x5752_4f4e_475f_5054;
+
+/// A source of basic blocks of dynamic instructions.
+pub trait BlockSource {
+    /// Appends the next basic block to `sink`.
+    fn fill(&mut self, sink: &mut Vec<DynInst>);
+    /// Short name used in reports.
+    fn label(&self) -> &str;
+    /// Base and size of the region wrong-path loads should probe.
+    fn wrong_path_region(&self) -> (u64, u64);
+}
+
+/// Adapts a [`BlockSource`] into an infinite [`TraceSource`], buffering one
+/// block at a time and synthesizing wrong-path instructions on demand.
+#[derive(Debug, Clone)]
+pub struct BlockTrace<B> {
+    source: B,
+    buffer: VecDeque<DynInst>,
+    scratch: Vec<DynInst>,
+    wrong_path: WrongPathSynth,
+}
+
+impl<B: BlockSource> BlockTrace<B> {
+    /// Wraps `source`.
+    pub fn new(source: B, seed: u64) -> Self {
+        let (base, size) = source.wrong_path_region();
+        Self {
+            source,
+            buffer: VecDeque::new(),
+            scratch: Vec::new(),
+            wrong_path: WrongPathSynth::new(seed, base, size, 0.25),
+        }
+    }
+
+    /// Access to the wrapped block source.
+    pub fn source(&self) -> &B {
+        &self.source
+    }
+}
+
+impl<B: BlockSource> TraceSource for BlockTrace<B> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        while self.buffer.is_empty() {
+            self.scratch.clear();
+            self.source.fill(&mut self.scratch);
+            assert!(
+                !self.scratch.is_empty(),
+                "block source {} produced an empty block",
+                self.source.label()
+            );
+            self.buffer.extend(self.scratch.drain(..));
+        }
+        self.buffer.pop_front()
+    }
+
+    fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
+        self.wrong_path.inst(pc)
+    }
+
+    fn name(&self) -> &str {
+        self.source.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoInstBlock {
+        emitter: Emitter,
+    }
+
+    impl BlockSource for TwoInstBlock {
+        fn fill(&mut self, sink: &mut Vec<DynInst>) {
+            sink.push(self.emitter.alu(OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(1)]));
+            sink.push(self.emitter.load(0x1000, 8, ArchReg::int(2), ArchReg::int(1)));
+        }
+        fn label(&self) -> &str {
+            "two-inst"
+        }
+        fn wrong_path_region(&self) -> (u64, u64) {
+            (0x1000, 4096)
+        }
+    }
+
+    #[test]
+    fn emitter_advances_pc_and_builds_valid_insts() {
+        let mut e = Emitter::new(0x400000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let params = MixParams::default();
+        let a = e.alu(OpClass::FpMul, ArchReg::fp(1), &[ArchReg::fp(2), ArchReg::fp(3)]);
+        let l = e.load(0x1234, 8, ArchReg::int(1), ArchReg::int(2));
+        let s = e.store(0x1240, 8, ArchReg::int(2), ArchReg::fp(1));
+        let b = e.branch(&mut rng, &params, ArchReg::int(1));
+        assert!(a.pc < l.pc && l.pc < s.pc && s.pc < b.pc);
+        assert!(a.validate().is_ok() && l.validate().is_ok());
+        assert!(s.validate().is_ok() && b.validate().is_ok());
+        assert_eq!(e.pc(), 0x400000 + 4 * PC_STEP);
+    }
+
+    #[test]
+    fn block_trace_is_infinite_and_named() {
+        let mut t = BlockTrace::new(
+            TwoInstBlock {
+                emitter: Emitter::new(0x1000),
+            },
+            9,
+        );
+        assert_eq!(t.name(), "two-inst");
+        for _ in 0..100 {
+            assert!(t.next_inst().is_some());
+        }
+        assert_eq!(t.source().label(), "two-inst");
+    }
+
+    #[test]
+    fn wrong_path_instructions_are_marked_and_valid() {
+        let mut wp = WrongPathSynth::new(3, 0x8000, 4096, 0.5);
+        let mut saw_load = false;
+        for i in 0..200 {
+            let inst = wp.inst(0x100 + i * 4);
+            assert!(inst.wrong_path);
+            assert!(inst.validate().is_ok());
+            if inst.is_load() {
+                saw_load = true;
+                let a = inst.mem.unwrap().addr;
+                assert!(a >= 0x8000 && a < 0x8000 + 4096);
+            }
+        }
+        assert!(saw_load);
+    }
+
+    #[test]
+    fn branch_rates_follow_params() {
+        let mut e = Emitter::new(0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let params = MixParams {
+            mispredict_rate: 0.5,
+            taken_rate: 1.0,
+            spill_rate: 0.0,
+        };
+        let n = 2000;
+        let mut mispredicts = 0;
+        for _ in 0..n {
+            let b = e.branch(&mut rng, &params, ArchReg::int(1));
+            let info = b.branch.unwrap();
+            assert!(info.taken);
+            if info.mispredicted {
+                mispredicts += 1;
+            }
+        }
+        let rate = mispredicts as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "observed mispredict rate {rate}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Named workload suites mirroring the paper's SPEC FP / SPEC INT split.
+//!
+//! Every experiment in `elsq-sim` runs all members of a suite and averages
+//! results with the arithmetic mean, exactly as the paper's methodology
+//! section describes (Section 5.1).
+
+use elsq_isa::TraceSource;
+
+use crate::compress::CompressInt;
+use crate::hashtab::HashTableInt;
+use crate::matrix::MatrixBlockFp;
+use crate::pointer::PointerChaseInt;
+use crate::sortmerge::SortMergeInt;
+use crate::stencil::{IrregularFp, StencilFp};
+use crate::streaming::StreamingFp;
+
+/// Which suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Floating-point-like workloads (streaming, stencil, blocked matrix).
+    Fp,
+    /// Integer-like workloads (pointer chasing, hashing, merging,
+    /// compressing).
+    Int,
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadClass::Fp => write!(f, "SPEC FP"),
+            WorkloadClass::Int => write!(f, "SPEC INT"),
+        }
+    }
+}
+
+/// The floating-point-like suite (six workloads).
+pub fn fp_suite(seed: u64) -> Vec<Box<dyn TraceSource>> {
+    vec![
+        Box::new(StreamingFp::swim_like(seed)),
+        Box::new(StreamingFp::applu_like(seed.wrapping_add(1))),
+        Box::new(StencilFp::mgrid_like(seed.wrapping_add(2))),
+        Box::new(MatrixBlockFp::facerec_like(seed.wrapping_add(3))),
+        Box::new(IrregularFp::equake_like(seed.wrapping_add(4))),
+        Box::new(crate::mix::BlockTrace::new(
+            StreamingFp::new("fp-stream-art", seed.wrapping_add(5), 2, 24 << 20),
+            seed.wrapping_add(5),
+        )),
+    ]
+}
+
+/// The integer-like suite (six workloads).
+pub fn int_suite(seed: u64) -> Vec<Box<dyn TraceSource>> {
+    vec![
+        Box::new(PointerChaseInt::mcf_like(seed)),
+        Box::new(PointerChaseInt::parser_like(seed.wrapping_add(1))),
+        Box::new(HashTableInt::vpr_like(seed.wrapping_add(2))),
+        Box::new(HashTableInt::gcc_like(seed.wrapping_add(3))),
+        Box::new(SortMergeInt::vortex_like(seed.wrapping_add(4))),
+        Box::new(CompressInt::bzip2_like(seed.wrapping_add(5))),
+    ]
+}
+
+/// A suite by class.
+pub fn suite(class: WorkloadClass, seed: u64) -> Vec<Box<dyn TraceSource>> {
+    match class {
+        WorkloadClass::Fp => fp_suite(seed),
+        WorkloadClass::Int => int_suite(seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_six_members_each() {
+        assert_eq!(fp_suite(1).len(), 6);
+        assert_eq!(int_suite(1).len(), 6);
+    }
+
+    #[test]
+    fn suite_members_have_unique_names() {
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            let names: std::collections::HashSet<String> =
+                suite(class, 3).iter().map(|w| w.name().to_owned()).collect();
+            assert_eq!(names.len(), 6, "duplicate names in {class}");
+        }
+    }
+
+    #[test]
+    fn all_members_produce_valid_instructions() {
+        for mut w in fp_suite(2).into_iter().chain(int_suite(2)) {
+            for _ in 0..500 {
+                let inst = w.next_inst().expect("generators are infinite");
+                inst.validate().expect("generated instruction must be valid");
+            }
+            let wp = w.wrong_path_inst(0x42);
+            assert!(wp.wrong_path);
+            wp.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(WorkloadClass::Fp.to_string(), "SPEC FP");
+        assert_eq!(WorkloadClass::Int.to_string(), "SPEC INT");
+    }
+}

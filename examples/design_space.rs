@@ -1,0 +1,66 @@
+//! Design-space exploration: compare every LSQ organization the paper
+//! discusses — conventional, idealized central, ELSQ variants, restricted
+//! disambiguation and SVW re-execution — on one FP and one INT workload.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p elsq-sim --example design_space [commits]
+//! ```
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_isa::TraceSource;
+use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_workload::pointer::PointerChaseInt;
+use elsq_workload::streaming::StreamingFp;
+
+fn configurations() -> Vec<(&'static str, CpuConfig)> {
+    vec![
+        ("OoO-64 (conventional LSQ)", CpuConfig::ooo64()),
+        ("OoO-64 + SVW re-execution", CpuConfig::ooo64_svw(10, true)),
+        ("FMC + idealized central LSQ", CpuConfig::fmc_central_ideal()),
+        ("FMC + ELSQ line ERT", CpuConfig::fmc_line(false)),
+        ("FMC + ELSQ line ERT + SQM", CpuConfig::fmc_line(true)),
+        ("FMC + ELSQ hash ERT", CpuConfig::fmc_hash(false)),
+        ("FMC + ELSQ hash ERT + SQM", CpuConfig::fmc_hash(true)),
+        ("FMC + ELSQ restricted SAC", CpuConfig::fmc_hash_rsac()),
+        ("FMC + ELSQ + SVW", CpuConfig::fmc_hash_svw(10, true)),
+    ]
+}
+
+fn explore(name: &str, make: impl Fn() -> Box<dyn TraceSource>, commits: u64) {
+    let mut table = Table::new(
+        format!("{name}: LSQ design space ({commits} committed instructions)"),
+        &["configuration", "IPC", "speed-up", "ERT/100M", "roundtrips/100M", "forwards/100M"],
+    );
+    let mut baseline_ipc = None;
+    for (label, cfg) in configurations() {
+        let mut workload = make();
+        let r = Processor::new(cfg).run(workload.as_mut(), commits);
+        let per100m = r.lsq_per_100m();
+        let base = *baseline_ipc.get_or_insert(r.ipc());
+        table.row_owned(vec![
+            label.to_owned(),
+            fmt_f(r.ipc()),
+            fmt_f(r.ipc() / base),
+            fmt_millions(per100m.ert_lookups),
+            fmt_millions(per100m.roundtrips),
+            fmt_millions(per100m.local_forwards + per100m.global_forwards),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let commits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    explore("SPEC-FP-like (streaming)", || Box::new(StreamingFp::swim_like(7)), commits);
+    explore(
+        "SPEC-INT-like (pointer chasing)",
+        || Box::new(PointerChaseInt::mcf_like(7)),
+        commits,
+    );
+}

@@ -1,0 +1,65 @@
+//! Locality explorer: measure the decode→address-calculation distance
+//! distribution (the paper's Figure 1) for any of the bundled workloads and
+//! see how much of the window is high locality.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p elsq-sim --example locality_explorer [workload] [commits]
+//! ```
+//!
+//! where `workload` is one of `swim`, `mcf`, `equake`, `vpr` (default `mcf`).
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_isa::TraceSource;
+use elsq_workload::hashtab::HashTableInt;
+use elsq_workload::pointer::PointerChaseInt;
+use elsq_workload::stencil::IrregularFp;
+use elsq_workload::streaming::StreamingFp;
+
+fn workload_by_name(name: &str) -> Box<dyn TraceSource> {
+    match name {
+        "swim" => Box::new(StreamingFp::swim_like(7)),
+        "equake" => Box::new(IrregularFp::equake_like(7)),
+        "vpr" => Box::new(HashTableInt::vpr_like(7)),
+        _ => Box::new(PointerChaseInt::mcf_like(7)),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mcf").to_owned();
+    let commits: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    let mut workload = workload_by_name(&name);
+    println!("workload: {} ({commits} committed instructions)", workload.name());
+
+    let result = Processor::new(CpuConfig::fmc_hash(true)).run(workload.as_mut(), commits);
+
+    for (kind, hist) in [("loads", &result.load_addr_hist), ("stores", &result.store_addr_hist)] {
+        println!("\n{kind}: {} samples", hist.total());
+        println!(
+            "  within 30 cycles of decode : {:5.1}%",
+            100.0 * hist.first_bin_fraction()
+        );
+        println!("  95% within                 : {:>5} cycles", hist.percentile(0.95));
+        println!("  99% within                 : {:>5} cycles", hist.percentile(0.99));
+        // A coarse text histogram of the first 12 bins.
+        let max = hist.bins().iter().copied().max().unwrap_or(1).max(1);
+        for (i, count) in hist.bins().iter().take(12).enumerate() {
+            let bar = "#".repeat((count * 40 / max) as usize);
+            println!("  {:>4}-{:<4} {:>8} {bar}", i * 30, (i + 1) * 30, count);
+        }
+    }
+
+    println!(
+        "\nMemory Processor busy {:.1}% of cycles, {} epochs allocated, IPC {:.3}",
+        100.0 * (1.0 - result.sim.ll_idle_fraction()),
+        result.sim.epochs_allocated,
+        result.ipc()
+    );
+}
