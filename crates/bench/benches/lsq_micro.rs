@@ -77,7 +77,13 @@ fn bench_forwarding_paths(c: &mut Criterion) {
     group.bench_function("sqm_search_64_entries", |b| {
         let mut sqm = StoreQueueMirror::new();
         for i in 0..64u64 {
-            sqm.upsert(i, MemAccess::new(0x1000 + i * 8, 8), (i % 16) as usize, true, i);
+            sqm.upsert(
+                i,
+                MemAccess::new(0x1000 + i * 8, 8),
+                (i % 16) as usize,
+                true,
+                i,
+            );
         }
         b.iter(|| sqm.search(1000, &MemAccess::new(0x1000 + 63 * 8, 8)))
     });

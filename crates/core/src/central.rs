@@ -207,8 +207,15 @@ mod tests {
     fn unlimited_never_fills() {
         let mut lsq = CentralLsq::new(CentralLsqConfig::unlimited());
         for i in 0..10_000 {
-            lsq.allocate(if i % 3 == 0 { MemOpKind::Store } else { MemOpKind::Load }, i)
-                .unwrap();
+            lsq.allocate(
+                if i % 3 == 0 {
+                    MemOpKind::Store
+                } else {
+                    MemOpKind::Load
+                },
+                i,
+            )
+            .unwrap();
         }
         assert!(lsq.has_room(MemOpKind::Load));
         assert!(lsq.has_room(MemOpKind::Store));

@@ -465,7 +465,9 @@ impl Elsq {
             .and_then(|e| e.addr);
         // Line locking must succeed *before* the entry leaves the HL-LSQ.
         if let (Some(a), true) = (addr, self.line_based()) {
-            let cache = l1.as_deref_mut().expect("line-based ERT requires the L1 cache");
+            let cache = l1
+                .as_deref_mut()
+                .expect("line-based ERT requires the L1 cache");
             match cache.lock_line(a.addr) {
                 LockOutcome::SetFull => {
                     self.counters.lock_conflict_stalls += 1;
@@ -554,7 +556,9 @@ impl Elsq {
         // Lock the line / publish the load in the ERT so older stores that
         // resolve later can find it.
         if self.line_based() && self.track_loads() {
-            let cache = l1.as_deref_mut().expect("line-based ERT requires the L1 cache");
+            let cache = l1
+                .as_deref_mut()
+                .expect("line-based ERT requires the L1 cache");
             match cache.lock_line(addr.addr) {
                 LockOutcome::SetFull => {
                     self.counters.lock_conflict_squashes += 1;
@@ -630,7 +634,9 @@ impl Elsq {
             if !mask.contains(other) {
                 continue;
             }
-            let Some(epoch) = self.ll.epoch(other) else { continue };
+            let Some(epoch) = self.ll.epoch(other) else {
+                continue;
+            };
             if epoch.id() >= own_id {
                 continue; // only older epochs can hold older stores
             }
@@ -680,7 +686,9 @@ impl Elsq {
             self.migration_block = None;
         }
         if self.line_based() {
-            let cache = l1.as_deref_mut().expect("line-based ERT requires the L1 cache");
+            let cache = l1
+                .as_deref_mut()
+                .expect("line-based ERT requires the L1 cache");
             match cache.lock_line(addr.addr) {
                 LockOutcome::SetFull => {
                     self.counters.lock_conflict_squashes += 1;
@@ -712,10 +720,7 @@ impl Elsq {
         // Local violation check.
         self.counters.ll_lq_searches += 1;
         out.extra_latency += self.config.search_latency;
-        let mut violation = self
-            .ll
-            .epoch(bank)
-            .and_then(|e| e.search_loads(seq, &addr));
+        let mut violation = self.ll.epoch(bank).and_then(|e| e.search_loads(seq, &addr));
         // Global violation check in younger epochs (guided by the Load-ERT)
         // and in the HL-LQ, which always holds the youngest loads.
         if violation.is_none() && self.config.disambiguation.needs_load_ert() {
@@ -727,7 +732,9 @@ impl Elsq {
                 if !mask.contains(other) {
                     continue;
                 }
-                let Some(epoch) = self.ll.epoch(other) else { continue };
+                let Some(epoch) = self.ll.epoch(other) else {
+                    continue;
+                };
                 if epoch.id() <= own_id {
                     continue; // only younger epochs can hold younger loads
                 }
@@ -964,7 +971,9 @@ mod tests {
     fn ert_false_positive_counted() {
         // Hash ERT with few bits: a store to one address aliases with a load
         // to a different address, triggering a useless remote search.
-        let cfg = small_config().with_ert(ErtKind::Hash { bits: 4 }).with_sqm(false);
+        let cfg = small_config()
+            .with_ert(ErtKind::Hash { bits: 4 })
+            .with_sqm(false);
         let mut lsq = Elsq::new(cfg);
         lsq.allocate_hl(MemOpKind::Store, 1).unwrap();
         lsq.hl_store_address_ready(1, acc(0x10), 2);
@@ -1084,7 +1093,8 @@ mod tests {
         lsq.allocate_hl(MemOpKind::Store, 1).unwrap();
         lsq.hl_store_address_ready(1, acc(0x1000), 2);
         lsq.open_epoch(1).unwrap();
-        lsq.migrate_to_ll(MemOpKind::Store, 1, Some(&mut l1)).unwrap();
+        lsq.migrate_to_ll(MemOpKind::Store, 1, Some(&mut l1))
+            .unwrap();
         assert!(l1.is_locked(0x1000));
         assert_eq!(lsq.counters().lines_locked, 1);
         lsq.commit_oldest_epoch(Some(&mut l1)).unwrap();
@@ -1108,7 +1118,8 @@ mod tests {
         lsq.allocate_hl(MemOpKind::Store, 2).unwrap();
         lsq.hl_store_address_ready(2, acc(0x40), 3);
         lsq.open_epoch(1).unwrap();
-        lsq.migrate_to_ll(MemOpKind::Store, 1, Some(&mut l1)).unwrap();
+        lsq.migrate_to_ll(MemOpKind::Store, 1, Some(&mut l1))
+            .unwrap();
         // Inserting the second store stalls: its line cannot be locked.
         assert_eq!(
             lsq.migrate_to_ll(MemOpKind::Store, 2, Some(&mut l1)),
@@ -1117,7 +1128,8 @@ mod tests {
         assert_eq!(lsq.counters().lock_conflict_stalls, 1);
         // An LL-issued store with the same problem requests a squash instead.
         lsq.allocate_hl(MemOpKind::Store, 3).unwrap();
-        lsq.migrate_to_ll(MemOpKind::Store, 3, Some(&mut l1)).unwrap();
+        lsq.migrate_to_ll(MemOpKind::Store, 3, Some(&mut l1))
+            .unwrap();
         let out = lsq.ll_store_address_ready(
             lsq.youngest_epoch().unwrap(),
             3,

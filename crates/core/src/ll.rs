@@ -149,7 +149,10 @@ impl LlLsq {
     /// oldest-first.
     pub fn squash_all(&mut self) -> Vec<Epoch> {
         let banks: Vec<usize> = self.order.drain(..).collect();
-        banks.into_iter().filter_map(|b| self.banks[b].take()).collect()
+        banks
+            .into_iter()
+            .filter_map(|b| self.banks[b].take())
+            .collect()
     }
 
     /// Total loads across live epochs.

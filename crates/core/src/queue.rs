@@ -248,11 +248,7 @@ impl AgeQueue {
     /// Removes every entry with `seq >= from_seq` (squash) and returns how
     /// many were removed.
     pub fn squash_from(&mut self, from_seq: u64) -> usize {
-        let keep = self
-            .entries
-            .iter()
-            .take_while(|e| e.seq < from_seq)
-            .count();
+        let keep = self.entries.iter().take_while(|e| e.seq < from_seq).count();
         let removed = self.entries.len() - keep;
         self.entries.truncate(keep);
         removed
@@ -283,10 +279,7 @@ impl AgeQueue {
             .find(|e| e.overlaps(access))
             .map(|e| ForwardHit {
                 store_seq: e.seq,
-                full_cover: e
-                    .addr
-                    .map(|a| access.covered_by(&a))
-                    .unwrap_or(false),
+                full_cover: e.addr.map(|a| access.covered_by(&a)).unwrap_or(false),
                 data_ready: e.issued,
                 data_ready_at: e.ready_at,
             })

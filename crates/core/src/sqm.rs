@@ -61,7 +61,14 @@ impl StoreQueueMirror {
 
     /// Inserts (or updates) the mirrored copy of a store whose address just
     /// became known in the Memory Processor.
-    pub fn upsert(&mut self, seq: u64, addr: MemAccess, bank: usize, data_ready: bool, ready_at: u64) {
+    pub fn upsert(
+        &mut self,
+        seq: u64,
+        addr: MemAccess,
+        bank: usize,
+        data_ready: bool,
+        ready_at: u64,
+    ) {
         match self.entries.binary_search_by_key(&seq, |e| e.seq) {
             Ok(i) => {
                 self.entries[i].addr = addr;

@@ -27,7 +27,10 @@ impl StoreSequenceBloomFilter {
     ///
     /// Panics if `bits` is zero or greater than 24.
     pub fn new(bits: u32) -> Self {
-        assert!(bits > 0 && bits <= 24, "SSBF index width {bits} out of range");
+        assert!(
+            bits > 0 && bits <= 24,
+            "SSBF index width {bits} out of range"
+        );
         Self {
             bits,
             table: vec![0; 1 << bits],

@@ -1,0 +1,256 @@
+//! Unit tests of the global-disambiguation filters: the Store Sequence
+//! Bloom Filter (SSBF), the SVW re-execution policy built on it, and the
+//! line- vs hash-based Epoch Resolution Table.
+
+use elsq_core::config::ErtKind;
+use elsq_core::ert::Ert;
+use elsq_core::ssbf::StoreSequenceBloomFilter;
+use elsq_core::svw::{LoadVulnerability, SvwReexecutor};
+
+/// Deterministic pseudo-random stream for address generation (SplitMix64).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// SSBF
+// ---------------------------------------------------------------------------
+
+/// Safety property: a load that is genuinely vulnerable to a recorded store
+/// (same address, older safe SSN) must ALWAYS re-execute, at every filter
+/// size. A false negative here would be a correctness bug in the simulated
+/// machine, not a modeling inaccuracy.
+#[test]
+fn ssbf_never_misses_a_vulnerable_load() {
+    for bits in [4, 8, 10, 14] {
+        let mut f = StoreSequenceBloomFilter::new(bits);
+        let mut state = 0xDEAD_BEEFu64;
+        let stores: Vec<(u64, u64)> = (1..=200u64)
+            .map(|ssn| ((mix(&mut state) % 100_000) * 8, ssn))
+            .collect();
+        for (addr, ssn) in &stores {
+            f.record_store_commit(*addr, *ssn);
+        }
+        for (addr, ssn) in &stores {
+            assert!(
+                f.must_reexecute(*addr, ssn.saturating_sub(1)),
+                "{bits}-bit SSBF missed a vulnerable load at {addr:#x} (store ssn {ssn})"
+            );
+        }
+    }
+}
+
+/// A load whose safe SSN is at least the youngest store to its filter entry
+/// never re-executes: the filter only forces re-execution when a newer store
+/// may have overwritten the loaded value.
+#[test]
+fn ssbf_passes_safe_loads() {
+    let mut f = StoreSequenceBloomFilter::new(12);
+    for i in 0..64u64 {
+        f.record_store_commit(i * 8, i + 1);
+    }
+    for i in 0..64u64 {
+        assert!(
+            !f.must_reexecute(i * 8, 64),
+            "load safe against every committed store re-executed at {:#x}",
+            i * 8
+        );
+    }
+}
+
+/// Performance property: the SSBF indexes by the low address bits, so 64
+/// committed stores can mark at most 64 of the 2^bits entries. Probe loads
+/// to addresses the stores never touched re-execute only on index aliasing,
+/// and that false-positive rate is bounded by (and in practice near)
+/// 64/2^bits — and falls as the filter widens, the Figure 10 trend.
+#[test]
+fn ssbf_false_positive_rate_is_bounded() {
+    let mut rates = Vec::new();
+    for bits in [6, 10, 14] {
+        let mut f = StoreSequenceBloomFilter::new(bits);
+        // 64 committed stores at scattered byte addresses.
+        let mut state = 0xABCD_EF01u64;
+        let store_addrs: Vec<u64> = (0..64).map(|_| mix(&mut state) % 1_000_000).collect();
+        for (i, addr) in store_addrs.iter().enumerate() {
+            f.record_store_commit(*addr, i as u64 + 1);
+        }
+        // Probe loads at addresses disjoint from every store, vulnerable to
+        // everything (safe_ssn = 0): any re-execution is a false positive.
+        let mut probe_state = 0x1234_5678u64;
+        let probes = 2_000;
+        let fp = (0..probes)
+            .filter(|_| {
+                let addr = 1_000_000 + mix(&mut probe_state) % 1_000_000;
+                f.must_reexecute(addr, 0)
+            })
+            .count();
+        rates.push(fp as f64 / probes as f64);
+    }
+    // 10 bits: at most 64/1024 entries are marked; allow 2x slack for the
+    // probe sample. 6 bits is expected to alias heavily (64 stores on 64
+    // entries) — only the monotone trend is asserted across sizes.
+    assert!(
+        rates[1] < 0.125,
+        "10-bit SSBF false-positive rate {} is out of bounds",
+        rates[1]
+    );
+    assert!(
+        rates[2] <= rates[1] && rates[1] <= rates[0],
+        "false-positive rate should fall with filter size: {rates:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SVW
+// ---------------------------------------------------------------------------
+
+/// End-to-end over the SVW policy: vulnerable loads always re-execute, and
+/// the total number of re-executions over a mixed stream is bounded by the
+/// vulnerable loads plus a bounded alias tax.
+#[test]
+fn svw_reexecutions_are_complete_and_bounded() {
+    let mut svw = SvwReexecutor::new(10, false);
+    let mut vulnerable = 0u64;
+    let mut total_loads = 0u64;
+    let mut state = 0xFACE_FEEDu64;
+    for seq in 1..=400u64 {
+        let addr = (mix(&mut state) % 4_096) * 8;
+        svw.on_store_commit(seq, addr);
+        // One load that issued before this store committed (vulnerable) ...
+        let hit = svw.on_load_commit(LoadVulnerability {
+            addr,
+            safe_ssn: seq - 1,
+            forwarded: false,
+            unknown_store_between: false,
+        });
+        assert!(hit, "vulnerable load at {addr:#x} was not re-executed");
+        vulnerable += 1;
+        total_loads += 1;
+        // ... and one load that issued afterwards (safe unless aliased).
+        let safe_addr = 0x200_0000 + (mix(&mut state) % 4_096) * 8;
+        svw.on_load_commit(LoadVulnerability {
+            addr: safe_addr,
+            safe_ssn: svw.current_safe_ssn(),
+            forwarded: false,
+            unknown_store_between: false,
+        });
+        total_loads += 1;
+    }
+    let stats = *svw.stats();
+    assert_eq!(stats.loads_checked, total_loads);
+    assert!(stats.reexecutions >= vulnerable);
+    let false_positives = stats.reexecutions - vulnerable;
+    assert!(
+        (false_positives as f64) < 0.25 * total_loads as f64,
+        "SVW re-executed {false_positives} safe loads out of {total_loads}"
+    );
+}
+
+/// The CheckStores filter only ever skips forwarded loads with no unknown
+/// intervening store — and skipping is never counted as a re-execution.
+#[test]
+fn svw_checkstores_skips_are_accounted_separately() {
+    let mut svw = SvwReexecutor::new(10, true);
+    svw.on_store_commit(10, 0x80);
+    let skipped = svw.on_load_commit(LoadVulnerability {
+        addr: 0x80,
+        safe_ssn: 0,
+        forwarded: true,
+        unknown_store_between: false,
+    });
+    assert!(!skipped);
+    let stats = *svw.stats();
+    assert_eq!(stats.checkstores_skips, 1);
+    assert_eq!(stats.reexecutions, 0);
+    assert_eq!(stats.loads_checked, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ERT: line vs hash
+// ---------------------------------------------------------------------------
+
+/// On a shared access trace of line-aligned addresses that fit inside the
+/// hash index space, the line-based and hash-based ERTs are both exact, so
+/// they must agree bank-for-bank — before and after epochs clear.
+#[test]
+fn line_and_hash_erts_agree_on_aligned_trace() {
+    const LINE: u64 = 32;
+    const BANKS: usize = 16;
+    let mut line = Ert::new(ErtKind::Line, BANKS, LINE);
+    let mut hash = Ert::new(ErtKind::Hash { bits: 20 }, BANKS, LINE);
+
+    // A deterministic trace: 300 store inserts over line-aligned addresses
+    // below 2^20, spread across every bank.
+    let mut state = 0x0123_4567u64;
+    let trace: Vec<(u64, usize)> = (0..300)
+        .map(|i| {
+            let addr = (mix(&mut state) % (1 << 15)) * LINE;
+            (addr, i % BANKS)
+        })
+        .collect();
+    for (addr, bank) in &trace {
+        line.set_store(*addr, *bank);
+        hash.set_store(*addr, *bank);
+    }
+
+    let agree = |line: &Ert, hash: &Ert, when: &str| {
+        let mut state = 0x0123_4567u64;
+        for _ in 0..300 {
+            let addr = (mix(&mut state) % (1 << 15)) * LINE;
+            assert_eq!(
+                line.query_stores(addr).bits(),
+                hash.query_stores(addr).bits(),
+                "line and hash ERT disagree at {addr:#x} {when}"
+            );
+        }
+    };
+    agree(&line, &hash, "after inserts");
+
+    // Ground truth: both report exactly the banks recorded for each address.
+    for (addr, bank) in &trace {
+        assert!(line.query_stores(*addr).contains(*bank));
+        assert!(hash.query_stores(*addr).contains(*bank));
+    }
+
+    for bank in [0, 3, 7, 15] {
+        line.clear_epoch(bank);
+        hash.clear_epoch(bank);
+    }
+    agree(&line, &hash, "after clearing epochs");
+
+    // Cleared banks are gone everywhere; surviving inserts are still exact.
+    let cleared = [0usize, 3, 7, 15];
+    for (addr, bank) in &trace {
+        let expect = !cleared.contains(bank);
+        for (name, ert) in [("line", &line), ("hash", &hash)] {
+            assert_eq!(
+                ert.query_stores(*addr).contains(*bank),
+                expect,
+                "{name} ERT: bank {bank} at {addr:#x} should be {}",
+                if expect { "present" } else { "cleared" }
+            );
+        }
+    }
+}
+
+/// Loads and stores are tracked in separate columns: a store insert never
+/// pollutes the load query and vice versa, in both variants.
+#[test]
+fn ert_load_and_store_columns_are_independent() {
+    for kind in [ErtKind::Line, ErtKind::Hash { bits: 12 }] {
+        let mut ert = Ert::new(kind, 8, 32);
+        ert.set_store(0x100, 2);
+        ert.set_load(0x200, 5);
+        assert!(ert.query_stores(0x100).contains(2));
+        assert!(!ert.query_loads(0x100).contains(2));
+        assert!(ert.query_loads(0x200).contains(5));
+        assert!(!ert.query_stores(0x200).contains(5));
+        ert.clear_epoch(2);
+        assert!(!ert.query_stores(0x100).contains(2));
+        assert!(ert.query_loads(0x200).contains(5));
+    }
+}

@@ -158,7 +158,8 @@ impl Processor {
                 let horizon = st.last_commit_cycle.saturating_sub(2);
                 st.fetch_ports.retire_before(horizon.saturating_sub(10_000));
                 st.issue_ports.retire_before(horizon.saturating_sub(10_000));
-                st.commit_ports.retire_before(horizon.saturating_sub(10_000));
+                st.commit_ports
+                    .retire_before(horizon.saturating_sub(10_000));
                 st.cache_ports.retire_before(horizon.saturating_sub(10_000));
             }
         }
@@ -227,7 +228,13 @@ impl Processor {
     /// Processes one wrong-path instruction fetched at `fetch`: it consumes
     /// LSQ entries, issue slots and cache bandwidth, but never commits or
     /// updates the register file, and its resources free at `resolve`.
-    fn process_wrong_path_inst(&mut self, st: &mut RunState, inst: DynInst, fetch: u64, resolve: u64) {
+    fn process_wrong_path_inst(
+        &mut self,
+        st: &mut RunState,
+        inst: DynInst,
+        fetch: u64,
+        resolve: u64,
+    ) {
         st.result.sim.fetched += 1;
         let seq = st.seq;
         st.seq += 1;
@@ -377,7 +384,9 @@ impl Processor {
 
         if !migrate {
             // High-locality execution in the out-of-order Cache Processor.
-            let issue = st.issue_ports.reserve(if inst.is_mem() { addr_ready } else { ready });
+            let issue = st
+                .issue_ports
+                .reserve(if inst.is_mem() { addr_ready } else { ready });
             complete = issue.max(ready) + inst.op.latency() as u64;
             if let Some(mem) = inst.mem {
                 addr_calc_cycle = Some(issue);
@@ -529,7 +538,11 @@ impl Processor {
                                 migrate_cycle = migrate_cycle.max(release);
                                 st.lsq.commit_oldest_epoch(Some(st.hierarchy.l1_mut()));
                             }
-                            if st.lsq.migrate(kind, seq, Some(st.hierarchy.l1_mut())).is_err() {
+                            if st
+                                .lsq
+                                .migrate(kind, seq, Some(st.hierarchy.l1_mut()))
+                                .is_err()
+                            {
                                 // No forward progress is possible this cycle;
                                 // release the high-locality entry so the
                                 // queues stay consistent (the instruction is
@@ -614,8 +627,7 @@ impl Processor {
                         if let crate::config::LsqKind::Elsq(ecfg) = &cfg.lsq {
                             if ecfg.disambiguation.store_blocks_migration() && issue > migrate_cycle
                             {
-                                st.migration_blocked_until =
-                                    st.migration_blocked_until.max(issue);
+                                st.migration_blocked_until = st.migration_blocked_until.max(issue);
                             }
                         }
                     }
@@ -623,8 +635,7 @@ impl Processor {
                         if let crate::config::LsqKind::Elsq(ecfg) = &cfg.lsq {
                             if ecfg.disambiguation.load_blocks_migration() && issue > migrate_cycle
                             {
-                                st.migration_blocked_until =
-                                    st.migration_blocked_until.max(issue);
+                                st.migration_blocked_until = st.migration_blocked_until.max(issue);
                             }
                         }
                     }
@@ -646,9 +657,7 @@ impl Processor {
         // ------------------------------------------------------------------
         // Commit (in order, commit-width per cycle).
         // ------------------------------------------------------------------
-        let mut commit = st
-            .commit_ports
-            .reserve(complete.max(st.last_commit_cycle));
+        let mut commit = st.commit_ports.reserve(complete.max(st.last_commit_cycle));
         if let Some(mem) = inst.mem {
             if inst.is_load() {
                 // SVW re-execution check at commit.
@@ -709,9 +718,7 @@ impl Processor {
         // end (the squashed work is approximated as a fetch bubble).
         if let Some(at) = penalty_squash_at {
             st.result.sim.squashed += (cfg.rob_size / 2) as u64;
-            st.fetch_blocked_until = st
-                .fetch_blocked_until
-                .max(at + cfg.redirect_penalty as u64);
+            st.fetch_blocked_until = st.fetch_blocked_until.max(at + cfg.redirect_penalty as u64);
         }
 
         // ------------------------------------------------------------------
@@ -824,7 +831,11 @@ mod tests {
     fn memory_bound_workload_is_slow_on_small_rob() {
         let mut t = StreamingFp::swim_like(1);
         let r = run(CpuConfig::ooo64(), &mut t, 30_000);
-        assert!(r.ipc() < 1.5, "IPC {} too high for a streaming workload", r.ipc());
+        assert!(
+            r.ipc() < 1.5,
+            "IPC {} too high for a streaming workload",
+            r.ipc()
+        );
         assert!(r.sim.committed_loads > 0);
         assert!(r.sim.committed_stores > 0);
     }

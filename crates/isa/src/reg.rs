@@ -152,7 +152,10 @@ mod tests {
             assert!(seen.insert(ArchReg::fp(i).flat_index()));
         }
         assert_eq!(seen.len(), ArchReg::total_count());
-        assert_eq!(seen.iter().max().copied().unwrap(), ArchReg::total_count() - 1);
+        assert_eq!(
+            seen.iter().max().copied().unwrap(),
+            ArchReg::total_count() - 1
+        );
     }
 
     #[test]

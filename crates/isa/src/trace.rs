@@ -129,7 +129,10 @@ impl LoopTrace {
     ///
     /// Panics if `insts` is empty.
     pub fn new(insts: Vec<DynInst>) -> Self {
-        assert!(!insts.is_empty(), "LoopTrace requires at least one instruction");
+        assert!(
+            !insts.is_empty(),
+            "LoopTrace requires at least one instruction"
+        );
         Self {
             insts,
             pos: 0,

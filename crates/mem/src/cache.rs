@@ -187,9 +187,7 @@ impl SetAssocCache {
     ///
     /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
     pub fn new(config: CacheConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid cache configuration");
+        config.validate().expect("invalid cache configuration");
         let sets = vec![vec![None; config.assoc as usize]; config.num_sets() as usize];
         Self {
             config,
@@ -224,10 +222,7 @@ impl SetAssocCache {
     /// Looks up `addr` without modifying the cache state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .any(|line| line.tag == tag)
+        self.sets[set].iter().flatten().any(|line| line.tag == tag)
     }
 
     /// Whether the line containing `addr` is currently locked.
@@ -407,7 +402,10 @@ mod tests {
             assoc: 0,
             ..CacheConfig::default_l1()
         };
-        assert_eq!(zero_assoc.validate(), Err(CacheConfigError::ZeroAssociativity));
+        assert_eq!(
+            zero_assoc.validate(),
+            Err(CacheConfigError::ZeroAssociativity)
+        );
         let bad_size = CacheConfig {
             size_bytes: 1000,
             ..CacheConfig::default_l1()

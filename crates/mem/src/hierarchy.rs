@@ -257,7 +257,9 @@ mod tests {
 
     #[test]
     fn config_sweep_helpers() {
-        let cfg = HierarchyConfig::default().with_l2_mb(8).with_l1(64 * 1024, 8);
+        let cfg = HierarchyConfig::default()
+            .with_l2_mb(8)
+            .with_l1(64 * 1024, 8);
         assert_eq!(cfg.l2.size_bytes, 8 * 1024 * 1024);
         assert_eq!(cfg.l1.size_bytes, 64 * 1024);
         assert_eq!(cfg.l1.assoc, 8);

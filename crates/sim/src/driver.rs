@@ -50,7 +50,11 @@ impl Default for ExperimentParams {
 
 /// Runs `config` over every workload of `class` and returns the per-workload
 /// results.
-pub fn run_suite(config: CpuConfig, class: WorkloadClass, params: &ExperimentParams) -> Vec<SimResult> {
+pub fn run_suite(
+    config: CpuConfig,
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<SimResult> {
     suite(class, params.seed)
         .into_iter()
         .map(|mut workload| Processor::new(config).run(workload.as_mut(), params.commits))
@@ -72,7 +76,11 @@ mod tests {
 
     #[test]
     fn run_suite_produces_one_result_per_workload() {
-        let results = run_suite(CpuConfig::ooo64(), WorkloadClass::Fp, &ExperimentParams::quick());
+        let results = run_suite(
+            CpuConfig::ooo64(),
+            WorkloadClass::Fp,
+            &ExperimentParams::quick(),
+        );
         assert_eq!(results.len(), 6);
         for r in &results {
             assert!(r.sim.committed > 0);

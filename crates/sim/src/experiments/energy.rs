@@ -30,7 +30,12 @@ pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
     let specs = LsqStructureSpecs::default();
     let mut table = Table::new(
         format!("Section 6 ({class}): LSQ dynamic energy per 100M instructions"),
-        &["configuration", "LSQ energy (uJ)", "of which ERT (uJ)", "cache (uJ)"],
+        &[
+            "configuration",
+            "LSQ energy (uJ)",
+            "of which ERT (uJ)",
+            "cache (uJ)",
+        ],
     );
     for (name, cfg) in configurations() {
         let results = run_suite(cfg, class, params);

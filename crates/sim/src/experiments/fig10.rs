@@ -87,7 +87,12 @@ pub fn run(params: &ExperimentParams) -> Table {
         table.row_owned(vec![
             if p.large_window { "FMC" } else { "OoO-64" }.to_owned(),
             p.class.to_string(),
-            if p.check_stores { "CheckStores" } else { "Blind" }.to_owned(),
+            if p.check_stores {
+                "CheckStores"
+            } else {
+                "Blind"
+            }
+            .to_owned(),
             format!("{}", p.ssbf_bits),
             fmt_f(p.relative_ipc),
             fmt_millions(p.reexecutions_per_100m),

@@ -14,7 +14,10 @@ use elsq_workload::suite::WorkloadClass;
 use crate::driver::{mean_ipc, ExperimentParams};
 
 /// Mean IPC of each disambiguation model for one class, in Figure 9 order.
-pub fn model_ipcs(class: WorkloadClass, params: &ExperimentParams) -> Vec<(DisambiguationModel, f64)> {
+pub fn model_ipcs(
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<(DisambiguationModel, f64)> {
     DisambiguationModel::ALL
         .iter()
         .map(|&model| {

@@ -65,6 +65,9 @@ mod tests {
             .find(|r| r[0] == "64/32")
             .expect("64/32 row present");
         let rel: f64 = row[1].parse().unwrap();
-        assert!(rel > 0.85, "64/32 epochs should be close to unlimited, got {rel}");
+        assert!(
+            rel > 0.85,
+            "64/32 epochs should be close to unlimited, got {rel}"
+        );
     }
 }

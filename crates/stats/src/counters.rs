@@ -81,10 +81,11 @@ impl LsqAccessCounters {
     ///
     /// Panics if `committed` is zero.
     pub fn scaled_per_100m(&self, committed: u64) -> LsqAccessCounters {
-        assert!(committed > 0, "cannot scale counters for zero committed instructions");
-        let scale = |v: u64| -> u64 {
-            ((v as u128 * PER_100M as u128) / committed as u128) as u64
-        };
+        assert!(
+            committed > 0,
+            "cannot scale counters for zero committed instructions"
+        );
+        let scale = |v: u64| -> u64 { ((v as u128 * PER_100M as u128) / committed as u128) as u64 };
         LsqAccessCounters {
             hl_lq_searches: scale(self.hl_lq_searches),
             hl_sq_searches: scale(self.hl_sq_searches),

@@ -110,9 +110,7 @@ mod tests {
     fn mix_is_store_heavy_relative_to_fp() {
         let mut t = CompressInt::bzip2_like(5);
         let n = 20_000;
-        let stores = (0..n)
-            .filter(|_| t.next_inst().unwrap().is_store())
-            .count();
+        let stores = (0..n).filter(|_| t.next_inst().unwrap().is_store()).count();
         let frac = stores as f64 / n as f64;
         assert!(frac > 0.1, "store fraction {frac}");
     }

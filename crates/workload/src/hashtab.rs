@@ -28,7 +28,13 @@ pub struct HashTableInt {
 
 impl HashTableInt {
     /// Creates a hash-table prober over `table_bytes`.
-    pub fn new(label: &str, seed: u64, table_bytes: u64, params: MixParams, store_rate: f64) -> Self {
+    pub fn new(
+        label: &str,
+        seed: u64,
+        table_bytes: u64,
+        params: MixParams,
+        store_rate: f64,
+    ) -> Self {
         let mut alloc = RegionAllocator::new();
         Self {
             label: label.to_owned(),
@@ -132,7 +138,11 @@ mod tests {
                 lines.insert(i.mem.unwrap().addr / 64);
             }
         }
-        assert!(lines.len() > 1000, "only {} distinct lines probed", lines.len());
+        assert!(
+            lines.len() > 1000,
+            "only {} distinct lines probed",
+            lines.len()
+        );
     }
 
     #[test]

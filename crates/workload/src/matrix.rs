@@ -78,14 +78,16 @@ impl BlockSource for MatrixBlockFp {
                     .load(self.block_base + off, 8, ArchReg::fp(1 + k), idx),
             );
         }
-        sink.push(
-            self.emitter
-                .alu(OpClass::FpMul, ArchReg::fp(3), &[ArchReg::fp(1), ArchReg::fp(2)]),
-        );
-        sink.push(
-            self.emitter
-                .alu(OpClass::FpAlu, ArchReg::fp(0), &[ArchReg::fp(0), ArchReg::fp(3)]),
-        );
+        sink.push(self.emitter.alu(
+            OpClass::FpMul,
+            ArchReg::fp(3),
+            &[ArchReg::fp(1), ArchReg::fp(2)],
+        ));
+        sink.push(self.emitter.alu(
+            OpClass::FpAlu,
+            ArchReg::fp(0),
+            &[ArchReg::fp(0), ArchReg::fp(3)],
+        ));
         self.blocks += 1;
         if self.blocks % 4 == 0 {
             sink.push(self.emitter.store(self.out.next(), 8, idx, ArchReg::fp(0)));
@@ -123,7 +125,11 @@ mod tests {
             }
         }
         // Far fewer distinct lines than loads: the block is being reused.
-        assert!(lines.len() * 4 < loads, "{} lines for {loads} loads", lines.len());
+        assert!(
+            lines.len() * 4 < loads,
+            "{} lines for {loads} loads",
+            lines.len()
+        );
     }
 
     #[test]
@@ -139,9 +145,7 @@ mod tests {
     fn store_fraction_is_modest() {
         let mut t = MatrixBlockFp::facerec_like(8);
         let n = 20_000;
-        let stores = (0..n)
-            .filter(|_| t.next_inst().unwrap().is_store())
-            .count();
+        let stores = (0..n).filter(|_| t.next_inst().unwrap().is_store()).count();
         let frac = stores as f64 / n as f64;
         assert!(frac > 0.01 && frac < 0.1, "store fraction {frac}");
     }

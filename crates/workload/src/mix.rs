@@ -221,8 +221,14 @@ mod tests {
 
     impl BlockSource for TwoInstBlock {
         fn fill(&mut self, sink: &mut Vec<DynInst>) {
-            sink.push(self.emitter.alu(OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(1)]));
-            sink.push(self.emitter.load(0x1000, 8, ArchReg::int(2), ArchReg::int(1)));
+            sink.push(
+                self.emitter
+                    .alu(OpClass::IntAlu, ArchReg::int(1), &[ArchReg::int(1)]),
+            );
+            sink.push(
+                self.emitter
+                    .load(0x1000, 8, ArchReg::int(2), ArchReg::int(1)),
+            );
         }
         fn label(&self) -> &str {
             "two-inst"
@@ -237,7 +243,11 @@ mod tests {
         let mut e = Emitter::new(0x400000);
         let mut rng = SmallRng::seed_from_u64(1);
         let params = MixParams::default();
-        let a = e.alu(OpClass::FpMul, ArchReg::fp(1), &[ArchReg::fp(2), ArchReg::fp(3)]);
+        let a = e.alu(
+            OpClass::FpMul,
+            ArchReg::fp(1),
+            &[ArchReg::fp(2), ArchReg::fp(3)],
+        );
         let l = e.load(0x1234, 8, ArchReg::int(1), ArchReg::int(2));
         let s = e.store(0x1240, 8, ArchReg::int(2), ArchReg::fp(1));
         let b = e.branch(&mut rng, &params, ArchReg::int(1));

@@ -109,7 +109,10 @@ impl RandomRegion {
     ///
     /// Panics if `align` is zero or not a power of two, or if `size < align`.
     pub fn new(base: u64, size: u64, align: u64) -> Self {
-        assert!(align.is_power_of_two() && size >= align, "invalid random region");
+        assert!(
+            align.is_power_of_two() && size >= align,
+            "invalid random region"
+        );
         Self { base, size, align }
     }
 
@@ -149,7 +152,10 @@ impl ChaseRegion {
     ///
     /// Panics if `node_count` is zero or `node_bytes` is not a power of two.
     pub fn new(base: u64, node_count: u64, node_bytes: u64, seed: u64) -> Self {
-        assert!(node_count > 0 && node_bytes.is_power_of_two(), "invalid chase region");
+        assert!(
+            node_count > 0 && node_bytes.is_power_of_two(),
+            "invalid chase region"
+        );
         Self {
             base,
             node_count,
@@ -230,7 +236,10 @@ mod tests {
     fn chase_visits_many_distinct_nodes() {
         let mut c = ChaseRegion::new(0, 1024, 64, 3);
         let distinct: std::collections::HashSet<u64> = (0..2000).map(|_| c.next()).collect();
-        assert!(distinct.len() > 500, "walk should cover a large fraction of nodes");
+        assert!(
+            distinct.len() > 500,
+            "walk should cover a large fraction of nodes"
+        );
     }
 
     #[test]

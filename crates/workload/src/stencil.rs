@@ -62,7 +62,11 @@ impl BlockSource for StencilFp {
         let center = self.grid.next();
         sink.push(self.emitter.alu(OpClass::IntAlu, idx, &[idx]));
         // Three-point stencil: centre, previous row, next row.
-        let points = [center, center.wrapping_sub(self.row_bytes), center + self.row_bytes];
+        let points = [
+            center,
+            center.wrapping_sub(self.row_bytes),
+            center + self.row_bytes,
+        ];
         for (i, &addr) in points.iter().enumerate() {
             let addr = addr.max(self.grid.peek() & !0xffff);
             sink.push(self.emitter.load(addr, 8, ArchReg::fp(1 + i as u8), idx));
@@ -72,7 +76,10 @@ impl BlockSource for StencilFp {
             self.emitter
                 .alu(OpClass::FpAlu, acc, &[ArchReg::fp(1), ArchReg::fp(2)]),
         );
-        sink.push(self.emitter.alu(OpClass::FpMul, acc, &[acc, ArchReg::fp(3)]));
+        sink.push(
+            self.emitter
+                .alu(OpClass::FpMul, acc, &[acc, ArchReg::fp(3)]),
+        );
         sink.push(self.emitter.store(self.out.next(), 8, idx, acc));
         self.blocks += 1;
         if self.blocks % 8 == 0 {
@@ -139,10 +146,11 @@ impl BlockSource for IrregularFp {
         // The value load's *address* depends on the just-loaded index.
         let value_addr = self.values.next();
         sink.push(self.emitter.load(value_addr, 8, ArchReg::fp(1), ptr));
-        sink.push(
-            self.emitter
-                .alu(OpClass::FpMul, ArchReg::fp(0), &[ArchReg::fp(0), ArchReg::fp(1)]),
-        );
+        sink.push(self.emitter.alu(
+            OpClass::FpMul,
+            ArchReg::fp(0),
+            &[ArchReg::fp(0), ArchReg::fp(1)],
+        ));
         sink.push(self.emitter.alu(OpClass::IntAlu, idx_out, &[idx_out]));
         // Half the stores are scatter stores whose address also depends on
         // the loaded index; the rest stream to the output array.
@@ -153,7 +161,10 @@ impl BlockSource for IrregularFp {
                     .store(value_addr ^ 0x40, 8, ptr, ArchReg::fp(0)),
             );
         } else {
-            sink.push(self.emitter.store(self.out.next(), 8, idx_out, ArchReg::fp(0)));
+            sink.push(
+                self.emitter
+                    .store(self.out.next(), 8, idx_out, ArchReg::fp(0)),
+            );
         }
         if self.blocks % 6 == 0 {
             sink.push(self.emitter.branch(&mut self.rng, &self.params, idx_out));

@@ -81,8 +81,10 @@ mod tests {
     #[test]
     fn suite_members_have_unique_names() {
         for class in [WorkloadClass::Fp, WorkloadClass::Int] {
-            let names: std::collections::HashSet<String> =
-                suite(class, 3).iter().map(|w| w.name().to_owned()).collect();
+            let names: std::collections::HashSet<String> = suite(class, 3)
+                .iter()
+                .map(|w| w.name().to_owned())
+                .collect();
             assert_eq!(names.len(), 6, "duplicate names in {class}");
         }
     }
@@ -92,7 +94,8 @@ mod tests {
         for mut w in fp_suite(2).into_iter().chain(int_suite(2)) {
             for _ in 0..500 {
                 let inst = w.next_inst().expect("generators are infinite");
-                inst.validate().expect("generated instruction must be valid");
+                inst.validate()
+                    .expect("generated instruction must be valid");
             }
             let wp = w.wrong_path_inst(0x42);
             assert!(wp.wrong_path);

@@ -5,7 +5,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p elsq-sim --example design_space [commits]
+//! cargo run --release -p elsq --example design_space [commits]
 //! ```
 
 use elsq_cpu::config::CpuConfig;
@@ -19,7 +19,10 @@ fn configurations() -> Vec<(&'static str, CpuConfig)> {
     vec![
         ("OoO-64 (conventional LSQ)", CpuConfig::ooo64()),
         ("OoO-64 + SVW re-execution", CpuConfig::ooo64_svw(10, true)),
-        ("FMC + idealized central LSQ", CpuConfig::fmc_central_ideal()),
+        (
+            "FMC + idealized central LSQ",
+            CpuConfig::fmc_central_ideal(),
+        ),
         ("FMC + ELSQ line ERT", CpuConfig::fmc_line(false)),
         ("FMC + ELSQ line ERT + SQM", CpuConfig::fmc_line(true)),
         ("FMC + ELSQ hash ERT", CpuConfig::fmc_hash(false)),
@@ -32,7 +35,14 @@ fn configurations() -> Vec<(&'static str, CpuConfig)> {
 fn explore(name: &str, make: impl Fn() -> Box<dyn TraceSource>, commits: u64) {
     let mut table = Table::new(
         format!("{name}: LSQ design space ({commits} committed instructions)"),
-        &["configuration", "IPC", "speed-up", "ERT/100M", "roundtrips/100M", "forwards/100M"],
+        &[
+            "configuration",
+            "IPC",
+            "speed-up",
+            "ERT/100M",
+            "roundtrips/100M",
+            "forwards/100M",
+        ],
     );
     let mut baseline_ipc = None;
     for (label, cfg) in configurations() {
@@ -57,7 +67,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
-    explore("SPEC-FP-like (streaming)", || Box::new(StreamingFp::swim_like(7)), commits);
+    explore(
+        "SPEC-FP-like (streaming)",
+        || Box::new(StreamingFp::swim_like(7)),
+        commits,
+    );
     explore(
         "SPEC-INT-like (pointer chasing)",
         || Box::new(PointerChaseInt::mcf_like(7)),

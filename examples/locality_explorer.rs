@@ -5,7 +5,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p elsq-sim --example locality_explorer [workload] [commits]
+//! cargo run --release -p elsq --example locality_explorer [workload] [commits]
 //! ```
 //!
 //! where `workload` is one of `swim`, `mcf`, `equake`, `vpr` (default `mcf`).
@@ -30,24 +30,33 @@ fn workload_by_name(name: &str) -> Box<dyn TraceSource> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("mcf").to_owned();
-    let commits: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let commits: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
 
     let mut workload = workload_by_name(&name);
-    println!("workload: {} ({commits} committed instructions)", workload.name());
+    println!(
+        "workload: {} ({commits} committed instructions)",
+        workload.name()
+    );
 
     let result = Processor::new(CpuConfig::fmc_hash(true)).run(workload.as_mut(), commits);
 
-    for (kind, hist) in [("loads", &result.load_addr_hist), ("stores", &result.store_addr_hist)] {
+    for (kind, hist) in [
+        ("loads", &result.load_addr_hist),
+        ("stores", &result.store_addr_hist),
+    ] {
         println!("\n{kind}: {} samples", hist.total());
         println!(
             "  within 30 cycles of decode : {:5.1}%",
             100.0 * hist.first_bin_fraction()
         );
-        println!("  95% within                 : {:>5} cycles", hist.percentile(0.95));
-        println!("  99% within                 : {:>5} cycles", hist.percentile(0.99));
+        println!(
+            "  95% within                 : {:>5} cycles",
+            hist.percentile(0.95)
+        );
+        println!(
+            "  99% within                 : {:>5} cycles",
+            hist.percentile(0.99)
+        );
         // A coarse text histogram of the first 12 bins.
         let max = hist.bins().iter().copied().max().unwrap_or(1).max(1);
         for (i, count) in hist.bins().iter().take(12).enumerate() {

@@ -5,7 +5,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p elsq-sim --example quickstart
+//! cargo run --release -p elsq --example quickstart
 //! ```
 
 use elsq_core::config::ElsqConfig;
@@ -23,21 +23,25 @@ fn main() {
     let mut lsq = Elsq::new(ElsqConfig::default());
 
     // A store enters the high-locality LSQ at decode and resolves its address.
-    lsq.allocate_hl(MemOpKind::Store, 1).expect("HL-SQ has room");
+    lsq.allocate_hl(MemOpKind::Store, 1)
+        .expect("HL-SQ has room");
     lsq.hl_store_address_ready(1, MemAccess::new(0x1000, 8), 10);
 
     // An L2 miss opens an epoch and the store migrates to the low-locality
     // LSQ (one epoch per FMC Memory Engine).
     let _bank = lsq.open_epoch(1).expect("a free epoch bank");
-    lsq.migrate_to_ll(MemOpKind::Store, 1, None).expect("migration succeeds");
+    lsq.migrate_to_ll(MemOpKind::Store, 1, None)
+        .expect("migration succeeds");
 
     // A younger high-locality load to the same address forwards from the
     // migrated store through the Epoch Resolution Table + Store Queue Mirror,
     // without a network round-trip.
     lsq.allocate_hl(MemOpKind::Load, 2).expect("HL-LQ has room");
     let outcome = lsq.issue_hl_load(2, MemAccess::new(0x1000, 8), 25);
-    println!("forwarded from store {:?} (source {:?}, +{} cycles)",
-        outcome.forwarded_from, outcome.forward_source, outcome.extra_latency);
+    println!(
+        "forwarded from store {:?} (source {:?}, +{} cycles)",
+        outcome.forwarded_from, outcome.forward_source, outcome.extra_latency
+    );
     println!("ELSQ counters after the exchange: {:#?}\n", lsq.counters());
 
     // ------------------------------------------------------------------
@@ -51,7 +55,10 @@ fn main() {
 
     println!("OoO-64 (conventional LSQ) : IPC {:.3}", baseline.ipc());
     println!("FMC + ELSQ (hash ERT+SQM) : IPC {:.3}", elsq.ipc());
-    println!("speed-up                  : {:.2}x", elsq.ipc() / baseline.ipc());
+    println!(
+        "speed-up                  : {:.2}x",
+        elsq.ipc() / baseline.ipc()
+    );
     println!(
         "epochs allocated {} | ERT lookups {} | local forwards {} | remote forwards {}",
         elsq.sim.epochs_allocated,

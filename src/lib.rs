@@ -1,0 +1,39 @@
+//! Umbrella crate for the ELSQ reproduction — *"A Two-Level Load/Store
+//! Queue Based on Execution Locality"* (ISCA 2008).
+//!
+//! This crate re-exports every subsystem of the simulator under one roof so
+//! downstream users (and the cross-crate integration tests in `tests/`) can
+//! depend on a single crate:
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`elsq_isa`] | synthetic ISA: dynamic instructions, registers, traces |
+//! | [`elsq_core`] | the two-level LSQ: HL/LL queues, epochs, ERT, SQM, SSBF/SVW |
+//! | [`elsq_mem`] | cache hierarchy with line locking, port arbitration |
+//! | [`elsq_stats`] | access counters, energy model, table rendering |
+//! | [`elsq_workload`] | synthetic SPEC-FP/INT-like workload generators |
+//! | [`elsq_cpu`] | OoO-64 and FMC cycle-accounting processor models |
+//! | [`elsq_sim`] | figure-by-figure experiment harness and suite driver |
+//!
+//! # Example
+//!
+//! ```
+//! use elsq::elsq_cpu::config::CpuConfig;
+//! use elsq::elsq_cpu::pipeline::Processor;
+//! use elsq::elsq_workload::streaming::StreamingFp;
+//!
+//! let mut workload = StreamingFp::swim_like(1);
+//! let result = Processor::new(CpuConfig::ooo64()).run(&mut workload, 5_000);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use elsq_core;
+pub use elsq_cpu;
+pub use elsq_isa;
+pub use elsq_mem;
+pub use elsq_sim;
+pub use elsq_stats;
+pub use elsq_workload;

@@ -1,0 +1,58 @@
+//! Determinism regression tests: the simulator must be a pure function of
+//! (configuration, workload seed, commit budget). Any hidden global state —
+//! an ambient RNG, iteration over a hash map, wall-clock coupling — shows up
+//! here as a diff between two identically-seeded runs.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_cpu::result::SimResult;
+use elsq_workload::suite::{suite, WorkloadClass};
+
+const COMMITS: u64 = 3_000;
+const SEED: u64 = 17;
+
+/// Runs `cfg` over both workload suites and returns every result.
+fn run_all(cfg: CpuConfig) -> Vec<SimResult> {
+    [WorkloadClass::Fp, WorkloadClass::Int]
+        .into_iter()
+        .flat_map(|class| {
+            suite(class, SEED)
+                .into_iter()
+                .map(|mut w| Processor::new(cfg).run(w.as_mut(), COMMITS))
+        })
+        .collect()
+}
+
+fn assert_identical(name: &str, cfg: CpuConfig) {
+    let first = run_all(cfg);
+    let second = run_all(cfg);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a, b,
+            "{name}: workload {} diverged between identically-seeded runs",
+            a.workload
+        );
+    }
+}
+
+#[test]
+fn ooo64_is_deterministic() {
+    assert_identical("ooo64", CpuConfig::ooo64());
+}
+
+#[test]
+fn fmc_line_is_deterministic() {
+    assert_identical("fmc_line", CpuConfig::fmc_line(true));
+}
+
+#[test]
+fn fmc_hash_is_deterministic() {
+    assert_identical("fmc_hash", CpuConfig::fmc_hash(true));
+}
+
+#[test]
+fn svw_configs_are_deterministic() {
+    assert_identical("ooo64_svw", CpuConfig::ooo64_svw(10, true));
+    assert_identical("fmc_hash_svw", CpuConfig::fmc_hash_svw(10, false));
+}

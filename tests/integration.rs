@@ -34,7 +34,12 @@ fn every_configuration_runs_every_workload() {
         for mut workload in fp_suite(11).into_iter().chain(int_suite(11)) {
             let r = Processor::new(cfg).run(workload.as_mut(), 2_000);
             assert_eq!(r.sim.committed, 2_000, "{} under-committed", r.workload);
-            assert!(r.ipc() > 0.0 && r.ipc() <= 4.0, "{}: IPC {}", r.workload, r.ipc());
+            assert!(
+                r.ipc() > 0.0 && r.ipc() <= 4.0,
+                "{}: IPC {}",
+                r.workload,
+                r.ipc()
+            );
             assert!(
                 r.sim.ll_idle_cycles + r.sim.ll_active_cycles == r.sim.cycles,
                 "{}: activity accounting is inconsistent",
@@ -81,7 +86,8 @@ fn elsq_with_sqm_is_competitive_with_idealized_central_lsq() {
         seed: 5,
     };
     for class in [WorkloadClass::Fp, WorkloadClass::Int] {
-        let central = SimResult::mean_ipc(&run_suite(CpuConfig::fmc_central_ideal(), class, &params));
+        let central =
+            SimResult::mean_ipc(&run_suite(CpuConfig::fmc_central_ideal(), class, &params));
         let elsq = SimResult::mean_ipc(&run_suite(CpuConfig::fmc_hash(true), class, &params));
         assert!(
             elsq > 0.85 * central,
@@ -167,7 +173,8 @@ fn wider_ert_hash_reduces_false_positives_end_to_end() {
                 .with_ert(ErtKind::Hash { bits })
                 .with_sqm(false),
         );
-        SimResult::mean_lsq_per_100m(&run_suite(cfg, WorkloadClass::Int, &params)).ert_false_positives
+        SimResult::mean_lsq_per_100m(&run_suite(cfg, WorkloadClass::Int, &params))
+            .ert_false_positives
     };
     let narrow = fp_of(6);
     let wide = fp_of(14);
@@ -208,5 +215,10 @@ fn streaming_fp_exposes_memory_level_parallelism() {
     let fmc = run_one(CpuConfig::fmc_hash(true), &mut w);
     let mut w = StreamingFp::applu_like(2);
     let ooo = run_one(CpuConfig::ooo64(), &mut w);
-    assert!(fmc.ipc() / ooo.ipc() > 1.5, "{} vs {}", fmc.ipc(), ooo.ipc());
+    assert!(
+        fmc.ipc() / ooo.ipc() > 1.5,
+        "{} vs {}",
+        fmc.ipc(),
+        ooo.ipc()
+    );
 }

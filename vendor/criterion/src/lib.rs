@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the ELSQ microbenchmarks use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`] — backed by
+//! a simple wall-clock harness: each benchmark is warmed up once, then run
+//! until a small time budget is exhausted, and the mean iteration time is
+//! printed in a `name ... time: [..]` line. There is no statistical
+//! analysis, outlier detection or HTML report; swap the workspace `criterion`
+//! entry for the registry crate to get those.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark result.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; all variants behave identically
+/// in this stand-in (one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean time per iteration measured by the last `iter*` call.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            mean: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly until the time budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        // Read the clock once per batch, not per iteration, so nanosecond
+        // routines aren't dominated by timer overhead.
+        const BATCH: u64 = 64;
+        while elapsed < self.budget && iters < 1_000_000 {
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            iters += BATCH;
+            elapsed = start.elapsed();
+        }
+        self.record(elapsed, iters);
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let budget_start = Instant::now();
+        while measured < self.budget
+            && budget_start.elapsed() < self.budget * 4
+            && iters < 1_000_000
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.record(measured, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.iters = iters.max(1);
+        self.mean = elapsed / (self.iters as u32).max(1);
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep whole-suite runs quick; CI only compiles benches (--no-run).
+        Criterion {
+            budget: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            budget,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), self.budget, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix. Group settings are
+/// scoped to the group, as in the real criterion: they end with
+/// [`BenchmarkGroup::finish`].
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget for this group only.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.budget, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, budget: Duration, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    let mut bencher = Bencher::new(budget);
+    f(&mut bencher);
+    println!(
+        "{full:<48} time: [{:>12?}/iter]  ({} iterations)",
+        bencher.mean, bencher.iters
+    );
+}
+
+/// Declares a group-runner function from benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

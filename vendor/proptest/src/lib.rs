@@ -1,0 +1,284 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API that the ELSQ property tests
+//! use: the [`proptest!`] macro, integer-range and tuple strategies,
+//! [`collection::vec`], and the `prop_assert!` / `prop_assert_eq!` /
+//! [`prop_assume!`] macros.
+//!
+//! Semantics differences from the real crate, chosen for hermetic builds:
+//!
+//! * cases are sampled from a PRNG seeded deterministically from the test
+//!   name, so failures reproduce across runs and machines;
+//! * there is **no shrinking** — a failing case reports the sampled inputs
+//!   via the assertion message only;
+//! * each test runs 96 accepted cases (vs proptest's default 256).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type, mirroring
+    /// `proptest::strategy::Strategy` (minus shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + hi) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    /// A strategy that always produces a clone of one value, mirroring
+    /// `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with a length drawn from a range; built by
+    /// [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn uniformly from `len` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u128;
+            let n = self.len.start + (((rng.next_u64() as u128 * span) >> 64) as usize);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic runner behind the [`crate::proptest!`] macro.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: discard the case and sample another.
+        Reject,
+        /// A `prop_assert!` failed: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// PRNG handed to strategies; seeded from the test name so every run
+    /// samples the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Deterministic construction from a test name (FNV-1a hash).
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash = 0xCBF2_9CE4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1_0000_0000_01B3);
+            }
+            TestRng(SmallRng::seed_from_u64(hash))
+        }
+
+        /// Returns the next random `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Accepted cases per property (the real proptest defaults to 256).
+    pub const CASES: u32 = 96;
+
+    /// Sampling attempts allowed before giving up on `prop_assume!`
+    /// rejections.
+    pub const MAX_ATTEMPTS: u32 = CASES * 20;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function samples its arguments from the
+/// given strategies and runs the body for
+/// [`test_runner::CASES`] accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < $crate::test_runner::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::test_runner::MAX_ATTEMPTS,
+                        "prop_assume! rejected too many cases in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    // Capture the sampled inputs up front: there is no
+                    // shrinking, so the failure message is the only place
+                    // the failing case can be reported.
+                    let inputs = [$(format!(
+                        "{} = {:?}", stringify!($arg), $arg
+                    )),+].join(", ");
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match case {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed: {}\n  inputs: {}",
+                                stringify!($name), msg, inputs
+                            )
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}

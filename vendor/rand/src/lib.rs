@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! Implements exactly the surface the ELSQ workload generators use:
+//!
+//! * [`rngs::SmallRng`] — a small fast PRNG (xoshiro256++, the same
+//!   algorithm `rand 0.8`'s `SmallRng` uses on 64-bit targets),
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion, matching
+//!   `rand_core`'s implementation so streams are deterministic and portable,
+//! * [`Rng::gen_bool`] and [`Rng::gen_range`] over integer ranges.
+//!
+//! Determinism matters more than statistical perfection here: every
+//! workload generator seeds its own `SmallRng` and the simulator asserts
+//! byte-identical results across runs.
+
+#![forbid(unsafe_code)]
+
+/// Core trait for random number generation, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling helpers, mirroring the subset of `rand::Rng` this workspace
+/// uses. Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random mantissa bits, uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) as f64)) < p
+    }
+
+    /// Samples uniformly from a half-open integer range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: core::ops::Range<Self>,
+            ) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, negligible for simulation workloads.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start.wrapping_add(hi as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Non-cryptographic generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small-state fast PRNG: xoshiro256++ with SplitMix64 seeding, the
+    /// algorithm `rand 0.8` uses for `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let w = rng.gen_range(0usize..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+}

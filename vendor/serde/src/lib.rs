@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The ELSQ workspace derives `Serialize`/`Deserialize` on its config and
+//! result types so that downstream tooling can serialize them with the real
+//! `serde`. This stand-in provides the trait names and derive macros so the
+//! workspace builds hermetically (no network, no registry); it performs no
+//! actual serialization. Replace the `serde` entry in the workspace
+//! manifest with the registry crate to get real serialization support.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The derive macro in this stand-in expands to nothing, so types carry the
+/// derive attribute without implementing the trait; nothing in this
+/// workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

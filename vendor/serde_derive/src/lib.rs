@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Both derives expand to nothing: the annotated types keep compiling with
+//! the `#[derive(Serialize, Deserialize)]` attributes (and any `#[serde(..)]`
+//! helper attributes) they carry, but no trait impls are generated. Nothing
+//! in this workspace requires the actual trait bounds; swap in the registry
+//! `serde`/`serde_derive` to get real impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
