@@ -1,0 +1,25 @@
+//! `elsq-lab` — the registry-driven experiment runner.
+//!
+//! Replaces the ten one-shot figure binaries: every paper artifact is a
+//! registered experiment (`elsq-lab list`) runnable by id with shared
+//! parameter, format and output flags (`elsq-lab run fig7 table2 --format
+//! json`). See `docs/EXPERIMENTS.md` for the id ↔ figure mapping.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match elsq_bench::cli::main_with_args(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("elsq-lab: {err}");
+            if err.exit_code == 2 {
+                eprintln!("\n{}", elsq_bench::cli::USAGE);
+            }
+            ExitCode::from(err.exit_code as u8)
+        }
+    }
+}

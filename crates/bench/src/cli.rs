@@ -1,0 +1,492 @@
+//! The `elsq-lab` command line: list and run registered experiments.
+//!
+//! The CLI discovers experiments exclusively through
+//! [`elsq_sim::experiments::registry`], so every subcommand works unchanged
+//! when a new experiment module registers itself. Parsing and execution are
+//! plain functions over argument slices so the unit tests can drive them
+//! without a subprocess; the `elsq-lab` binary is a thin wrapper.
+//!
+//! ```text
+//! elsq-lab list
+//! elsq-lab run fig7 fig10 --commits 60000 --seed 7 --format json --out results/
+//! elsq-lab run --all --quick
+//! ```
+
+use std::fmt;
+use std::path::PathBuf;
+
+use elsq_sim::experiments::{registry, run_experiments, Experiment};
+use elsq_stats::report::{ExperimentParams, Report};
+
+/// Usage text printed by `elsq-lab help` and on parse errors.
+pub const USAGE: &str = "\
+elsq-lab — registry-driven experiment runner for the ELSQ reproduction
+
+USAGE:
+    elsq-lab list                 list registered experiments
+    elsq-lab run [IDS...] [OPTS]  run experiments by id
+    elsq-lab help                 show this help
+
+RUN OPTIONS:
+    --all              run every registered experiment
+    --quick            use the quick parameter preset (5k commits)
+    --commits N        override committed instructions per workload
+    --seed N           override the workload generator seed
+    --format FORMAT    text | csv | json (default: text)
+    --out DIR          write one file per experiment into DIR
+    --jobs N           cap worker threads per fan-out level (sets
+                       ELSQ_THREADS; nested suite fan-outs budget
+                       separately, so total live threads can exceed N —
+                       --jobs 1 is exactly sequential)
+    --sequential       run experiments one after another (suites still
+                       parallel); with --jobs 1, fully sequential
+
+Experiment ids map to paper artifacts; see docs/EXPERIMENTS.md.";
+
+/// Output format of `elsq-lab run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned plain-text tables.
+    Text,
+    /// RFC-4180 CSV, one `# title` comment per table.
+    Csv,
+    /// A JSON array of structured reports.
+    Json,
+}
+
+impl OutputFormat {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "text" => Ok(Self::Text),
+            "csv" => Ok(Self::Csv),
+            "json" => Ok(Self::Json),
+            other => Err(CliError::usage(format!(
+                "unknown format `{other}` (expected text, csv or json)"
+            ))),
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            Self::Text => "txt",
+            Self::Csv => "csv",
+            Self::Json => "json",
+        }
+    }
+}
+
+/// Parsed `elsq-lab run` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Experiment ids to run (empty only with `--all`).
+    pub ids: Vec<String>,
+    /// Run every registered experiment.
+    pub all: bool,
+    /// Use the quick preset instead of each experiment's default.
+    pub quick: bool,
+    /// Override the commit budget.
+    pub commits: Option<u64>,
+    /// Override the workload seed.
+    pub seed: Option<u64>,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Output directory (one file per experiment) instead of stdout.
+    pub out: Option<PathBuf>,
+    /// Worker-thread cap (exported as `ELSQ_THREADS`).
+    pub jobs: Option<usize>,
+    /// Disable the experiment-level fan-out.
+    pub sequential: bool,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `elsq-lab list`
+    List,
+    /// `elsq-lab run ...`
+    Run(RunArgs),
+    /// `elsq-lab help` / `--help`
+    Help,
+}
+
+/// CLI error: a message plus the process exit code to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Process exit code (2 = usage error, 1 = runtime error).
+    pub exit_code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit_code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the arguments following the binary name.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => {
+            if let Some(extra) = it.next() {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{extra}` after `list`"
+                )));
+            }
+            Ok(Command::List)
+        }
+        Some("run") => parse_run(it.as_slice()).map(Command::Run),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown subcommand `{other}`; try `elsq-lab help`"
+        ))),
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut run = RunArgs {
+        ids: Vec::new(),
+        all: false,
+        quick: false,
+        commits: None,
+        seed: None,
+        format: OutputFormat::Text,
+        out: None,
+        jobs: None,
+        sequential: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--all" => run.all = true,
+            "--quick" => run.quick = true,
+            "--sequential" => run.sequential = true,
+            "--commits" => run.commits = Some(parse_num(value_of("--commits")?, "--commits")?),
+            "--seed" => run.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+            "--jobs" => {
+                let n: u64 = parse_num(value_of("--jobs")?, "--jobs")?;
+                if n == 0 {
+                    return Err(CliError::usage("`--jobs` must be at least 1"));
+                }
+                run.jobs = Some(n as usize);
+            }
+            "--format" => run.format = OutputFormat::parse(value_of("--format")?)?,
+            "--out" => run.out = Some(PathBuf::from(value_of("--out")?)),
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown option `{flag}`")));
+            }
+            id => run.ids.push(id.to_owned()),
+        }
+    }
+    if run.all && !run.ids.is_empty() {
+        return Err(CliError::usage(
+            "pass either experiment ids or `--all`, not both",
+        ));
+    }
+    if !run.all && run.ids.is_empty() {
+        return Err(CliError::usage(
+            "no experiments selected; pass ids or `--all` (see `elsq-lab list`)",
+        ));
+    }
+    Ok(run)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
+    s.parse()
+        .map_err(|_| CliError::usage(format!("invalid value `{s}` for `{flag}`")))
+}
+
+/// Resolves the experiments a run selects, in registry order for `--all`
+/// and in command-line order otherwise.
+pub fn select_experiments(run: &RunArgs) -> Result<Vec<&'static dyn Experiment>, CliError> {
+    if run.all {
+        return Ok(registry().to_vec());
+    }
+    run.ids
+        .iter()
+        .map(|id| {
+            elsq_sim::experiments::find(id).ok_or_else(|| {
+                let known: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+                CliError::usage(format!(
+                    "unknown experiment `{id}`; known ids: {}",
+                    known.join(", ")
+                ))
+            })
+        })
+        .collect()
+}
+
+/// The parameters one experiment runs with, after `--quick`, `--commits`
+/// and `--seed` are applied on top of its default preset.
+pub fn effective_params(experiment: &dyn Experiment, run: &RunArgs) -> ExperimentParams {
+    let mut params = if run.quick {
+        ExperimentParams::quick()
+    } else {
+        experiment.default_params()
+    };
+    if let Some(commits) = run.commits {
+        params.commits = commits;
+    }
+    if let Some(seed) = run.seed {
+        params.seed = seed;
+    }
+    params
+}
+
+/// Renders one report in the requested format.
+pub fn render_report(report: &Report, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Text => report.render(),
+        OutputFormat::Csv => report.to_csv(),
+        OutputFormat::Json => {
+            serde_json::to_string_pretty(report).expect("reports always serialize")
+        }
+    }
+}
+
+/// Renders a whole run (every report) for stdout in the requested format.
+pub fn render_reports(reports: &[Report], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Json => {
+            serde_json::to_string_pretty(&reports.to_vec()).expect("reports always serialize")
+        }
+        _ => {
+            let mut out = String::new();
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&render_report(report, format));
+            }
+            out
+        }
+    }
+}
+
+/// The `elsq-lab list` output: one line per experiment — id, default
+/// preset, title — in registry order.
+pub fn list_output() -> String {
+    let mut out = String::new();
+    let id_width = registry().iter().map(|e| e.id().len()).max().unwrap_or(0);
+    for e in registry() {
+        let p = e.default_params();
+        out.push_str(&format!(
+            "{:<id_width$}  commits={:<6} seed={}  {}\n",
+            e.id(),
+            p.commits,
+            p.seed,
+            e.title()
+        ));
+    }
+    out
+}
+
+/// Executes a run and returns the produced reports (in selection order).
+pub fn execute_run(run: &RunArgs) -> Result<Vec<Report>, CliError> {
+    let experiments = select_experiments(run)?;
+    let jobs: Vec<(&'static dyn Experiment, ExperimentParams)> = experiments
+        .into_iter()
+        .map(|e| (e, effective_params(e, run)))
+        .collect();
+    // The pool reads ELSQ_THREADS at every fan-out, so `--jobs` caps each
+    // level (experiments, and each suite inside one) rather than the whole
+    // process — `--jobs 1` is exactly sequential, larger values are a
+    // per-level budget. Set it before any worker spawns and restore the
+    // previous value afterwards so the cap cannot leak into later
+    // invocations from the same process (e.g. the in-process tests).
+    let saved = run.jobs.map(|jobs| {
+        let previous = std::env::var("ELSQ_THREADS").ok();
+        std::env::set_var("ELSQ_THREADS", jobs.to_string());
+        previous
+    });
+    let reports = run_experiments(jobs, !run.sequential);
+    if let Some(previous) = saved {
+        match previous {
+            Some(value) => std::env::set_var("ELSQ_THREADS", value),
+            None => std::env::remove_var("ELSQ_THREADS"),
+        }
+    }
+    Ok(reports)
+}
+
+/// Writes per-experiment files into `--out DIR` and returns the summary
+/// lines printed to stdout.
+pub fn write_reports(
+    reports: &[Report],
+    dir: &std::path::Path,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::runtime(format!("cannot create {}: {e}", dir.display())))?;
+    let mut summary = String::new();
+    for report in reports {
+        let path = dir.join(format!("{}.{}", report.id, format.extension()));
+        std::fs::write(&path, render_report(report, format))
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        summary.push_str(&format!(
+            "{}: {} table(s), {:.1} ms -> {}\n",
+            report.id,
+            report.tables.len(),
+            report.wall_time_ms,
+            path.display()
+        ));
+    }
+    Ok(summary)
+}
+
+/// Full CLI entry point: parses `args` (without the binary name), executes,
+/// and returns what should be printed to stdout.
+pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
+    match parse(args)? {
+        Command::Help => Ok(format!("{USAGE}\n")),
+        Command::List => Ok(list_output()),
+        Command::Run(run) => {
+            let reports = execute_run(&run)?;
+            match &run.out {
+                Some(dir) => write_reports(&reports, dir, run.format),
+                None => Ok(render_reports(&reports, run.format)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_subcommands() {
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["list"])).unwrap(), Command::List);
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["list", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let cmd = parse(&args(&[
+            "run",
+            "fig7",
+            "fig10",
+            "--commits",
+            "1234",
+            "--seed",
+            "9",
+            "--format",
+            "json",
+            "--out",
+            "results",
+            "--jobs",
+            "3",
+            "--sequential",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.ids, vec!["fig7", "fig10"]);
+        assert!(!run.all && !run.quick && run.sequential);
+        assert_eq!(run.commits, Some(1234));
+        assert_eq!(run.seed, Some(9));
+        assert_eq!(run.format, OutputFormat::Json);
+        assert_eq!(run.out, Some(PathBuf::from("results")));
+        assert_eq!(run.jobs, Some(3));
+    }
+
+    #[test]
+    fn parse_run_rejects_bad_usage() {
+        assert!(parse(&args(&["run"])).is_err());
+        assert!(parse(&args(&["run", "--all", "fig7"])).is_err());
+        assert!(parse(&args(&["run", "--commits"])).is_err());
+        assert!(parse(&args(&["run", "fig7", "--commits", "abc"])).is_err());
+        assert!(parse(&args(&["run", "fig7", "--format", "xml"])).is_err());
+        assert!(parse(&args(&["run", "fig7", "--jobs", "0"])).is_err());
+        assert!(parse(&args(&["run", "fig7", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn select_resolves_ids_and_rejects_unknown() {
+        let mut run = parse_run(&args(&["fig7", "table2"])).unwrap();
+        let selected = select_experiments(&run).unwrap();
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].id(), "fig7");
+        assert_eq!(selected[1].id(), "table2");
+        run.ids.push("bogus".to_owned());
+        let err = select_experiments(&run).err().expect("unknown id rejected");
+        assert!(err.message.contains("unknown experiment `bogus`"));
+        assert!(err.message.contains("fig7"));
+
+        let all = parse_run(&args(&["--all"])).unwrap();
+        assert_eq!(select_experiments(&all).unwrap().len(), registry().len());
+    }
+
+    #[test]
+    fn effective_params_layering() {
+        let fig8a = elsq_sim::experiments::find("fig8a").unwrap();
+        let mut run = parse_run(&args(&["fig8a"])).unwrap();
+        assert_eq!(effective_params(fig8a, &run), ExperimentParams::sweep());
+        run.quick = true;
+        assert_eq!(effective_params(fig8a, &run), ExperimentParams::quick());
+        run.commits = Some(777);
+        run.seed = Some(5);
+        let p = effective_params(fig8a, &run);
+        assert_eq!((p.commits, p.seed), (777, 5));
+    }
+
+    #[test]
+    fn list_covers_every_registered_experiment() {
+        let listing = list_output();
+        for e in registry() {
+            assert!(
+                listing.lines().any(|l| l.starts_with(e.id())),
+                "{} missing from list output",
+                e.id()
+            );
+        }
+        assert_eq!(listing.lines().count(), registry().len());
+    }
+
+    #[test]
+    fn run_renders_in_every_format() {
+        let run = parse_run(&args(&["tuning", "--quick", "--commits", "600"])).unwrap();
+        let reports = execute_run(&run).unwrap();
+        assert_eq!(reports.len(), 1);
+        let text = render_reports(&reports, OutputFormat::Text);
+        assert!(text.contains("== Section 5.2"));
+        let csv = render_reports(&reports, OutputFormat::Csv);
+        assert!(csv.starts_with("# Section 5.2"));
+        let json = render_reports(&reports, OutputFormat::Json);
+        let back: Vec<elsq_stats::report::Report> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, "tuning");
+        assert_eq!(back[0].params.commits, 600);
+    }
+}

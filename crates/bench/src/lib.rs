@@ -1,8 +1,11 @@
-//! Benchmark and figure-regeneration harness for the ELSQ reproduction.
+//! Benchmark harness and the `elsq-lab` CLI for the ELSQ reproduction.
 //!
-//! * `src/bin/` — one binary per paper table/figure; each runs the
-//!   corresponding experiment from `elsq-sim` at full size and prints the
-//!   table (`cargo run --release -p elsq-bench --bin fig7_speedup`).
+//! * `src/bin/elsq_lab.rs` — the single `elsq-lab` binary. It lists and
+//!   runs registered experiments by id (`cargo run --release -p elsq-bench
+//!   --bin elsq-lab -- run --all --quick`), replacing the former ten
+//!   one-shot figure binaries.
+//! * [`cli`] — argument parsing and execution behind the binary, exposed as
+//!   plain functions so the unit tests drive the full pipeline in-process.
 //! * `benches/` — `cargo bench` targets: reduced-size versions of the same
 //!   experiments (so a bench run regenerates every artifact in minutes) plus
 //!   Criterion microbenchmarks of the ELSQ data structures (`lsq_micro`).
@@ -10,9 +13,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use elsq_sim::driver::ExperimentParams;
 
-/// Parameters used by the figure-regeneration binaries.
+/// Parameters used by paper-scale experiment runs (`elsq-lab run` without
+/// `--quick` uses each experiment's own default, which is this preset for
+/// the non-sweep experiments).
 pub fn full_params() -> ExperimentParams {
     ExperimentParams::standard()
 }

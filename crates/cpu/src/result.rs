@@ -176,6 +176,14 @@ impl SimResult {
     }
 }
 
+// The parallel suite driver moves results across worker threads; keep the
+// result types `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimResult>();
+    assert_send_sync::<Histogram>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

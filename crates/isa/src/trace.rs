@@ -15,8 +15,9 @@ use crate::reg::ArchReg;
 /// A source of dynamic instructions.
 ///
 /// Implementations must be deterministic for a given construction seed so
-/// experiments are reproducible.
-pub trait TraceSource {
+/// experiments are reproducible, and `Send` so the suite driver can fan the
+/// independent `(config, workload)` pairs of a suite out across threads.
+pub trait TraceSource: Send {
     /// Returns the next correct-path instruction, or `None` when the trace is
     /// exhausted. Most synthetic generators are infinite and never return
     /// `None`; the simulator stops after a configured number of commits.

@@ -1,56 +1,51 @@
 //! Runs processor configurations over workload suites.
+//!
+//! The six `(config, workload)` pairs of a suite are independent, so
+//! [`run_suite`] fans them out across cores through the work-stealing
+//! scheduler in [`crate::pool`]. Results come back in workload order, making
+//! the parallel path byte-identical to [`run_suite_sequential`] for the same
+//! seed — a property the determinism test suite asserts for both workload
+//! classes.
 
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::pipeline::Processor;
 use elsq_cpu::result::SimResult;
 use elsq_workload::suite::{suite, WorkloadClass};
 
-/// Parameters shared by every experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExperimentParams {
-    /// Committed instructions simulated per workload.
-    pub commits: u64,
-    /// Seed for the workload generators.
-    pub seed: u64,
-}
+pub use elsq_stats::report::ExperimentParams;
 
-impl ExperimentParams {
-    /// A quick configuration for unit tests and doc examples.
-    pub fn quick() -> Self {
-        Self {
-            commits: 5_000,
-            seed: 7,
-        }
-    }
+use crate::pool::{parallel_map, parallel_map_with};
 
-    /// The default configuration used by the figure-regeneration binaries:
-    /// large enough for stable averages, small enough to finish in seconds
-    /// per configuration.
-    pub fn standard() -> Self {
-        Self {
-            commits: 60_000,
-            seed: 7,
-        }
-    }
-
-    /// A reduced configuration for the wider parameter sweeps.
-    pub fn sweep() -> Self {
-        Self {
-            commits: 30_000,
-            seed: 7,
-        }
-    }
-}
-
-impl Default for ExperimentParams {
-    fn default() -> Self {
-        Self::standard()
-    }
-}
-
-/// Runs `config` over every workload of `class` and returns the per-workload
-/// results.
+/// Runs `config` over every workload of `class` in parallel and returns the
+/// per-workload results in suite order.
 pub fn run_suite(
+    config: CpuConfig,
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<SimResult> {
+    parallel_map(suite(class, params.seed), |mut workload| {
+        Processor::new(config).run(workload.as_mut(), params.commits)
+    })
+}
+
+/// [`run_suite`] with an explicit worker count — used by the determinism
+/// tests to pin the work-stealing path regardless of host core count.
+pub fn run_suite_with_threads(
+    config: CpuConfig,
+    class: WorkloadClass,
+    params: &ExperimentParams,
+    workers: usize,
+) -> Vec<SimResult> {
+    parallel_map_with(
+        suite(class, params.seed),
+        |mut workload| Processor::new(config).run(workload.as_mut(), params.commits),
+        workers,
+    )
+}
+
+/// Runs `config` over every workload of `class` on the calling thread — the
+/// reference implementation the parallel path must match byte-for-byte.
+pub fn run_suite_sequential(
     config: CpuConfig,
     class: WorkloadClass,
     params: &ExperimentParams,
@@ -96,5 +91,18 @@ mod tests {
             &ExperimentParams::quick(),
         );
         assert!(ipc > 0.0 && ipc <= 4.0);
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential_suite() {
+        let params = ExperimentParams {
+            commits: 2_000,
+            seed: 11,
+        };
+        for class in CLASSES {
+            let parallel = run_suite_with_threads(CpuConfig::fmc_hash(true), class, &params, 4);
+            let sequential = run_suite_sequential(CpuConfig::fmc_hash(true), class, &params);
+            assert_eq!(parallel, sequential, "{class} diverged");
+        }
     }
 }

@@ -8,10 +8,33 @@
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::result::SimResult;
 use elsq_stats::energy::{EnergyModel, LsqStructureSpecs};
-use elsq_stats::report::{fmt_f, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite, ExperimentParams};
+use crate::driver::run_suite;
+use crate::experiments::Experiment;
+
+/// The Section 6 energy comparison as a registered [`Experiment`]: one
+/// table per workload class.
+pub struct Energy;
+
+impl Experiment for Energy {
+    fn id(&self) -> &'static str {
+        "energy"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 6: LSQ dynamic energy per 100M instructions"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        let mut report = Report::new(self.id(), self.title(), *params);
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            report.push_table(run(class, params));
+        }
+        report
+    }
+}
 
 /// Configurations compared in the Section 6 discussion.
 pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
@@ -41,11 +64,11 @@ pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
         let results = run_suite(cfg, class, params);
         let mean = SimResult::mean_lsq_per_100m(&results);
         let breakdown = model.lsq_energy_breakdown(&mean, &specs);
-        table.row_owned(vec![
-            name.to_owned(),
-            fmt_f(breakdown.total_nj / 1000.0),
-            fmt_f(breakdown.of("ert") / 1000.0),
-            fmt_f(breakdown.of("dcache") / 1000.0),
+        table.row_cells(vec![
+            Cell::text(name),
+            Cell::f(breakdown.total_nj / 1000.0),
+            Cell::f(breakdown.of("ert") / 1000.0),
+            Cell::f(breakdown.of("dcache") / 1000.0),
         ]);
     }
     table
@@ -74,8 +97,8 @@ mod tests {
             .iter()
             .find(|r| r[0] == "FMC-Hash")
             .expect("FMC-Hash row");
-        let total: f64 = fmc[1].parse().unwrap();
-        let ert: f64 = fmc[2].parse().unwrap();
+        let total = fmc[1].value.unwrap();
+        let ert = fmc[2].value.unwrap();
         assert!(total > 0.0);
         assert!(
             ert < 0.25 * total,

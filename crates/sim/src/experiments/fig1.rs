@@ -8,10 +8,50 @@
 
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::result::Histogram;
-use elsq_stats::report::{fmt_f, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite, ExperimentParams};
+use crate::driver::run_suite;
+use crate::experiments::Experiment;
+
+/// Figure 1 as a registered [`Experiment`]: the summary table plus the raw
+/// per-class histograms (the series a plot of the figure needs).
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: decode -> address calculation distance distributions"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        let mut report = Report::new(self.id(), self.title(), *params).with_table(run(params));
+        for dist in measure(params) {
+            let mut t = Table::new(
+                format!("{} histogram (30-cycle bins)", dist.class),
+                &["bin_start", "loads", "stores"],
+            );
+            for (i, (l, s)) in dist
+                .loads
+                .bins()
+                .iter()
+                .zip(dist.stores.bins().iter())
+                .enumerate()
+            {
+                t.row_cells(vec![
+                    Cell::int(i as u64 * dist.loads.bin_width()),
+                    Cell::int(*l),
+                    Cell::int(*s),
+                ]);
+            }
+            report.push_table(t);
+        }
+        report
+    }
+}
 
 /// Summary of one class's distributions.
 #[derive(Debug, Clone)]
@@ -61,13 +101,13 @@ pub fn run(params: &ExperimentParams) -> Table {
     );
     for dist in measure(params) {
         for (kind, hist) in [("loads", &dist.loads), ("stores", &dist.stores)] {
-            table.row_owned(vec![
-                dist.class.to_string(),
-                kind.to_owned(),
-                fmt_f(hist.first_bin_fraction()),
-                format!("{}", hist.percentile(0.95)),
-                format!("{}", hist.percentile(0.99)),
-                format!("{}", hist.total()),
+            table.row_cells(vec![
+                Cell::text(dist.class.to_string()),
+                Cell::text(kind),
+                Cell::f(hist.first_bin_fraction()),
+                Cell::int(hist.percentile(0.95)),
+                Cell::int(hist.percentile(0.99)),
+                Cell::int(hist.total()),
             ]);
         }
     }

@@ -9,10 +9,32 @@
 
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::result::SimResult;
-use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite, ExperimentParams};
+use crate::driver::run_suite;
+use crate::experiments::Experiment;
+
+/// Figure 10 as a registered [`Experiment`].
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 10: SVW load re-execution vs SSBF size"
+    }
+
+    fn default_params(&self) -> ExperimentParams {
+        ExperimentParams::sweep()
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        Report::new(self.id(), self.title(), *params).with_table(run(params))
+    }
+}
 
 /// SSBF widths swept by the figure.
 pub const SSBF_BITS: [u32; 3] = [12, 10, 8];
@@ -84,18 +106,17 @@ pub fn run(params: &ExperimentParams) -> Table {
         ],
     );
     for p in measure(params) {
-        table.row_owned(vec![
-            if p.large_window { "FMC" } else { "OoO-64" }.to_owned(),
-            p.class.to_string(),
-            if p.check_stores {
+        table.row_cells(vec![
+            Cell::text(if p.large_window { "FMC" } else { "OoO-64" }),
+            Cell::text(p.class.to_string()),
+            Cell::text(if p.check_stores {
                 "CheckStores"
             } else {
                 "Blind"
-            }
-            .to_owned(),
-            format!("{}", p.ssbf_bits),
-            fmt_f(p.relative_ipc),
-            fmt_millions(p.reexecutions_per_100m),
+            }),
+            Cell::int(u64::from(p.ssbf_bits)),
+            Cell::f(p.relative_ipc),
+            Cell::millions(p.reexecutions_per_100m),
         ]);
     }
     table

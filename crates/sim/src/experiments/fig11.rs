@@ -6,10 +6,28 @@
 //! the time at 1 MB rising towards half at 8 MB in the paper.
 
 use elsq_cpu::config::CpuConfig;
-use elsq_stats::report::{fmt_f, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite, ExperimentParams};
+use crate::driver::run_suite;
+use crate::experiments::Experiment;
+
+/// Figure 11 as a registered [`Experiment`].
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 11: LL-LSQ inactivity vs L2 size"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        Report::new(self.id(), self.title(), *params).with_table(run(params))
+    }
+}
 
 /// L2 capacities swept (MB).
 pub const L2_MB: [u64; 4] = [1, 2, 4, 8];
@@ -33,10 +51,10 @@ pub fn run(params: &ExperimentParams) -> Table {
         &["L2 size", "SPEC INT", "SPEC FP"],
     );
     for mb in L2_MB {
-        table.row_owned(vec![
-            format!("{mb}MB"),
-            fmt_f(100.0 * idle_fraction(WorkloadClass::Int, mb, params)),
-            fmt_f(100.0 * idle_fraction(WorkloadClass::Fp, mb, params)),
+        table.row_cells(vec![
+            Cell::text(format!("{mb}MB")),
+            Cell::f(100.0 * idle_fraction(WorkloadClass::Int, mb, params)),
+            Cell::f(100.0 * idle_fraction(WorkloadClass::Fp, mb, params)),
         ]);
     }
     table

@@ -9,10 +9,59 @@
 
 use elsq_core::config::{ElsqConfig, ErtKind};
 use elsq_cpu::config::CpuConfig;
-use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{mean_ipc, run_suite, ExperimentParams};
+use crate::driver::{mean_ipc, run_suite};
+use crate::experiments::Experiment;
+
+/// Figure 8a (filter accuracy vs hardware budget) as a registered
+/// [`Experiment`].
+pub struct Fig8a;
+
+impl Experiment for Fig8a {
+    fn id(&self) -> &'static str {
+        "fig8a"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 8a: ERT false positives vs filter size"
+    }
+
+    fn default_params(&self) -> ExperimentParams {
+        ExperimentParams::sweep()
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        Report::new(self.id(), self.title(), *params).with_table(run_accuracy(params))
+    }
+}
+
+/// Figure 8b/8c (L1 geometry sensitivity of the two filters) as a
+/// registered [`Experiment`].
+pub struct Fig8bc;
+
+impl Experiment for Fig8bc {
+    fn id(&self) -> &'static str {
+        "fig8bc"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 8b/8c: line vs hash ERT across L1 geometries"
+    }
+
+    fn default_params(&self) -> ExperimentParams {
+        ExperimentParams::sweep()
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        let mut report = Report::new(self.id(), self.title(), *params);
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            report.push_table(run_cache_sensitivity(class, params));
+        }
+        report
+    }
+}
 
 /// Hash widths swept in Figure 8a.
 pub const HASH_BITS: [u32; 7] = [6, 8, 10, 11, 12, 14, 16];
@@ -34,18 +83,18 @@ pub fn run_accuracy(params: &ExperimentParams) -> Table {
     let l1_lines = 32 * 1024 / 32;
     for bits in HASH_BITS {
         let kind = ErtKind::Hash { bits };
-        table.row_owned(vec![
-            format!("hash {bits} bits"),
-            format!("{}", kind.storage_bytes(l1_lines)),
-            fmt_millions(false_positives(kind, WorkloadClass::Fp, params)),
-            fmt_millions(false_positives(kind, WorkloadClass::Int, params)),
+        table.row_cells(vec![
+            Cell::text(format!("hash {bits} bits")),
+            Cell::int(kind.storage_bytes(l1_lines)),
+            Cell::millions(false_positives(kind, WorkloadClass::Fp, params)),
+            Cell::millions(false_positives(kind, WorkloadClass::Int, params)),
         ]);
     }
-    table.row_owned(vec![
-        "line-based".to_owned(),
-        format!("{}", ErtKind::Line.storage_bytes(l1_lines)),
-        fmt_millions(false_positives(ErtKind::Line, WorkloadClass::Fp, params)),
-        fmt_millions(false_positives(ErtKind::Line, WorkloadClass::Int, params)),
+    table.row_cells(vec![
+        Cell::text("line-based"),
+        Cell::int(ErtKind::Line.storage_bytes(l1_lines)),
+        Cell::millions(false_positives(ErtKind::Line, WorkloadClass::Fp, params)),
+        Cell::millions(false_positives(ErtKind::Line, WorkloadClass::Int, params)),
     ]);
     table
 }
@@ -88,7 +137,11 @@ pub fn run_cache_sensitivity(class: WorkloadClass, params: &ExperimentParams) ->
         .fold(f64::MIN, f64::max);
     let mut table = Table::new(title, &["L1 config", "line-based ERT", "hash-based ERT"]);
     for (label, line, hash) in rows {
-        table.row_owned(vec![label, fmt_f(line / best), fmt_f(hash / best)]);
+        table.row_cells(vec![
+            Cell::text(label),
+            Cell::f(line / best),
+            Cell::f(hash / best),
+        ]);
     }
     table
 }
@@ -124,8 +177,8 @@ mod tests {
         assert_eq!(t.len(), l1_sweep().len());
         // Values are normalized: none exceeds 1.0 by construction.
         for row in t.rows() {
-            let line: f64 = row[1].parse().unwrap();
-            let hash: f64 = row[2].parse().unwrap();
+            let line = row[1].value.unwrap();
+            let hash = row[2].value.unwrap();
             assert!(line <= 1.0 + 1e-9 && hash <= 1.0 + 1e-9);
         }
     }

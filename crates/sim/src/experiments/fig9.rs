@@ -8,10 +8,28 @@
 use elsq_core::config::ElsqConfig;
 use elsq_core::disambig::DisambiguationModel;
 use elsq_cpu::config::CpuConfig;
-use elsq_stats::report::{fmt_f, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{mean_ipc, ExperimentParams};
+use crate::driver::mean_ipc;
+use crate::experiments::Experiment;
+
+/// Figure 9 as a registered [`Experiment`].
+pub struct Fig9;
+
+impl Experiment for Fig9 {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 9: restricted disambiguation models"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        Report::new(self.id(), self.title(), *params).with_table(run(params))
+    }
+}
 
 /// Mean IPC of each disambiguation model for one class, in Figure 9 order.
 pub fn model_ipcs(
@@ -38,10 +56,10 @@ pub fn run(params: &ExperimentParams) -> Table {
     let int_base = int[0].1;
     let fp_base = fp[0].1;
     for ((model, int_ipc), (_, fp_ipc)) in int.into_iter().zip(fp) {
-        table.row_owned(vec![
-            model.to_string(),
-            fmt_f(int_ipc / int_base),
-            fmt_f(fp_ipc / fp_base),
+        table.row_cells(vec![
+            Cell::text(model.to_string()),
+            Cell::f(int_ipc / int_base),
+            Cell::f(fp_ipc / fp_base),
         ]);
     }
     table

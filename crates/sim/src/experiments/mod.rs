@@ -1,4 +1,12 @@
-//! One module per figure/table of the paper's evaluation.
+//! One module per figure/table of the paper's evaluation, unified behind
+//! the [`Experiment`] trait and a static [`registry`].
+//!
+//! Every experiment is a unit struct implementing [`Experiment`]: a stable
+//! id (`fig7`, `table2`, ...), a title, the parameter preset the paper-scale
+//! run uses, and a `run` that produces a structured
+//! [`Report`](elsq_stats::report::Report). The `elsq-lab` CLI discovers
+//! experiments exclusively through the registry, so adding a module +
+//! registry entry is all it takes to expose a new scenario.
 
 pub mod energy;
 pub mod fig1;
@@ -10,10 +18,138 @@ pub mod fig9;
 pub mod table2;
 pub mod tuning;
 
+use elsq_stats::report::{ExperimentParams, Report};
+
+use crate::pool::parallel_map;
+
+/// A named, runnable reproduction of one paper figure/table/study.
+///
+/// `Sync` so registry entries (`&'static dyn Experiment`) can be shared
+/// across the worker threads of a multi-experiment fan-out.
+pub trait Experiment: Sync {
+    /// Stable identifier used on the `elsq-lab` command line (`fig7`, ...).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title (the paper artifact it reproduces).
+    fn title(&self) -> &'static str;
+
+    /// The parameter preset a paper-scale run of this experiment uses.
+    /// Sweep-heavy experiments default to the reduced sweep preset.
+    fn default_params(&self) -> ExperimentParams {
+        ExperimentParams::standard()
+    }
+
+    /// Runs the experiment and collects every table it produces.
+    fn run(&self, params: &ExperimentParams) -> Report;
+}
+
+/// Every registered experiment, in the paper's presentation order.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 10] = [
+        &fig1::Fig1,
+        &tuning::Tuning,
+        &fig7::Fig7,
+        &fig8::Fig8a,
+        &fig8::Fig8bc,
+        &fig9::Fig9,
+        &fig10::Fig10,
+        &fig11::Fig11,
+        &table2::Table2,
+        &energy::Energy,
+    ];
+    &REGISTRY
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.id() == id)
+}
+
+/// Runs one experiment and stamps the wall-clock time into its report.
+pub fn run_experiment(experiment: &dyn Experiment, params: &ExperimentParams) -> Report {
+    let start = std::time::Instant::now();
+    let mut report = experiment.run(params);
+    report.wall_time_ms = start.elapsed().as_secs_f64() * 1.0e3;
+    report
+}
+
+/// Runs a batch of `(experiment, params)` jobs — in parallel through the
+/// work-stealing pool when `parallel` is set — and returns the reports in
+/// job order regardless of completion order.
+pub fn run_experiments(
+    jobs: Vec<(&'static dyn Experiment, ExperimentParams)>,
+    parallel: bool,
+) -> Vec<Report> {
+    if parallel {
+        parallel_map(jobs, |(experiment, params)| {
+            run_experiment(experiment, &params)
+        })
+    } else {
+        jobs.into_iter()
+            .map(|(experiment, params)| run_experiment(experiment, &params))
+            .collect()
+    }
+}
+
 #[cfg(test)]
-pub(crate) fn tiny_params() -> crate::driver::ExperimentParams {
-    crate::driver::ExperimentParams {
+pub(crate) fn tiny_params() -> ExperimentParams {
+    ExperimentParams {
         commits: 1_200,
         seed: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        let unique: HashSet<&str> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), unique.len(), "duplicate experiment ids");
+        assert_eq!(ids.len(), 10);
+        for id in ids {
+            let e = find(id).expect("registered id resolves");
+            assert_eq!(e.id(), id);
+            assert!(!e.title().is_empty());
+            assert!(e.default_params().commits > 0);
+        }
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn run_experiment_stamps_wall_time_and_metadata() {
+        let params = tiny_params();
+        let e = find("tuning").unwrap();
+        let report = run_experiment(e, &params);
+        assert_eq!(report.id, "tuning");
+        assert_eq!(report.params, params);
+        assert!(report.wall_time_ms > 0.0);
+        assert!(!report.tables.is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_experiment_batches_match() {
+        let params = ExperimentParams {
+            commits: 800,
+            seed: 3,
+        };
+        let jobs = || {
+            vec![
+                (find("tuning").unwrap(), params),
+                (find("fig9").unwrap(), params),
+            ]
+        };
+        let parallel: Vec<_> = run_experiments(jobs(), true)
+            .into_iter()
+            .map(Report::without_wall_time)
+            .collect();
+        let sequential: Vec<_> = run_experiments(jobs(), false)
+            .into_iter()
+            .map(Report::without_wall_time)
+            .collect();
+        assert_eq!(parallel, sequential);
     }
 }

@@ -3,10 +3,32 @@
 
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::result::SimResult;
-use elsq_stats::report::{fmt_f, fmt_millions, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite, ExperimentParams};
+use crate::driver::run_suite;
+use crate::experiments::Experiment;
+
+/// Table 2 as a registered [`Experiment`]: one table per workload class.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 2: accesses to the LSQ components"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        let mut report = Report::new(self.id(), self.title(), *params);
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            report.push_table(run(class, params));
+        }
+        report
+    }
+}
 
 /// The configurations listed in Table 2, in row order.
 pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
@@ -42,17 +64,17 @@ pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
         let results = run_suite(cfg, class, params);
         let ipc = SimResult::mean_ipc(&results);
         let mean = SimResult::mean_lsq_per_100m(&results);
-        table.row_owned(vec![
-            name.to_owned(),
-            fmt_millions(mean.hl_lq_searches),
-            fmt_millions(mean.hl_sq_searches),
-            fmt_millions(mean.ll_lq_searches),
-            fmt_millions(mean.ll_sq_searches),
-            fmt_millions(mean.ert_lookups),
-            fmt_millions(mean.ssbf_lookups),
-            fmt_millions(mean.roundtrips),
-            fmt_millions(mean.cache_accesses),
-            fmt_f(ipc / baseline),
+        table.row_cells(vec![
+            Cell::text(name),
+            Cell::millions(mean.hl_lq_searches),
+            Cell::millions(mean.hl_sq_searches),
+            Cell::millions(mean.ll_lq_searches),
+            Cell::millions(mean.ll_sq_searches),
+            Cell::millions(mean.ert_lookups),
+            Cell::millions(mean.ssbf_lookups),
+            Cell::millions(mean.roundtrips),
+            Cell::millions(mean.cache_accesses),
+            Cell::f(ipc / baseline),
         ]);
     }
     table
@@ -76,28 +98,28 @@ mod tests {
             seed: 3,
         };
         let t = run(WorkloadClass::Fp, &params);
-        let find = |name: &str| -> Vec<String> {
+        let find = |name: &str| -> Vec<Cell> {
             t.rows()
                 .iter()
                 .find(|r| r[0] == name)
                 .expect("row present")
                 .clone()
         };
-        let parse = |s: &str| -> f64 { s.parse().unwrap() };
+        let num = |c: &Cell| -> f64 { c.value.unwrap() };
         // The conventional processor never touches LL queues, the ERT or the
         // network.
         let ooo = find("OoO-64");
-        assert_eq!(parse(&ooo[3]), 0.0);
-        assert_eq!(parse(&ooo[4]), 0.0);
-        assert_eq!(parse(&ooo[5]), 0.0);
-        assert_eq!(parse(&ooo[7]), 0.0);
+        assert_eq!(num(&ooo[3]), 0.0);
+        assert_eq!(num(&ooo[4]), 0.0);
+        assert_eq!(num(&ooo[5]), 0.0);
+        assert_eq!(num(&ooo[7]), 0.0);
         // SVW configurations have no associative load-queue searches but do
         // access the SSBF.
         let svw = find("OoO-64-SVW");
-        assert_eq!(parse(&svw[1]), 0.0);
-        assert!(parse(&svw[6]) > 0.0);
+        assert_eq!(num(&svw[1]), 0.0);
+        assert!(num(&svw[6]) > 0.0);
         // The FMC configurations exercise the ERT.
         let fmc = find("FMC-Hash");
-        assert!(parse(&fmc[5]) > 0.0);
+        assert!(num(&fmc[5]) > 0.0);
     }
 }

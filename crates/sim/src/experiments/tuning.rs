@@ -9,10 +9,28 @@
 
 use elsq_core::config::ElsqConfig;
 use elsq_cpu::config::CpuConfig;
-use elsq_stats::report::{fmt_f, Table};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{mean_ipc, ExperimentParams};
+use crate::driver::mean_ipc;
+use crate::experiments::Experiment;
+
+/// The Section 5.2 sizing study as a registered [`Experiment`].
+pub struct Tuning;
+
+impl Experiment for Tuning {
+    fn id(&self) -> &'static str {
+        "tuning"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 5.2: per-epoch LSQ sizing"
+    }
+
+    fn run(&self, params: &ExperimentParams) -> Report {
+        Report::new(self.id(), self.title(), *params).with_table(run(params))
+    }
+}
 
 /// The (loads, stores) sizes swept.
 pub const SIZES: [(usize, usize); 4] = [(16, 8), (32, 16), (64, 32), (128, 64)];
@@ -36,7 +54,10 @@ pub fn run(params: &ExperimentParams) -> Table {
             ..ElsqConfig::default()
         });
         let ipc = mean_ipc(cfg, WorkloadClass::Fp, params);
-        table.row_owned(vec![format!("{loads}/{stores}"), fmt_f(ipc / reference)]);
+        table.row_cells(vec![
+            Cell::text(format!("{loads}/{stores}")),
+            Cell::f(ipc / reference),
+        ]);
     }
     table
 }
@@ -64,7 +85,7 @@ mod tests {
             .iter()
             .find(|r| r[0] == "64/32")
             .expect("64/32 row present");
-        let rel: f64 = row[1].parse().unwrap();
+        let rel = row[1].value.unwrap();
         assert!(
             rel > 0.85,
             "64/32 epochs should be close to unlimited, got {rel}"

@@ -16,9 +16,13 @@
 //! | [`experiments::table2`] | Table 2 — structure access counts |
 //! | [`experiments::energy`] | Section 6 — per-access energy comparison |
 //!
-//! The [`driver`] module runs a processor configuration over a full workload
-//! suite and averages the results with the arithmetic mean, matching the
-//! paper's methodology.
+//! Experiments implement the [`experiments::Experiment`] trait and register
+//! in [`experiments::registry`]; the `elsq-lab` CLI (crate `elsq-bench`)
+//! lists and runs them by id. The [`driver`] module runs a processor
+//! configuration over a full workload suite — fanning the independent
+//! `(config, workload)` pairs out across cores through the work-stealing
+//! scheduler in [`pool`] — and averages the results with the arithmetic
+//! mean, matching the paper's methodology.
 //!
 //! # Example
 //!
@@ -30,6 +34,11 @@
 //! let params = ExperimentParams::quick();
 //! let results = run_suite(CpuConfig::ooo64(), WorkloadClass::Int, &params);
 //! assert_eq!(results.len(), 6);
+//!
+//! // Or run a registered experiment end to end:
+//! let fig9 = elsq_sim::experiments::find("fig9").unwrap();
+//! let report = elsq_sim::experiments::run_experiment(fig9, &params);
+//! assert_eq!(report.id, "fig9");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,5 +46,7 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod pool;
 
-pub use driver::{run_suite, ExperimentParams};
+pub use driver::{run_suite, run_suite_sequential, run_suite_with_threads, ExperimentParams};
+pub use experiments::{find, registry, run_experiment, run_experiments, Experiment};

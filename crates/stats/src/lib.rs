@@ -34,4 +34,4 @@ pub mod report;
 
 pub use counters::{LsqAccessCounters, SimCounters};
 pub use energy::{EnergyModel, StructureKind, StructureSpec};
-pub use report::Table;
+pub use report::{Cell, ExperimentParams, Report, Table};

@@ -1,32 +1,168 @@
-//! Plain-text and CSV table rendering for experiment reports.
+//! Structured experiment reports: tables, cells and run parameters.
 //!
-//! Every figure/table regeneration binary prints its results through
-//! [`Table`] so the output is consistent, aligned and easy to diff against
-//! the numbers recorded in `EXPERIMENTS.md`.
+//! Every experiment produces a [`Report`] — a titled collection of
+//! [`Table`]s plus the [`ExperimentParams`] it ran with — which renders as
+//! aligned plain text, RFC-4180 CSV, or (via `serde`) JSON. Table cells are
+//! [`Cell`]s that keep the raw `f64` value alongside the formatted string,
+//! so machine consumers can diff figures at full precision while the text
+//! output stays aligned with the numbers recorded in `docs/EXPERIMENTS.md`.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Parameters shared by every experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Committed instructions simulated per workload.
+    pub commits: u64,
+    /// Seed for the workload generators.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// A quick configuration for unit tests, doc examples and `--quick` CLI
+    /// runs.
+    pub fn quick() -> Self {
+        Self {
+            commits: 5_000,
+            seed: 7,
+        }
+    }
+
+    /// The default configuration used by the figure-regeneration
+    /// experiments: large enough for stable averages, small enough to finish
+    /// in seconds per configuration.
+    pub fn standard() -> Self {
+        Self {
+            commits: 60_000,
+            seed: 7,
+        }
+    }
+
+    /// A reduced configuration for the wider parameter sweeps.
+    pub fn sweep() -> Self {
+        Self {
+            commits: 30_000,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// One table cell: a formatted string plus, for numeric cells, the raw
+/// value it was formatted from.
+///
+/// # Example
+///
+/// ```
+/// use elsq_stats::report::Cell;
+///
+/// let c = Cell::f(1.2345);
+/// assert_eq!(c.text, "1.234");
+/// assert_eq!(c.value, Some(1.2345));
+/// assert_eq!(Cell::text("scheme").value, None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The formatted string shown in text/CSV output.
+    pub text: String,
+    /// The raw value for numeric cells, preserved at full precision.
+    pub value: Option<f64>,
+}
+
+impl Cell {
+    /// A plain text cell (labels, configuration names).
+    pub fn text(text: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            value: None,
+        }
+    }
+
+    /// A float cell formatted with [`fmt_f`] (3 decimals, the paper's figure
+    /// precision).
+    pub fn f(value: f64) -> Self {
+        Self {
+            text: fmt_f(value),
+            value: Some(value),
+        }
+    }
+
+    /// A count cell formatted in millions with [`fmt_millions`] (Table 2
+    /// unit). The raw value keeps the same millions scale as the text.
+    pub fn millions(count: u64) -> Self {
+        Self {
+            text: fmt_millions(count),
+            value: Some(count as f64 / 1.0e6),
+        }
+    }
+
+    /// An integer cell.
+    pub fn int(value: u64) -> Self {
+        Self {
+            text: value.to_string(),
+            value: Some(value as f64),
+        }
+    }
+
+    /// A cell with an explicit text/value pair (custom formatting).
+    pub fn new(text: impl Into<String>, value: f64) -> Self {
+        Self {
+            text: text.into(),
+            value: Some(value),
+        }
+    }
+
+    /// The raw value of a numeric cell, falling back to parsing the text.
+    pub fn num(&self) -> Option<f64> {
+        self.value.or_else(|| self.text.parse().ok())
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl PartialEq<str> for Cell {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for Cell {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
 
 /// A simple column-aligned table.
 ///
 /// # Example
 ///
 /// ```
-/// use elsq_stats::report::Table;
+/// use elsq_stats::report::{Cell, Table};
 ///
 /// let mut t = Table::new("Speed-up over OoO-64", &["scheme", "SPEC INT", "SPEC FP"]);
-/// t.row(&["Central LSQ", "1.19", "2.08"]);
+/// t.row_cells(vec![Cell::text("Central LSQ"), Cell::f(1.19), Cell::f(2.08)]);
 /// t.row(&["ELSQ hash + SQM", "1.19", "2.10"]);
 /// let text = t.render();
 /// assert!(text.contains("Central LSQ"));
 /// let csv = t.to_csv();
 /// assert!(csv.starts_with("scheme,SPEC INT,SPEC FP"));
+/// assert_eq!(t.rows()[0][1].value, Some(1.19));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
-    rows: Vec<Vec<String>>,
+    rows: Vec<Vec<Cell>>,
 }
 
 impl Table {
@@ -39,12 +175,31 @@ impl Table {
         }
     }
 
-    /// Appends a row of string cells.
+    /// Appends a row of plain text cells.
     ///
     /// # Panics
     ///
     /// Panics if the row length does not match the number of headers.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.row_cells(cells.iter().map(|s| Cell::text(*s)).collect())
+    }
+
+    /// Appends a row of already-owned text cells (e.g. formatted numbers
+    /// without raw values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of headers.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.row_cells(cells.into_iter().map(Cell::text).collect())
+    }
+
+    /// Appends a row of [`Cell`]s, the value-preserving form experiments use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of headers.
+    pub fn row_cells(&mut self, cells: Vec<Cell>) -> &mut Self {
         assert_eq!(
             cells.len(),
             self.headers.len(),
@@ -52,18 +207,6 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows
-            .push(cells.iter().map(|s| (*s).to_owned()).collect());
-        self
-    }
-
-    /// Appends a row of already-owned cells (e.g. formatted numbers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row length does not match the number of headers.
-    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
         self
     }
@@ -71,6 +214,11 @@ impl Table {
     /// The table title.
     pub fn title(&self) -> &str {
         &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
     }
 
     /// Number of data rows.
@@ -83,8 +231,8 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Access to the raw rows (for assertions in tests).
-    pub fn rows(&self) -> &[Vec<String>] {
+    /// Access to the raw rows (for assertions in tests and figure diffing).
+    pub fn rows(&self) -> &[Vec<Cell>] {
         &self.rows
     }
 
@@ -93,14 +241,14 @@ impl Table {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                if cell.len() > widths[i] {
-                    widths[i] = cell.len();
+                if cell.text.len() > widths[i] {
+                    widths[i] = cell.text.len();
                 }
             }
         }
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let fmt_row = |cells: &[&str], widths: &[usize]| -> String {
             let mut line = String::new();
             for (i, cell) in cells.iter().enumerate() {
                 if i > 0 {
@@ -111,31 +259,137 @@ impl Table {
             line.push('\n');
             line
         };
-        out.push_str(&fmt_row(&self.headers, &widths));
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        out.push_str(&fmt_row(&headers, &widths));
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
+            let cells: Vec<&str> = row.iter().map(|c| c.text.as_str()).collect();
+            out.push_str(&fmt_row(&cells, &widths));
         }
         out
     }
 
-    /// Renders the table as CSV (headers first, comma separated, no quoting —
-    /// cells produced by the harness never contain commas).
+    /// Renders the table as RFC-4180 CSV: headers first, comma separated;
+    /// cells containing commas, quotes or line breaks are quoted and inner
+    /// quotes doubled.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
+        let encode_row = |cells: &[&str]| -> String {
+            cells
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        out.push_str(&encode_row(&headers));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            let cells: Vec<&str> = row.iter().map(|c| c.text.as_str()).collect();
+            out.push_str(&encode_row(&cells));
             out.push('\n');
         }
         out
     }
 }
 
+/// Quotes a CSV cell per RFC 4180 when it contains a comma, a double quote
+/// or a line break; passes it through unchanged otherwise.
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
 impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The structured result of running one experiment: identification, the
+/// parameters used, every table produced, and the wall-clock time spent.
+///
+/// Serializes via `serde` to JSON for machine-readable figure diffing; the
+/// per-cell raw values survive the round trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Stable experiment identifier (`fig7`, `table2`, ...).
+    pub id: String,
+    /// Human-readable experiment title.
+    pub title: String,
+    /// The parameters the experiment ran with.
+    pub params: ExperimentParams,
+    /// Every table the experiment produced, in presentation order.
+    pub tables: Vec<Table>,
+    /// Wall-clock time of the run in milliseconds (not deterministic; 0.0
+    /// when reports are compared for figure diffing).
+    pub wall_time_ms: f64,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, params: ExperimentParams) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            params,
+            tables: Vec::new(),
+            wall_time_ms: 0.0,
+        }
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Builder-style: appends a table.
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Renders the report header plus every table as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# {} — {} (commits={}, seed={})\n",
+            self.id, self.title, self.params.commits, self.params.seed
+        );
+        for table in &self.tables {
+            out.push('\n');
+            out.push_str(&table.render());
+        }
+        out
+    }
+
+    /// Renders every table as CSV, each preceded by a `# title` comment line
+    /// and separated by blank lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, table) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("# {}\n", table.title()));
+            out.push_str(&table.to_csv());
+        }
+        out
+    }
+
+    /// Clears the wall-clock measurement (for byte-exact report diffing).
+    pub fn without_wall_time(mut self) -> Self {
+        self.wall_time_ms = 0.0;
+        self
+    }
+}
+
+impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
@@ -177,6 +431,17 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_special_cells_per_rfc_4180() {
+        let mut t = Table::new("demo", &["name", "note"]);
+        t.row(&["a,b", "he said \"hi\""]);
+        t.row(&["line\nbreak", "plain"]);
+        assert_eq!(
+            t.to_csv(),
+            "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n\"line\nbreak\",plain\n"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "columns")]
     fn mismatched_row_panics() {
         let mut t = Table::new("demo", &["x", "y"]);
@@ -197,9 +462,56 @@ mod tests {
     }
 
     #[test]
+    fn cells_preserve_raw_values() {
+        let mut t = Table::new("d", &["a", "b", "c"]);
+        t.row_cells(vec![Cell::f(2.0), Cell::millions(1_000_000), Cell::int(7)]);
+        let row = &t.rows()[0];
+        assert_eq!(row[0], "2.000");
+        assert_eq!(row[0].value, Some(2.0));
+        assert_eq!(row[1].text, "1.000");
+        assert_eq!(row[1].value, Some(1.0));
+        assert_eq!(row[2].num(), Some(7.0));
+        // Text-only cells fall back to parsing.
+        assert_eq!(Cell::text("1.5").num(), Some(1.5));
+        assert_eq!(Cell::text("n/a").num(), None);
+    }
+
+    #[test]
     fn row_owned_accepts_formatted_cells() {
         let mut t = Table::new("d", &["a", "b"]);
         t.row_owned(vec![fmt_f(2.0), fmt_millions(1_000_000)]);
-        assert_eq!(t.rows()[0], vec!["2.000".to_owned(), "1.000".to_owned()]);
+        assert_eq!(t.rows()[0][0], "2.000");
+        assert_eq!(t.rows()[0][1], "1.000");
+        // Ownership conversion loses the raw value by construction.
+        assert_eq!(t.rows()[0][0].value, None);
+    }
+
+    #[test]
+    fn experiment_params_presets_are_ordered_by_cost() {
+        assert!(ExperimentParams::quick().commits <= ExperimentParams::sweep().commits);
+        assert!(ExperimentParams::sweep().commits <= ExperimentParams::standard().commits);
+        assert_eq!(ExperimentParams::default(), ExperimentParams::standard());
+    }
+
+    #[test]
+    fn report_renders_header_tables_and_csv() {
+        let mut table = Table::new("t1", &["x"]);
+        table.row_cells(vec![Cell::f(0.5)]);
+        let report = Report::new("fig0", "demo figure", ExperimentParams::quick())
+            .with_table(table.clone())
+            .with_table(table);
+        let text = report.render();
+        assert!(text.starts_with("# fig0 — demo figure (commits=5000, seed=7)"));
+        assert_eq!(text.matches("== t1 ==").count(), 2);
+        let csv = report.to_csv();
+        assert_eq!(csv.matches("# t1\n").count(), 2);
+        assert!(csv.contains("x\n0.500\n"));
+    }
+
+    #[test]
+    fn report_wall_time_can_be_cleared() {
+        let mut r = Report::new("a", "b", ExperimentParams::quick());
+        r.wall_time_ms = 12.5;
+        assert_eq!(r.without_wall_time().wall_time_ms, 0.0);
     }
 }

@@ -150,7 +150,10 @@ impl WrongPathSynth {
 const WRONG_PATH_SEED_MIX: u64 = 0x5752_4f4e_475f_5054;
 
 /// A source of basic blocks of dynamic instructions.
-pub trait BlockSource {
+///
+/// `Send` so any [`BlockTrace`] built from it satisfies the `TraceSource`
+/// bound and can run on a suite-driver worker thread.
+pub trait BlockSource: Send {
     /// Appends the next basic block to `sink`.
     fn fill(&mut self, sink: &mut Vec<DynInst>);
     /// Short name used in reports.

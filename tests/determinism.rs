@@ -56,3 +56,36 @@ fn svw_configs_are_deterministic() {
     assert_identical("ooo64_svw", CpuConfig::ooo64_svw(10, true));
     assert_identical("fmc_hash_svw", CpuConfig::fmc_hash_svw(10, false));
 }
+
+/// The parallel suite driver must be observably identical — results *and*
+/// ordering — to the sequential reference path for both workload classes,
+/// regardless of how many workers the work-stealing pool spins up.
+#[test]
+fn parallel_driver_matches_sequential_driver() {
+    use elsq_sim::driver::{run_suite_sequential, run_suite_with_threads, ExperimentParams};
+
+    let params = ExperimentParams {
+        commits: COMMITS,
+        seed: SEED,
+    };
+    for cfg in [CpuConfig::ooo64(), CpuConfig::fmc_hash(true)] {
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            let sequential = run_suite_sequential(cfg, class, &params);
+            for workers in [2, 4, 6] {
+                let parallel = run_suite_with_threads(cfg, class, &params, workers);
+                assert_eq!(
+                    parallel.len(),
+                    sequential.len(),
+                    "{class}/{workers} workers: result count diverged"
+                );
+                for (p, s) in parallel.iter().zip(&sequential) {
+                    assert_eq!(
+                        p.workload, s.workload,
+                        "{class}/{workers} workers: ordering diverged"
+                    );
+                    assert_eq!(p, s, "{class}/{workers} workers: {} diverged", s.workload);
+                }
+            }
+        }
+    }
+}

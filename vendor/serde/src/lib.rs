@@ -1,26 +1,530 @@
-//! Offline stand-in for the `serde` crate.
+//! Offline stand-in for the `serde` crate with a real (minimal) backend.
 //!
-//! The ELSQ workspace derives `Serialize`/`Deserialize` on its config and
-//! result types so that downstream tooling can serialize them with the real
-//! `serde`. This stand-in provides the trait names and derive macros so the
-//! workspace builds hermetically (no network, no registry); it performs no
-//! actual serialization. Replace the `serde` entry in the workspace
-//! manifest with the registry crate to get real serialization support.
+//! The registry `serde` is a zero-copy framework generic over serializer
+//! implementations; this stand-in pivots through a concrete [`Value`] tree
+//! instead, which is all the ELSQ workspace needs: the derive macros in the
+//! sibling `serde_derive` stand-in generate real [`Serialize`] /
+//! [`Deserialize`] impls against `Value`, and the `serde_json` stand-in
+//! encodes `Value` to and from JSON text. The API surface (trait names,
+//! derive attribute, `DeserializeOwned`) mirrors the registry crates closely
+//! enough that swapping the `[workspace.dependencies]` entries for the real
+//! crates only requires recompiling.
+//!
+//! Differences from the registry crate, by design:
+//!
+//! * `Deserialize` has no `'de` lifetime — deserialization always goes
+//!   through an owned [`Value`], so there is nothing to borrow from.
+//! * Map keys serialize as strings (the JSON data model), via [`MapKey`].
+//! * `HashMap`s serialize with their entries sorted by key so that
+//!   identically-seeded runs produce byte-identical output.
 
 #![forbid(unsafe_code)]
 
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
+/// The self-describing data model every type serializes into.
 ///
-/// The derive macro in this stand-in expands to nothing, so types carry the
-/// derive attribute without implementing the trait; nothing in this
-/// workspace requires the bound.
-pub trait Serialize {}
+/// Maps preserve insertion order (they are association lists, not trees) so
+/// that serialized output is deterministic and matches field declaration
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for `None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only produced for negative values in JSON input).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map / JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+impl Value {
+    /// Looks up `key` in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// A "expected X, found Y" type mismatch error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing-map-field error.
+    pub fn missing_field(field: &str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a required field of a [`Value::Map`] (used by the derive macro).
+pub fn map_field<'a>(v: &'a Value, field: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Map(_) => v.get(field).ok_or_else(|| Error::missing_field(field)),
+        other => Err(Error::expected("map", other)),
+    }
+}
+
+/// Expects a [`Value::Seq`] of exactly `len` elements (used by the derive
+/// macro for tuple structs and tuple enum variants).
+pub fn seq_of<'a>(v: &'a Value, len: usize) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(Error::custom(format!(
+            "expected sequence of {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::expected("sequence", other)),
+    }
+}
+
+/// A type that can serialize itself into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the serde data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
 
 /// Marker trait mirroring `serde::de::DeserializeOwned`.
-pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
-impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+pub trait DeserializeOwned: Deserialize {}
+impl<T> DeserializeOwned for T where T: Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: u64 = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // serde_json writes non-finite floats as null; accept it back.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = seq_of(value, N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = seq_of(value, 2)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+/// Map keys: serialized as strings, as in the JSON data model.
+pub trait MapKey: Sized {
+    /// Encodes the key as a string.
+    fn to_key(&self) -> String;
+    /// Decodes the key from a string.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!(
+                        "invalid {} map key `{key}`",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort by encoded key so output does not depend on hash iteration
+        // order — determinism is a hard requirement of this workspace.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+        let d: VecDeque<u8> = [1, 2].into_iter().collect();
+        assert_eq!(VecDeque::<u8>::from_value(&d.to_value()).unwrap(), d);
+        let t = (3u64, -1i32);
+        assert_eq!(<(u64, i32)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn maps_round_trip_and_hashmaps_sort() {
+        let mut m = HashMap::new();
+        m.insert(10u64, 1.0f64);
+        m.insert(2u64, 2.0f64);
+        let v = m.to_value();
+        if let Value::Map(entries) = &v {
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["10", "2"]); // string-sorted, deterministic
+        } else {
+            panic!("expected map");
+        }
+        assert_eq!(HashMap::<u64, f64>::from_value(&v).unwrap(), m);
+
+        let mut b = BTreeMap::new();
+        b.insert("x".to_string(), 1u32);
+        assert_eq!(
+            BTreeMap::<String, u32>::from_value(&b.to_value()).unwrap(),
+            b
+        );
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let v = Value::Map(vec![("a".to_string(), Value::U64(1))]);
+        assert_eq!(map_field(&v, "a").unwrap(), &Value::U64(1));
+        assert!(map_field(&v, "b").is_err());
+        assert!(map_field(&Value::Null, "a").is_err());
+    }
+}

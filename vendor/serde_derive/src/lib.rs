@@ -1,21 +1,383 @@
-//! Offline stand-in for `serde_derive`.
+//! Offline stand-in for `serde_derive` that generates *real* impls.
 //!
-//! Both derives expand to nothing: the annotated types keep compiling with
-//! the `#[derive(Serialize, Deserialize)]` attributes (and any `#[serde(..)]`
-//! helper attributes) they carry, but no trait impls are generated. Nothing
-//! in this workspace requires the actual trait bounds; swap in the registry
-//! `serde`/`serde_derive` to get real impls.
+//! Unlike the registry crate this macro has no `syn`/`quote` to lean on: it
+//! hand-parses the item's `TokenStream` into a small structural description
+//! (struct with named fields, tuple struct, or enum whose variants are unit,
+//! named or tuple) and emits `serde::Serialize` / `serde::Deserialize` impls
+//! against the stand-in's concrete `serde::Value` data model.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields → `Value::Map` in declaration order,
+//! * newtype structs → transparent (the inner value),
+//! * tuple structs with 2+ fields → `Value::Seq`,
+//! * enums → externally tagged like the registry crate: unit variants as
+//!   `Value::Str(name)`, data variants as a single-entry map
+//!   `{name: fields}`.
+//!
+//! Generics are not supported (nothing in the workspace derives on a generic
+//! type); deriving on a generic type produces a compile error naming this
+//! limitation. `#[serde(...)]` helper attributes are accepted but ignored.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `#[derive(Serialize)]`.
+/// Real `#[derive(Serialize)]`.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated impl parses")
 }
 
-/// No-op `#[derive(Deserialize)]`.
+/// Real `#[derive(Deserialize)]`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated impl parses")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types ({name})");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `(crate)` / `(super)` / ...
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips one type, starting at `i`: consumes tokens until a `,` at zero
+/// angle-bracket depth (or the end). Parenthesized/bracketed types are single
+/// groups, so only `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found `{other}`"),
+        };
+        fields.push(name);
+        i += 1; // field name
+        i += 1; // `:`
+        skip_type(&tokens, &mut i);
+        i += 1; // `,`
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // `,`
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then the `,`.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1; // `,`
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+            Shape::Struct(Fields::Named(fields)) => ser_named_map(fields, "&self.", ""),
+            Shape::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants.iter().map(|v| v.ser_arm()).collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(Fields::Unit) => format!("{{ let _ = __value; Ok({name}) }}"),
+            Shape::Struct(Fields::Named(fields)) => de_named(fields, name, "__value"),
+            Shape::Struct(Fields::Tuple(1)) => {
+                format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+            }
+            Shape::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "{{ let __items = serde::seq_of(__value, {n})?; Ok({name}({})) }}",
+                    items.join(", ")
+                )
+            }
+            Shape::Enum(variants) => de_enum(name, variants),
+        };
+        format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+/// `Value::Map` construction for named fields; `access` is the prefix used to
+/// reach each field (`&self.` for structs, `` for bound variant patterns).
+fn ser_named_map(fields: &[String], access: &str, bind_ref: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({access}{bind_ref}{f}))"))
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Statements deserializing named fields from map `src` and building
+/// `ctor { fields }`.
+fn de_named(fields: &[String], ctor: &str, src: &str) -> String {
+    let lets: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("let {f} = serde::Deserialize::from_value(serde::map_field({src}, {f:?})?)?;")
+        })
+        .collect();
+    format!(
+        "{{ {} Ok({ctor} {{ {} }}) }}",
+        lets.join(" "),
+        fields.join(", ")
+    )
+}
+
+impl Variant {
+    fn ser_arm(&self) -> String {
+        let name = &self.name;
+        match &self.fields {
+            Fields::Unit => {
+                format!("Self::{name} => serde::Value::Str({name:?}.to_string()),")
+            }
+            Fields::Named(fields) => {
+                let inner = ser_named_map(fields, "", "");
+                format!(
+                    "Self::{name} {{ {} }} => serde::Value::Map(vec![({name:?}.to_string(), {inner})]),",
+                    fields.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "Self::{name}(f0) => serde::Value::Map(vec![({name:?}.to_string(), serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "Self::{name}({}) => serde::Value::Map(vec![({name:?}.to_string(), serde::Value::Seq(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+        }
+    }
+
+    fn de_arm(&self) -> String {
+        let name = &self.name;
+        match &self.fields {
+            Fields::Unit => format!("{name:?} => Ok(Self::{name}),"),
+            Fields::Named(fields) => {
+                let body = de_named(fields, &format!("Self::{name}"), "__inner");
+                format!("{name:?} => {body},")
+            }
+            Fields::Tuple(1) => {
+                format!("{name:?} => Ok(Self::{name}(serde::Deserialize::from_value(__inner)?)),")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "{name:?} => {{ let __items = serde::seq_of(__inner, {n})?; Ok(Self::{name}({})) }},",
+                    items.join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| v.de_arm())
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| v.de_arm())
+        .collect();
+    format!(
+        "match __value {{\n\
+         serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+         {unit}\n\
+         __other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         let _ = __inner;\n\
+         match __tag.as_str() {{\n\
+         {data}\n\
+         __other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         __other => Err(serde::Error::expected(\"externally tagged {name}\", __other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
 }

@@ -1,0 +1,490 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Encodes the serde stand-in's [`serde::Value`] data model to JSON text and
+//! parses JSON text back into it. The public entry points ([`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`from_value`]) mirror
+//! the registry crate's signatures so callers keep compiling when the real
+//! `serde`/`serde_json` are restored from a registry.
+//!
+//! Encoding details:
+//!
+//! * floats print through Rust's shortest round-trip `Display`; non-finite
+//!   floats encode as `null` (matching `serde_json`),
+//! * map entries keep insertion order (struct declaration order),
+//! * strings escape `"` `\\` and all control characters.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeserializeOwned, Serialize, Value};
+use std::fmt;
+
+/// JSON encoding/decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Converts any serializable type into the serde data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a deserializable type from the serde data model.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a deserializable type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into the serde data model.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Display for f64 is the shortest string that round-trips.
+                let s = x.to_string();
+                out.push_str(&s);
+                // `2.0` displays as "2"; keep it a float so the value
+                // round-trips as F64, not as an integer.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(out, b"[]", items.len(), indent, depth, |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, b"{}", entries.len(), indent, depth, |out, i| {
+                let (k, v) = &entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    brackets: &[u8; 2],
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(brackets[0] as char);
+    if len > 0 {
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * (depth + 1)));
+            }
+            write_item(out, i);
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(brackets[1] as char);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a low surrogate must follow.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let second = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + (second
+                                        .checked_sub(0xDC00)
+                                        .ok_or_else(|| Error::new("invalid low surrogate"))?);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; compensate for
+                            // the shared `pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Some(digits) = text.strip_prefix('-') {
+            digits
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(Value::I64)
+                .ok_or_else(|| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("42", Value::U64(42)),
+            ("-7", Value::I64(-7)),
+            ("1.5", Value::F64(1.5)),
+            ("\"hi\"", Value::Str("hi".to_string())),
+        ] {
+            assert_eq!(parse_value(text).unwrap(), value, "{text}");
+            assert_eq!(to_string(&value).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn floats_keep_their_type() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(parse_value("2.0").unwrap(), Value::F64(2.0));
+        let x: f64 = from_str("2.0").unwrap();
+        assert_eq!(x, 2.0);
+        // Integers still deserialize into floats on request.
+        let y: f64 = from_str("3").unwrap();
+        assert_eq!(y, 3.0);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Map(vec![
+            (
+                "a".to_string(),
+                Value::Seq(vec![Value::U64(1), Value::Null]),
+            ),
+            (
+                "b".to_string(),
+                Value::Map(vec![("x".to_string(), Value::F64(0.25))]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "{\"a\":[1,null],\"b\":{\"x\":0.25}}");
+        assert_eq!(parse_value(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" slash\\ newline\n tab\t ctrl\u{0001} unicode\u{263A}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+        let snowman: String = from_str("\"\\u263a\"").unwrap();
+        assert_eq!(snowman, "\u{263a}");
+        let pair: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(pair, "\u{1F600}");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("nul").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Seq(vec![])).unwrap(), "[]");
+        assert_eq!(to_string(&Value::Map(vec![])).unwrap(), "{}");
+        assert_eq!(parse_value("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(parse_value("{ }").unwrap(), Value::Map(vec![]));
+        assert_eq!(to_string_pretty(&Value::Seq(vec![])).unwrap(), "[]");
+    }
+}
