@@ -1,0 +1,342 @@
+//! The `elsq-lab bench` subcommand: simulator-throughput measurement.
+//!
+//! Runs a fixed roster of fixed-seed kernels — the Figure 7 workload suites
+//! under the baseline and large-window configurations — **sequentially** on
+//! the calling thread, and reports, per case, the committed instruction
+//! count, the wall-clock time and the simulated-instructions-per-second
+//! rate. The output serializes to `BENCH_<label>.json` at the invocation
+//! directory (the repo root in CI) so successive PRs leave a throughput
+//! trajectory behind, and `--check` compares a fresh run against a committed
+//! baseline file, failing with a non-zero exit when any case regresses
+//! beyond the allowed fraction.
+//!
+//! Simulation *results* are completely determined by `(config, seed,
+//! commits)`; only the wall-clock columns vary between hosts, which is why
+//! the regression check is expressed as a relative threshold (default 30%)
+//! rather than an absolute rate.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::pipeline::Processor;
+use elsq_stats::report::{Cell, Table};
+use elsq_workload::suite::{suite, WorkloadClass};
+
+/// One benchmark case: a processor configuration over a workload suite.
+struct BenchSpec {
+    /// Stable case identifier (`scheme/suite`).
+    id: &'static str,
+    config: CpuConfig,
+    class: WorkloadClass,
+}
+
+/// The fixed roster: the OoO-64 baseline plus the Figure 7 large-window
+/// schemes that dominate experiment time, over both suites. Ids are stable
+/// across PRs so trajectory files stay comparable.
+fn roster() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec {
+            id: "ooo64/int",
+            config: CpuConfig::ooo64(),
+            class: WorkloadClass::Int,
+        },
+        BenchSpec {
+            id: "ooo64/fp",
+            config: CpuConfig::ooo64(),
+            class: WorkloadClass::Fp,
+        },
+        BenchSpec {
+            id: "fmc-hash-sqm/int",
+            config: CpuConfig::fmc_hash(true),
+            class: WorkloadClass::Int,
+        },
+        BenchSpec {
+            id: "fmc-hash-sqm/fp",
+            config: CpuConfig::fmc_hash(true),
+            class: WorkloadClass::Fp,
+        },
+        BenchSpec {
+            id: "fmc-line-sqm/fp",
+            config: CpuConfig::fmc_line(true),
+            class: WorkloadClass::Fp,
+        },
+        BenchSpec {
+            id: "central-ideal/fp",
+            config: CpuConfig::fmc_central_ideal(),
+            class: WorkloadClass::Fp,
+        },
+    ]
+}
+
+/// Measured throughput of one bench case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCaseResult {
+    /// Stable case identifier (`scheme/suite`).
+    pub id: String,
+    /// Committed instructions summed over the suite's six workloads.
+    pub committed: u64,
+    /// Simulated cycles summed over the suite (determinism witness: this
+    /// column must be identical across hosts for the same parameters).
+    pub cycles: u64,
+    /// Wall-clock milliseconds for the sequential suite run.
+    pub wall_ms: f64,
+    /// Simulated (committed) instructions per wall-clock second, in
+    /// millions.
+    pub minst_per_sec: f64,
+}
+
+/// A full bench run: the parameters plus every case, in roster order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Free-form label (`PR3`, a git SHA, ...).
+    pub label: String,
+    /// Committed instructions per workload.
+    pub commits: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Per-case measurements.
+    pub cases: Vec<BenchCaseResult>,
+    /// Aggregate millions of simulated instructions per second across every
+    /// case (total committed / total wall time).
+    pub total_minst_per_sec: f64,
+}
+
+impl BenchReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            format!(
+                "Simulator throughput [{}] (commits={}, seed={})",
+                self.label, self.commits, self.seed
+            ),
+            &["case", "committed", "cycles", "wall ms", "Minst/s"],
+        );
+        for case in &self.cases {
+            table.row_cells(vec![
+                Cell::text(&case.id),
+                Cell::int(case.committed),
+                Cell::int(case.cycles),
+                Cell::f(case.wall_ms),
+                Cell::f(case.minst_per_sec),
+            ]);
+        }
+        let mut out = table.render();
+        out.push_str(&format!("total: {:.3} Minst/s\n", self.total_minst_per_sec));
+        out
+    }
+}
+
+/// Parameters of a bench invocation (see [`crate::cli`] for the flags).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchParams {
+    /// Committed instructions per workload.
+    pub commits: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Label recorded in the report (and the default output file name).
+    pub label: String,
+}
+
+/// Default committed-instruction budgets.
+pub const BENCH_COMMITS: u64 = 20_000;
+/// The `--quick` budget (matches the experiment quick preset).
+pub const BENCH_COMMITS_QUICK: u64 = 5_000;
+/// Default seed (matches the experiment presets).
+pub const BENCH_SEED: u64 = 7;
+
+/// Runs the full roster sequentially and returns the measured report.
+pub fn run_bench(params: &BenchParams) -> BenchReport {
+    let mut cases = Vec::new();
+    let mut total_committed = 0u64;
+    let mut total_secs = 0.0f64;
+    for spec in roster() {
+        let start = Instant::now();
+        let mut committed = 0u64;
+        let mut cycles = 0u64;
+        for mut workload in suite(spec.class, params.seed) {
+            let result = Processor::new(spec.config).run(workload.as_mut(), params.commits);
+            committed += result.sim.committed;
+            cycles += result.sim.cycles;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        total_committed += committed;
+        total_secs += secs;
+        cases.push(BenchCaseResult {
+            id: spec.id.to_owned(),
+            committed,
+            cycles,
+            wall_ms: secs * 1.0e3,
+            minst_per_sec: committed as f64 / secs.max(1e-9) / 1.0e6,
+        });
+    }
+    BenchReport {
+        label: params.label.clone(),
+        commits: params.commits,
+        seed: params.seed,
+        cases,
+        total_minst_per_sec: total_committed as f64 / total_secs.max(1e-9) / 1.0e6,
+    }
+}
+
+/// The default output path for a labelled run: `BENCH_<label>.json` in the
+/// invocation directory (the repo root when run from it).
+pub fn default_out_path(label: &str) -> PathBuf {
+    PathBuf::from(format!("BENCH_{label}.json"))
+}
+
+/// Extracts the comparable [`BenchReport`] from a baseline JSON value.
+///
+/// Accepts either a flat report (what `bench --out` writes) or a
+/// before/after trajectory wrapper (what `BENCH_PR3.json` commits), in which
+/// case the `after` report is the baseline.
+pub fn baseline_from_value(value: &serde::Value) -> Result<BenchReport, serde::Error> {
+    let report_value = value.get("after").unwrap_or(value);
+    <BenchReport as Deserialize>::from_value(report_value)
+}
+
+/// Compares `current` against `baseline`, allowing each case's throughput
+/// to regress by at most `max_regress` (a fraction, e.g. `0.30`).
+///
+/// Returns the human-readable comparison; `Err` carries the same listing
+/// when any case regresses beyond the threshold. Cases present on only one
+/// side are reported but never fail the check (the roster may grow).
+pub fn check_against_baseline(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    max_regress: f64,
+) -> Result<String, String> {
+    let mut lines = String::new();
+    let mut failed = false;
+    for case in &current.cases {
+        let Some(base) = baseline.cases.iter().find(|b| b.id == case.id) else {
+            lines.push_str(&format!("{}: new case, no baseline\n", case.id));
+            continue;
+        };
+        let ratio = if base.minst_per_sec > 0.0 {
+            case.minst_per_sec / base.minst_per_sec
+        } else {
+            1.0
+        };
+        let verdict = if ratio + max_regress < 1.0 {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        lines.push_str(&format!(
+            "{}: {:.3} Minst/s vs baseline {:.3} ({:+.1}%) {}\n",
+            case.id,
+            case.minst_per_sec,
+            base.minst_per_sec,
+            (ratio - 1.0) * 100.0,
+            verdict
+        ));
+    }
+    for base in &baseline.cases {
+        if !current.cases.iter().any(|c| c.id == base.id) {
+            lines.push_str(&format!("{}: baseline case missing from run\n", base.id));
+        }
+    }
+    if failed {
+        Err(lines)
+    } else {
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(rates: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            label: "t".into(),
+            commits: 1,
+            seed: 7,
+            cases: rates
+                .iter()
+                .map(|(id, rate)| BenchCaseResult {
+                    id: (*id).to_owned(),
+                    committed: 100,
+                    cycles: 50,
+                    wall_ms: 1.0,
+                    minst_per_sec: *rate,
+                })
+                .collect(),
+            total_minst_per_sec: 1.0,
+        }
+    }
+
+    #[test]
+    fn roster_ids_are_unique() {
+        let specs = roster();
+        let ids: std::collections::HashSet<&str> = specs.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), specs.len());
+    }
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        let report = run_bench(&BenchParams {
+            commits: 300,
+            seed: 7,
+            label: "unit".into(),
+        });
+        assert_eq!(report.cases.len(), roster().len());
+        for case in &report.cases {
+            assert!(case.committed > 0);
+            assert!(case.cycles > 0);
+            assert!(case.minst_per_sec > 0.0);
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cases.len(), report.cases.len());
+        assert!(report.render().contains("ooo64/int"));
+    }
+
+    #[test]
+    fn bench_results_are_deterministic_across_runs() {
+        let params = BenchParams {
+            commits: 300,
+            seed: 7,
+            label: "det".into(),
+        };
+        let a = run_bench(&params);
+        let b = run_bench(&params);
+        // Wall time differs; the simulated columns must not.
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!((x.committed, x.cycles), (y.committed, y.cycles), "{}", x.id);
+        }
+    }
+
+    #[test]
+    fn check_flags_regressions_beyond_threshold() {
+        let base = fake_report(&[("a", 10.0), ("b", 10.0)]);
+        let ok = fake_report(&[("a", 8.0), ("b", 11.0)]);
+        assert!(check_against_baseline(&ok, &base, 0.30).is_ok());
+        let bad = fake_report(&[("a", 6.0), ("b", 11.0)]);
+        let err = check_against_baseline(&bad, &base, 0.30).unwrap_err();
+        assert!(err.contains("a: ") && err.contains("REGRESSED"));
+        // New and missing cases never fail the check.
+        let skew = fake_report(&[("a", 10.0), ("c", 1.0)]);
+        let out = check_against_baseline(&skew, &base, 0.30).unwrap();
+        assert!(out.contains("c: new case"));
+        assert!(out.contains("b: baseline case missing"));
+    }
+
+    #[test]
+    fn baseline_accepts_flat_and_wrapped_files() {
+        use serde::Serialize;
+        let flat = fake_report(&[("a", 10.0)]);
+        let parsed = baseline_from_value(&flat.to_value()).unwrap();
+        assert_eq!(parsed.cases[0].id, "a");
+        let wrapped = serde::Value::Map(vec![
+            ("before".to_owned(), flat.to_value()),
+            ("after".to_owned(), fake_report(&[("a", 20.0)]).to_value()),
+        ]);
+        let parsed = baseline_from_value(&wrapped).unwrap();
+        assert!((parsed.cases[0].minst_per_sec - 20.0).abs() < 1e-12);
+    }
+}

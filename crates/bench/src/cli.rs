@@ -18,6 +18,12 @@ use std::path::PathBuf;
 use elsq_sim::experiments::{registry, run_experiments, Experiment};
 use elsq_stats::report::{ExperimentParams, Report};
 
+use crate::bench::{
+    baseline_from_value, check_against_baseline, default_out_path, run_bench, BenchParams,
+    BENCH_COMMITS, BENCH_COMMITS_QUICK, BENCH_SEED,
+};
+use crate::diff::{diff_reports, parse_reports};
+
 /// Usage text printed by `elsq-lab help` and on parse errors.
 pub const USAGE: &str = "\
 elsq-lab — registry-driven experiment runner for the ELSQ reproduction
@@ -25,6 +31,9 @@ elsq-lab — registry-driven experiment runner for the ELSQ reproduction
 USAGE:
     elsq-lab list                 list registered experiments
     elsq-lab run [IDS...] [OPTS]  run experiments by id
+    elsq-lab bench [OPTS]         measure simulator throughput
+    elsq-lab diff A.json B.json [--tol REL]
+                                  compare two report files cell-by-cell
     elsq-lab help                 show this help
 
 RUN OPTIONS:
@@ -40,6 +49,23 @@ RUN OPTIONS:
                        --jobs 1 is exactly sequential)
     --sequential       run experiments one after another (suites still
                        parallel); with --jobs 1, fully sequential
+
+BENCH OPTIONS:
+    --quick            5k commits per workload instead of 20k
+    --commits N        override committed instructions per workload
+    --seed N           override the workload generator seed
+    --label NAME       report label; also writes BENCH_<NAME>.json
+    --out FILE         write the JSON report to FILE (overrides --label path)
+    --format FORMAT    text | json (default: text)
+    --check FILE       compare against a baseline bench JSON (flat report
+                       or a {before,after} trajectory file); exits non-zero
+                       on regression
+    --max-regress PCT  allowed per-case throughput drop for --check, in
+                       percent (default: 30)
+
+DIFF OPTIONS:
+    --tol REL          relative tolerance for numeric cells (default: 0,
+                       i.e. exact); text cells always compare exactly
 
 Experiment ids map to paper artifacts; see docs/EXPERIMENTS.md.";
 
@@ -98,13 +124,49 @@ pub struct RunArgs {
     pub sequential: bool,
 }
 
+/// Parsed `elsq-lab bench` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Use the quick commit budget.
+    pub quick: bool,
+    /// Override the commit budget.
+    pub commits: Option<u64>,
+    /// Override the workload seed.
+    pub seed: Option<u64>,
+    /// Report label; also selects the default `BENCH_<label>.json` path.
+    pub label: Option<String>,
+    /// Explicit output file for the JSON report.
+    pub out: Option<PathBuf>,
+    /// Output format (text or json; csv is rejected at parse time).
+    pub format: OutputFormat,
+    /// Baseline file to compare against.
+    pub check: Option<PathBuf>,
+    /// Allowed per-case throughput regression for `--check`, as a fraction.
+    pub max_regress: f64,
+}
+
+/// Parsed `elsq-lab diff` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffArgs {
+    /// First report file.
+    pub a: PathBuf,
+    /// Second report file.
+    pub b: PathBuf,
+    /// Relative tolerance for numeric cells.
+    pub tol: f64,
+}
+
 /// A parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `elsq-lab list`
     List,
     /// `elsq-lab run ...`
     Run(RunArgs),
+    /// `elsq-lab bench ...`
+    Bench(BenchArgs),
+    /// `elsq-lab diff a.json b.json`
+    Diff(DiffArgs),
     /// `elsq-lab help` / `--help`
     Help,
 }
@@ -156,10 +218,95 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::List)
         }
         Some("run") => parse_run(it.as_slice()).map(Command::Run),
+        Some("bench") => parse_bench(it.as_slice()).map(Command::Bench),
+        Some("diff") => parse_diff(it.as_slice()).map(Command::Diff),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`; try `elsq-lab help`"
         ))),
     }
+}
+
+fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
+    let mut bench = BenchArgs {
+        quick: false,
+        commits: None,
+        seed: None,
+        label: None,
+        out: None,
+        format: OutputFormat::Text,
+        check: None,
+        max_regress: 0.30,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--quick" => bench.quick = true,
+            "--commits" => bench.commits = Some(parse_num(value_of("--commits")?, "--commits")?),
+            "--seed" => bench.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+            "--label" => bench.label = Some(value_of("--label")?.clone()),
+            "--out" => bench.out = Some(PathBuf::from(value_of("--out")?)),
+            "--format" => match OutputFormat::parse(value_of("--format")?)? {
+                OutputFormat::Csv => {
+                    return Err(CliError::usage("`bench` supports text or json, not csv"));
+                }
+                format => bench.format = format,
+            },
+            "--check" => bench.check = Some(PathBuf::from(value_of("--check")?)),
+            "--max-regress" => {
+                let pct: u64 = parse_num(value_of("--max-regress")?, "--max-regress")?;
+                if pct > 100 {
+                    return Err(CliError::usage("`--max-regress` must be 0..=100 percent"));
+                }
+                bench.max_regress = pct as f64 / 100.0;
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{other}` for `bench`"
+                )));
+            }
+        }
+    }
+    Ok(bench)
+}
+
+fn parse_diff(args: &[String]) -> Result<DiffArgs, CliError> {
+    let mut files = Vec::new();
+    let mut tol = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("`--tol` requires a value"))?;
+                tol = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| {
+                        CliError::usage(format!("invalid tolerance `{value}` for `--tol`"))
+                    })?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown option `{flag}`")));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    let [a, b] = files.as_slice() else {
+        return Err(CliError::usage(
+            "`diff` takes exactly two report files: elsq-lab diff a.json b.json",
+        ));
+    };
+    Ok(DiffArgs {
+        a: a.clone(),
+        b: b.clone(),
+        tol,
+    })
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
@@ -357,6 +504,120 @@ pub fn write_reports(
     Ok(summary)
 }
 
+/// Executes a bench invocation: runs the roster, writes the JSON file when
+/// `--label`/`--out` select one, and applies the `--check` comparison.
+pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
+    let commits = bench.commits.unwrap_or(if bench.quick {
+        BENCH_COMMITS_QUICK
+    } else {
+        BENCH_COMMITS
+    });
+    let params = BenchParams {
+        commits,
+        seed: bench.seed.unwrap_or(BENCH_SEED),
+        label: bench.label.clone().unwrap_or_else(|| "local".to_owned()),
+    };
+    let report = run_bench(&params);
+    // In JSON mode, stdout carries *only* the report (so `| jq` works); the
+    // file-write notice and check comparison are text-mode affordances, and
+    // a failed check still reaches stderr through the returned error.
+    let json_only = bench.format == OutputFormat::Json;
+    let mut output = if json_only {
+        let mut json =
+            serde_json::to_string_pretty(&report).expect("bench reports always serialize");
+        json.push('\n');
+        json
+    } else {
+        report.render()
+    };
+    let path = bench
+        .out
+        .clone()
+        .or_else(|| bench.label.as_deref().map(default_out_path));
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(&report).expect("bench reports always serialize");
+        std::fs::write(&path, json)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        if !json_only {
+            output.push_str(&format!("wrote {}\n", path.display()));
+        }
+    }
+    if let Some(baseline_path) = &bench.check {
+        let text = std::fs::read_to_string(baseline_path).map_err(|e| {
+            CliError::runtime(format!("cannot read {}: {e}", baseline_path.display()))
+        })?;
+        let value: serde::Value = serde_json::from_str(&text).map_err(|e| {
+            CliError::runtime(format!("cannot parse {}: {e}", baseline_path.display()))
+        })?;
+        let baseline = baseline_from_value(&value).map_err(|e| {
+            CliError::runtime(format!(
+                "{} is not a bench report: {e}",
+                baseline_path.display()
+            ))
+        })?;
+        // Rates only compare like-for-like: a 5k-commit run measures
+        // 1-2x the per-second rate of a 20k-commit run (warm-up dominates
+        // differently), which would hollow out the threshold.
+        if (baseline.commits, baseline.seed) != (report.commits, report.seed) {
+            return Err(CliError::runtime(format!(
+                "baseline {} was recorded at commits={} seed={} but this run used \
+                 commits={} seed={}; throughput rates are not comparable across \
+                 budgets — pass matching --commits/--seed or re-record the baseline",
+                baseline_path.display(),
+                baseline.commits,
+                baseline.seed,
+                report.commits,
+                report.seed
+            )));
+        }
+        match check_against_baseline(&report, &baseline, bench.max_regress) {
+            Ok(comparison) => {
+                if !json_only {
+                    output.push_str(&comparison);
+                    output.push_str("throughput check passed\n");
+                }
+            }
+            Err(comparison) => {
+                return Err(CliError::runtime(format!(
+                    "{comparison}throughput regressed more than {:.0}% vs {}",
+                    bench.max_regress * 100.0,
+                    baseline_path.display()
+                )));
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Executes a diff invocation; a mismatch is a runtime error (exit code 1)
+/// whose message lists every differing cell.
+pub fn execute_diff(diff: &DiffArgs) -> Result<String, CliError> {
+    let load = |path: &std::path::Path| -> Result<Vec<Report>, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+        parse_reports(&text)
+            .map_err(|e| CliError::runtime(format!("cannot parse {}: {e}", path.display())))
+    };
+    let a = load(&diff.a)?;
+    let b = load(&diff.b)?;
+    let outcome = diff_reports(&a, &b, diff.tol);
+    if outcome.is_match() {
+        Ok(format!(
+            "reports match: {} report(s), {} cell(s) compared, tol {}\n",
+            a.len(),
+            outcome.cells,
+            diff.tol
+        ))
+    } else {
+        Err(CliError::runtime(format!(
+            "{}\nreports differ: {} mismatch(es) across {} compared cell(s)",
+            outcome.mismatches.join("\n"),
+            outcome.mismatches.len(),
+            outcome.cells
+        )))
+    }
+}
+
 /// Full CLI entry point: parses `args` (without the binary name), executes,
 /// and returns what should be printed to stdout.
 pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
@@ -370,6 +631,8 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 None => Ok(render_reports(&reports, run.format)),
             }
         }
+        Command::Bench(bench) => execute_bench(&bench),
+        Command::Diff(diff) => execute_diff(&diff),
     }
 }
 
@@ -472,6 +735,161 @@ mod tests {
             );
         }
         assert_eq!(listing.lines().count(), registry().len());
+    }
+
+    #[test]
+    fn parse_bench_flags() {
+        let cmd = parse(&args(&[
+            "bench",
+            "--quick",
+            "--commits",
+            "900",
+            "--seed",
+            "3",
+            "--label",
+            "PR3",
+            "--out",
+            "bench.json",
+            "--format",
+            "json",
+            "--check",
+            "BENCH_PR3.json",
+            "--max-regress",
+            "40",
+        ]))
+        .unwrap();
+        let Command::Bench(b) = cmd else {
+            panic!("expected bench");
+        };
+        assert!(b.quick);
+        assert_eq!(b.commits, Some(900));
+        assert_eq!(b.seed, Some(3));
+        assert_eq!(b.label.as_deref(), Some("PR3"));
+        assert_eq!(b.out, Some(PathBuf::from("bench.json")));
+        assert_eq!(b.format, OutputFormat::Json);
+        assert_eq!(b.check, Some(PathBuf::from("BENCH_PR3.json")));
+        assert!((b.max_regress - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_bench_rejects_bad_usage() {
+        assert!(parse(&args(&["bench", "--format", "csv"])).is_err());
+        assert!(parse(&args(&["bench", "--max-regress", "150"])).is_err());
+        assert!(parse(&args(&["bench", "stray"])).is_err());
+        let Command::Bench(b) = parse(&args(&["bench"])).unwrap() else {
+            panic!("bare bench parses");
+        };
+        assert!((b.max_regress - 0.30).abs() < 1e-12);
+        assert_eq!(b.format, OutputFormat::Text);
+    }
+
+    #[test]
+    fn parse_diff_flags_and_arity() {
+        let Command::Diff(d) =
+            parse(&args(&["diff", "a.json", "b.json", "--tol", "0.01"])).unwrap()
+        else {
+            panic!("expected diff");
+        };
+        assert_eq!(d.a, PathBuf::from("a.json"));
+        assert_eq!(d.b, PathBuf::from("b.json"));
+        assert!((d.tol - 0.01).abs() < 1e-12);
+        assert!(parse(&args(&["diff", "a.json"])).is_err());
+        assert!(parse(&args(&["diff", "a", "b", "c"])).is_err());
+        assert!(parse(&args(&["diff", "a", "b", "--tol", "-1"])).is_err());
+        assert!(parse(&args(&["diff", "a", "b", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn diff_end_to_end_matches_and_mismatches() {
+        let dir = std::env::temp_dir().join(format!("elsq-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = parse_run(&args(&["tuning", "--quick", "--commits", "500"])).unwrap();
+        let reports = execute_run(&run).unwrap();
+        let json = render_reports(&reports, OutputFormat::Json);
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, &json).unwrap();
+        std::fs::write(&b, &json).unwrap();
+        let same = execute_diff(&DiffArgs {
+            a: a.clone(),
+            b: b.clone(),
+            tol: 0.0,
+        })
+        .unwrap();
+        assert!(same.contains("reports match"));
+        // Different params -> mismatch with exit code 1.
+        let run2 = parse_run(&args(&["tuning", "--quick", "--commits", "700"])).unwrap();
+        let reports2 = execute_run(&run2).unwrap();
+        std::fs::write(&b, render_reports(&reports2, OutputFormat::Json)).unwrap();
+        let err = execute_diff(&DiffArgs { a, b, tol: 0.0 }).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("reports differ"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_check_rejects_mismatched_budget_baseline() {
+        let dir = std::env::temp_dir().join(format!("elsq-bench-budget-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("base.json");
+        let base = BenchArgs {
+            quick: false,
+            commits: Some(200),
+            seed: Some(7),
+            label: None,
+            out: Some(out.clone()),
+            format: OutputFormat::Json,
+            check: None,
+            max_regress: 0.30,
+        };
+        execute_bench(&base).unwrap();
+        // Same seed, different commit budget: rates are not comparable.
+        let err = execute_bench(&BenchArgs {
+            commits: Some(400),
+            check: Some(out),
+            out: None,
+            ..base
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("not comparable"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_end_to_end_writes_and_checks() {
+        let dir = std::env::temp_dir().join(format!("elsq-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json");
+        let bench = BenchArgs {
+            quick: false,
+            commits: Some(200),
+            seed: Some(7),
+            label: None,
+            out: Some(out.clone()),
+            format: OutputFormat::Json,
+            check: None,
+            max_regress: 0.30,
+        };
+        let output = execute_bench(&bench).unwrap();
+        assert!(output.contains("minst_per_sec"));
+        assert!(out.exists());
+        // JSON mode keeps stdout pure JSON (no "wrote ..." trailer).
+        let parsed: crate::bench::BenchReport = serde_json::from_str(&output).unwrap();
+        assert_eq!(parsed.cases.len(), 6);
+        // A fresh run checked against its own numbers passes (a near-100%
+        // threshold keeps the tiny 200-commit run immune to timer noise on a
+        // loaded test host; CI uses the real budget with the default 30%).
+        let checked = execute_bench(&BenchArgs {
+            check: Some(out.clone()),
+            out: None,
+            format: OutputFormat::Text,
+            max_regress: 0.95,
+            ..bench
+        })
+        .unwrap();
+        assert!(checked.contains("throughput check passed"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,7 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cli;
+pub mod diff;
 
 use elsq_sim::driver::ExperimentParams;
 

@@ -33,10 +33,70 @@ use elsq_stats::counters::LsqAccessCounters;
 use crate::config::{ElsqConfig, ErtKind};
 use crate::epoch::EpochLimits;
 use crate::ert::Ert;
+use crate::fxhash::FxHashMap;
 use crate::hl::HlLsq;
 use crate::ll::LlLsq;
 use crate::queue::{MemEntry, MemOpKind, QueueFullError};
 use crate::sqm::StoreQueueMirror;
+
+/// The L1 lines one epoch bank holds locked (line-based ERT only).
+///
+/// Each *acquired lock* is one unit: an epoch may lock the same line through
+/// several of its memory instructions, and every unit must be balanced by
+/// one `unlock_line` call when the epoch ends. The per-address multiset is a
+/// hashed map (address → lock count), replacing the former per-bank `Vec`
+/// push/drain lists: membership stays O(1) however many lines an epoch
+/// touches, and the map's storage is retained across epochs occupying the
+/// bank, so epoch turnover performs no allocation.
+#[derive(Debug, Clone, Default)]
+struct LineLockSet {
+    locks: FxHashMap<u64, u32>,
+}
+
+impl LineLockSet {
+    /// Records one acquired lock on the line containing `addr`.
+    fn acquire(&mut self, addr: u64) {
+        *self.locks.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Releases every recorded lock against `l1` (when provided) and leaves
+    /// the set empty but with its storage intact.
+    fn release_all(&mut self, l1: Option<&mut SetAssocCache>) {
+        match l1 {
+            Some(cache) => {
+                for (addr, count) in self.locks.drain() {
+                    for _ in 0..count {
+                        cache.unlock_line(addr);
+                    }
+                }
+            }
+            None => self.locks.clear(),
+        }
+    }
+}
+
+/// Serialization flattens the multiset into sorted `(addr, count)` pairs so
+/// the output is deterministic regardless of hash-map iteration order.
+impl Serialize for LineLockSet {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs: Vec<(u64, u32)> = self.locks.iter().map(|(&a, &c)| (a, c)).collect();
+        pairs.sort_unstable();
+        pairs.to_value()
+    }
+}
+
+impl Deserialize for LineLockSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = Vec::<(u64, u32)>::from_value(value)?;
+        let mut set = LineLockSet::default();
+        for (addr, count) in pairs {
+            for _ in 0..count {
+                set.acquire(addr);
+            }
+        }
+        Ok(set)
+    }
+}
 
 /// Where a load obtained its value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,9 +200,9 @@ pub struct Elsq {
     ert: Ert,
     sqm: Option<StoreQueueMirror>,
     counters: LsqAccessCounters,
-    /// Line-based ERT: per-bank list of line addresses locked in the L1 (one
-    /// element per acquired lock).
-    locked_lines: Vec<Vec<u64>>,
+    /// Line-based ERT: per-bank multiset of L1 line addresses locked by the
+    /// epoch occupying the bank (one count per acquired lock).
+    locked_lines: Vec<LineLockSet>,
     /// Restricted disambiguation: migration is blocked until this
     /// instruction resolves its address.
     migration_block: Option<u64>,
@@ -172,7 +232,7 @@ impl Elsq {
                 None
             },
             counters: LsqAccessCounters::default(),
-            locked_lines: vec![Vec::new(); config.num_epochs],
+            locked_lines: vec![LineLockSet::default(); config.num_epochs],
             migration_block: None,
         }
     }
@@ -354,7 +414,7 @@ impl Elsq {
         out.extra_latency += 2 * self.config.network_one_way;
         let mut searched = 0u32;
         let mut found = None;
-        for bank in self.ll.banks_young_to_old() {
+        for bank in self.ll.iter_banks_young_to_old() {
             if !mask.contains(bank) {
                 continue;
             }
@@ -475,7 +535,7 @@ impl Elsq {
                 }
                 _ => {
                     self.counters.lines_locked += 1;
-                    self.locked_lines[bank].push(a.addr);
+                    self.locked_lines[bank].acquire(a.addr);
                 }
             }
         }
@@ -567,7 +627,7 @@ impl Elsq {
                 }
                 _ => {
                     self.counters.lines_locked += 1;
-                    self.locked_lines[bank].push(addr.addr);
+                    self.locked_lines[bank].acquire(addr.addr);
                 }
             }
         }
@@ -630,7 +690,7 @@ impl Elsq {
         // Walk older indicated epochs, youngest first.
         let mut searched = 0u32;
         let mut found = None;
-        for other in self.ll.banks_young_to_old() {
+        for other in self.ll.iter_banks_young_to_old() {
             if !mask.contains(other) {
                 continue;
             }
@@ -697,7 +757,7 @@ impl Elsq {
                 }
                 _ => {
                     self.counters.lines_locked += 1;
-                    self.locked_lines[bank].push(addr.addr);
+                    self.locked_lines[bank].acquire(addr.addr);
                 }
             }
         }
@@ -728,7 +788,7 @@ impl Elsq {
             let mut mask = self.ert.query_loads(addr.addr);
             mask.clear(bank);
             let mut searched = 0u32;
-            for other in self.ll.banks_young_to_old() {
+            for other in self.ll.iter_banks_young_to_old() {
                 if !mask.contains(other) {
                     continue;
                 }
@@ -778,18 +838,26 @@ impl Elsq {
             return true;
         }
         self.ll
-            .banks_young_to_old()
-            .into_iter()
+            .iter_banks_young_to_old()
             .filter_map(|b| self.ll.epoch(b))
-            .any(|e| {
-                e.stores()
-                    .any(|s| s.seq > store_seq && s.seq < load_seq && s.addr.is_none())
-            })
+            .any(|e| e.unresolved_stores() > 0 && e.has_unknown_store_between(store_seq, load_seq))
     }
 
     // ------------------------------------------------------------------
     // Commit and recovery
     // ------------------------------------------------------------------
+
+    /// Shared epoch-teardown bookkeeping: clears the bank's ERT column,
+    /// drops its mirrored stores and releases its locked lines.
+    fn finish_epoch(&mut self, bank: usize, l1: Option<&mut SetAssocCache>) {
+        self.ert.clear_epoch(bank);
+        if let Some(sqm) = self.sqm.as_mut() {
+            sqm.drop_bank(bank);
+        }
+        if self.line_based() {
+            self.locked_lines[bank].release_all(l1);
+        }
+    }
 
     /// Commits the oldest epoch: clears its ERT column, unlocks its lines,
     /// drops its mirrored stores and returns its stores for write-back.
@@ -799,24 +867,28 @@ impl Elsq {
     ) -> Option<CommittedEpoch> {
         let epoch = self.ll.commit_oldest()?;
         let bank = epoch.bank();
-        self.ert.clear_epoch(bank);
-        if let Some(sqm) = self.sqm.as_mut() {
-            sqm.drop_bank(bank);
-        }
-        if self.line_based() {
-            if let Some(cache) = l1.as_deref_mut() {
-                for line in self.locked_lines[bank].drain(..) {
-                    cache.unlock_line(line);
-                }
-            } else {
-                self.locked_lines[bank].clear();
-            }
-        }
-        Some(CommittedEpoch {
+        self.finish_epoch(bank, l1.as_deref_mut());
+        let committed = CommittedEpoch {
             bank,
             loads: epoch.load_count(),
             stores: epoch.stores().copied().collect(),
-        })
+        };
+        self.ll.recycle(epoch);
+        Some(committed)
+    }
+
+    /// Commits the oldest epoch without materializing its stores — the
+    /// allocation-free path the cycle loop uses when only the timing side
+    /// effects matter (the store write-back is modeled at instruction
+    /// commit, not here). Returns whether an epoch was retired.
+    pub fn retire_oldest_epoch(&mut self, mut l1: Option<&mut SetAssocCache>) -> bool {
+        let Some(epoch) = self.ll.commit_oldest() else {
+            return false;
+        };
+        let bank = epoch.bank();
+        self.finish_epoch(bank, l1.as_deref_mut());
+        self.ll.recycle(epoch);
+        true
     }
 
     /// Squashes epoch `bank` and every younger epoch plus the whole HL-LSQ
@@ -829,21 +901,9 @@ impl Elsq {
     ) -> Option<u64> {
         let squashed = self.ll.squash_from_bank(bank);
         let restart = squashed.first().map(|e| e.first_seq());
-        for epoch in &squashed {
-            let b = epoch.bank();
-            self.ert.clear_epoch(b);
-            if let Some(sqm) = self.sqm.as_mut() {
-                sqm.drop_bank(b);
-            }
-            if self.line_based() {
-                if let Some(cache) = l1.as_deref_mut() {
-                    for line in self.locked_lines[b].drain(..) {
-                        cache.unlock_line(line);
-                    }
-                } else {
-                    self.locked_lines[b].clear();
-                }
-            }
+        for epoch in squashed {
+            self.finish_epoch(epoch.bank(), l1.as_deref_mut());
+            self.ll.recycle(epoch);
         }
         if let Some(restart_seq) = restart {
             self.hl.squash_from(0); // the HL-LSQ only holds younger entries

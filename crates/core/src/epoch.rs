@@ -54,6 +54,18 @@ impl Epoch {
         }
     }
 
+    /// Re-initializes a recycled epoch shell in place, keeping the queue
+    /// storage (slab slots, index tables) of the previous occupant so epoch
+    /// turnover performs no allocation.
+    pub(crate) fn reset(&mut self, bank: usize, id: u64, first_seq: u64) {
+        self.bank = bank;
+        self.id = id;
+        self.first_seq = first_seq;
+        self.lq.clear();
+        self.sq.clear();
+        self.unresolved_stores = 0;
+    }
+
     /// The bank this epoch occupies.
     pub fn bank(&self) -> usize {
         self.bank
@@ -145,6 +157,13 @@ impl Epoch {
     /// Local violation search: younger issued load in *this* epoch.
     pub fn search_loads(&self, store_seq: u64, access: &MemAccess) -> Option<u64> {
         self.lq.find_violating_load(store_seq, access)
+    }
+
+    /// Whether any store in this epoch with sequence number strictly between
+    /// `after_seq` and `before_seq` still has an unknown address (answered
+    /// from the store queue's ordered unknown-address set, not a scan).
+    pub fn has_unknown_store_between(&self, after_seq: u64, before_seq: u64) -> bool {
+        self.sq.has_unknown_address_between(after_seq, before_seq)
     }
 
     /// Iterates over the stores of the epoch (used when committing the epoch:

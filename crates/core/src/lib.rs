@@ -56,6 +56,7 @@ pub mod disambig;
 pub mod elsq;
 pub mod epoch;
 pub mod ert;
+pub mod fxhash;
 pub mod hl;
 pub mod ll;
 pub mod queue;

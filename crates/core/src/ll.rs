@@ -34,6 +34,10 @@ pub struct LlLsq {
     /// Total number of epochs ever allocated (reported as
     /// `epochs_allocated`).
     allocated: u64,
+    /// Retired epoch shells kept for reuse: [`LlLsq::open_epoch`] resets one
+    /// of these instead of allocating fresh queues, so steady-state epoch
+    /// turnover performs no allocation.
+    spare: Vec<Epoch>,
 }
 
 impl LlLsq {
@@ -45,6 +49,7 @@ impl LlLsq {
             limits,
             next_id: 0,
             allocated: 0,
+            spare: Vec::with_capacity(num_banks),
         }
     }
 
@@ -84,9 +89,24 @@ impl LlLsq {
         let id = self.next_id;
         self.next_id += 1;
         self.allocated += 1;
-        self.banks[bank] = Some(Epoch::new(bank, id, first_seq, self.limits));
+        let epoch = match self.spare.pop() {
+            Some(mut shell) => {
+                shell.reset(bank, id, first_seq);
+                shell
+            }
+            None => Epoch::new(bank, id, first_seq, self.limits),
+        };
+        self.banks[bank] = Some(epoch);
         self.order.push_back(bank);
         Ok(bank)
+    }
+
+    /// Returns a retired epoch to the shell pool so its queue storage is
+    /// reused by the next [`LlLsq::open_epoch`].
+    pub fn recycle(&mut self, epoch: Epoch) {
+        if self.spare.len() < self.banks.len() {
+            self.spare.push(epoch);
+        }
     }
 
     /// The bank of the youngest (currently filling) epoch, if any.
@@ -122,7 +142,13 @@ impl LlLsq {
     /// which a global search walks remote epochs ("starting from the most
     /// recent one", Section 3.4).
     pub fn banks_young_to_old(&self) -> Vec<usize> {
-        self.order.iter().rev().copied().collect()
+        self.iter_banks_young_to_old().collect()
+    }
+
+    /// Allocation-free variant of [`LlLsq::banks_young_to_old`]; the hot
+    /// search paths in the coordinator use this.
+    pub fn iter_banks_young_to_old(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().rev().copied()
     }
 
     /// Retires the oldest epoch (it committed) and returns it.
@@ -229,6 +255,25 @@ mod tests {
             .map(|&b| q.epoch(b).unwrap().id())
             .collect();
         assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn recycled_shells_are_reused_and_reset() {
+        let mut q = ll(2);
+        let b0 = q.open_epoch(0).unwrap();
+        q.epoch_mut(b0)
+            .unwrap()
+            .insert(MemOpKind::Load, MemEntry::pending(1))
+            .unwrap();
+        let epoch = q.commit_oldest().unwrap();
+        q.recycle(epoch);
+        let b1 = q.open_epoch(50).unwrap();
+        let reopened = q.epoch(b1).unwrap();
+        assert_eq!(reopened.first_seq(), 50);
+        assert_eq!(reopened.load_count(), 0, "recycled shell must be empty");
+        assert_eq!(q.total_allocated(), 2);
+        // Age ids keep increasing across recycling.
+        assert_eq!(reopened.id(), 1);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 
 use elsq_isa::MemAccess;
 
+use crate::queue::{index_lines, LineBuckets};
+
 /// One mirrored store entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MirrorEntry {
@@ -38,9 +40,19 @@ pub struct MirrorHit {
 
 /// The Store Queue Mirror: an age-ordered replica of every low-locality store
 /// whose address is known.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Entries live in a seq-sorted vector (the mirror is small — at most the
+/// sum of the epoch store-queue capacities); the forwarding search is served
+/// by the same 64-byte-line address buckets as
+/// [`AgeQueue`](crate::queue::AgeQueue), so it examines only same-line
+/// candidates instead of scanning the whole mirror. The buckets hold
+/// sequence numbers (not positions — positions shift on insert/remove) and
+/// are rebuilt incrementally by every mutation.
+#[derive(Debug, Clone, Default)]
 pub struct StoreQueueMirror {
     entries: Vec<MirrorEntry>,
+    /// `index line -> seqs of mirrored stores touching the line`.
+    buckets: LineBuckets<u64>,
 }
 
 impl StoreQueueMirror {
@@ -71,21 +83,29 @@ impl StoreQueueMirror {
     ) {
         match self.entries.binary_search_by_key(&seq, |e| e.seq) {
             Ok(i) => {
+                let old_addr = self.entries[i].addr;
                 self.entries[i].addr = addr;
                 self.entries[i].bank = bank;
                 self.entries[i].data_ready = data_ready;
                 self.entries[i].ready_at = ready_at;
+                if old_addr != addr {
+                    self.buckets.remove(&old_addr, seq);
+                    self.buckets.insert(&addr, seq);
+                }
             }
-            Err(i) => self.entries.insert(
-                i,
-                MirrorEntry {
-                    seq,
-                    addr,
-                    bank,
-                    data_ready,
-                    ready_at,
-                },
-            ),
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    MirrorEntry {
+                        seq,
+                        addr,
+                        bank,
+                        data_ready,
+                        ready_at,
+                    },
+                );
+                self.buckets.insert(&addr, seq);
+            }
         }
     }
 
@@ -104,36 +124,95 @@ impl StoreQueueMirror {
     /// Forwarding search: youngest mirrored store older than `load_seq` whose
     /// address overlaps `access`.
     pub fn search(&self, load_seq: u64, access: &MemAccess) -> Option<MirrorHit> {
-        self.entries
-            .iter()
-            .rev()
-            .filter(|e| e.seq < load_seq)
-            .find(|e| e.addr.overlaps(access))
-            .map(|e| MirrorHit {
-                entry: *e,
-                full_cover: access.covered_by(&e.addr),
-            })
+        let mut best: Option<u64> = None;
+        let (first, last) = index_lines(access);
+        let mut line = first;
+        loop {
+            if let Some(bucket) = self.buckets.get(line) {
+                for &seq in bucket {
+                    if seq < load_seq && best.map(|b| seq > b).unwrap_or(true) {
+                        let i = self
+                            .entries
+                            .binary_search_by_key(&seq, |e| e.seq)
+                            .expect("bucket seqs are live");
+                        if self.entries[i].addr.overlaps(access) {
+                            best = Some(seq);
+                        }
+                    }
+                }
+            }
+            if line == last {
+                break;
+            }
+            line += 1;
+        }
+        best.map(|seq| {
+            let i = self
+                .entries
+                .binary_search_by_key(&seq, |e| e.seq)
+                .expect("best seq is live");
+            let entry = self.entries[i];
+            MirrorHit {
+                entry,
+                full_cover: access.covered_by(&entry.addr),
+            }
+        })
     }
 
     /// Drops every mirrored store belonging to `bank` (its epoch committed or
     /// was squashed). Returns how many entries were dropped.
     pub fn drop_bank(&mut self, bank: usize) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.bank != bank);
-        before - self.entries.len()
+        self.remove_where(|e| e.bank == bank)
     }
 
     /// Drops every mirrored store with `seq >= from_seq` (partial squash
     /// inside the youngest epoch).
     pub fn squash_from(&mut self, from_seq: u64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.seq < from_seq);
-        before - self.entries.len()
+        self.remove_where(|e| e.seq >= from_seq)
+    }
+
+    /// Removes every entry matching `predicate`, keeping the buckets in
+    /// sync. Returns how many entries were dropped. Single in-place
+    /// compaction pass (`Vec::remove` in a loop would be quadratic on the
+    /// epoch-teardown path this serves).
+    fn remove_where(&mut self, predicate: impl Fn(&MirrorEntry) -> bool) -> usize {
+        let mut write = 0;
+        for read in 0..self.entries.len() {
+            let entry = self.entries[read];
+            if predicate(&entry) {
+                self.buckets.remove(&entry.addr, entry.seq);
+            } else {
+                self.entries[write] = entry;
+                write += 1;
+            }
+        }
+        let removed = self.entries.len() - write;
+        self.entries.truncate(write);
+        removed
     }
 
     /// Iterates over mirrored entries in program order.
     pub fn iter(&self) -> impl Iterator<Item = &MirrorEntry> {
         self.entries.iter()
+    }
+}
+
+/// Serialization carries only the ordered entries; the address buckets are
+/// rebuilt on deserialization.
+impl Serialize for StoreQueueMirror {
+    fn to_value(&self) -> serde::Value {
+        self.entries.to_value()
+    }
+}
+
+impl Deserialize for StoreQueueMirror {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = Vec::<MirrorEntry>::from_value(value)?;
+        let mut mirror = StoreQueueMirror::new();
+        for e in entries {
+            mirror.upsert(e.seq, e.addr, e.bank, e.data_ready, e.ready_at);
+        }
+        Ok(mirror)
     }
 }
 
@@ -189,6 +268,28 @@ mod tests {
         assert!(m.set_data_ready(4, 99));
         assert!(!m.set_data_ready(5, 99));
         assert!(m.search(10, &acc(0x40)).unwrap().entry.data_ready);
+    }
+
+    #[test]
+    fn upsert_with_new_address_moves_buckets() {
+        let mut m = StoreQueueMirror::new();
+        m.upsert(5, acc(0x100), 1, false, 0);
+        m.upsert(5, acc(0x4000), 1, true, 3);
+        assert!(m.search(9, &acc(0x100)).is_none());
+        assert_eq!(m.search(9, &acc(0x4000)).unwrap().entry.seq, 5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        use serde::{Deserialize, Serialize};
+        let mut m = StoreQueueMirror::new();
+        m.upsert(2, acc(0x100), 0, true, 1);
+        m.upsert(6, acc(0x200), 1, false, 0);
+        let back = StoreQueueMirror::from_value(&m.to_value()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.search(9, &acc(0x100)).unwrap().entry.seq, 2);
+        assert_eq!(back.search(9, &acc(0x200)).unwrap().entry.seq, 6);
     }
 
     #[test]

@@ -2,11 +2,95 @@
 
 use elsq_core::config::ErtKind;
 use elsq_core::ert::Ert;
-use elsq_core::queue::{AgeQueue, MemOpKind};
+use elsq_core::queue::{AgeQueue, MemEntry, MemOpKind};
 use elsq_core::sqm::StoreQueueMirror;
 use elsq_core::ssbf::StoreSequenceBloomFilter;
 use elsq_isa::MemAccess;
 use proptest::prelude::*;
+
+/// The pre-optimization `AgeQueue`: a plain seq-sorted vector with linear
+/// scans, kept verbatim as the reference model the indexed implementation
+/// must match query-for-query.
+#[derive(Debug, Default)]
+struct LinearRefQueue {
+    entries: Vec<MemEntry>,
+}
+
+impl LinearRefQueue {
+    fn allocate(&mut self, seq: u64) {
+        self.entries.push(MemEntry::pending(seq));
+    }
+
+    fn set_address(&mut self, seq: u64, addr: MemAccess) -> bool {
+        match self.entries.iter_mut().find(|e| e.seq == seq) {
+            Some(e) => {
+                e.addr = Some(addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn set_issued(&mut self, seq: u64, cycle: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.seq == seq) {
+            Some(e) => {
+                e.issued = true;
+                e.ready_at = cycle;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn commit_head(&mut self, seq: u64) -> Option<MemEntry> {
+        if self.entries.first().map(|e| e.seq) == Some(seq) {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<MemEntry> {
+        let pos = self.entries.iter().position(|e| e.seq == seq)?;
+        Some(self.entries.remove(pos))
+    }
+
+    fn squash_from(&mut self, from_seq: u64) -> usize {
+        let keep = self.entries.iter().take_while(|e| e.seq < from_seq).count();
+        let removed = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        removed
+    }
+
+    fn find_forwarding_store(&self, load_seq: u64, access: &MemAccess) -> Option<u64> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| e.seq < load_seq)
+            .find(|e| e.overlaps(access))
+            .map(|e| e.seq)
+    }
+
+    fn find_violating_load(&self, store_seq: u64, access: &MemAccess) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.seq > store_seq && e.issued)
+            .find(|e| e.overlaps(access))
+            .map(|e| e.seq)
+    }
+
+    fn has_older_unknown_address(&self, load_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq < load_seq && e.addr.is_none())
+    }
+
+    fn has_unknown_address_between(&self, after_seq: u64, before_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq > after_seq && e.seq < before_seq && e.addr.is_none())
+    }
+}
 
 proptest! {
     /// Forwarding always returns the *youngest* store that is older than the
@@ -90,6 +174,90 @@ proptest! {
         }
         for (addr, ssn) in &stores {
             prop_assert!(f.must_reexecute(*addr, ssn.saturating_sub(1)));
+        }
+    }
+
+    /// The indexed `AgeQueue` (seq slab + address buckets + unknown-address
+    /// set) answers every query identically to the naive linear-scan
+    /// reference model over random interleavings of allocate / set_address /
+    /// set_issued / remove / commit_head / squash_from, including unaligned
+    /// accesses that straddle the 64-byte index-line boundary.
+    #[test]
+    fn indexed_age_queue_matches_linear_reference(
+        ops in prop::collection::vec((0u8..8, 0u64..64, 0u64..160, 0u8..4), 1..100),
+        probe_addr in 0u64..160,
+        probe_size_idx in 0u8..4,
+    ) {
+        let sizes = [1u8, 2, 4, 8];
+        let mut indexed = AgeQueue::unbounded();
+        let mut reference = LinearRefQueue::default();
+        let mut next_seq = 1u64;
+        for (op, pick_raw, addr, size_idx) in &ops {
+            let access = MemAccess::new(*addr, sizes[*size_idx as usize]);
+            // Mostly pick a live seq; sometimes probe a missing one.
+            let pick = if reference.entries.is_empty() || pick_raw % 5 == 0 {
+                *pick_raw
+            } else {
+                reference.entries[(*pick_raw as usize) % reference.entries.len()].seq
+            };
+            match op % 8 {
+                0 | 1 | 2 => {
+                    indexed.allocate(next_seq).unwrap();
+                    reference.allocate(next_seq);
+                    next_seq += 1 + pick_raw % 3; // leave seq gaps
+                }
+                3 => {
+                    prop_assert_eq!(
+                        indexed.set_address(pick, access),
+                        reference.set_address(pick, access)
+                    );
+                }
+                4 => {
+                    prop_assert_eq!(
+                        indexed.set_issued(pick, *addr),
+                        reference.set_issued(pick, *addr)
+                    );
+                }
+                5 => {
+                    prop_assert_eq!(indexed.remove(pick), reference.remove(pick));
+                }
+                6 => {
+                    prop_assert_eq!(indexed.commit_head(pick), reference.commit_head(pick));
+                }
+                _ => {
+                    prop_assert_eq!(indexed.squash_from(pick), reference.squash_from(pick));
+                }
+            }
+            // Full-state agreement after every operation.
+            prop_assert_eq!(indexed.len(), reference.entries.len());
+            prop_assert!(indexed.iter().eq(reference.entries.iter()));
+            prop_assert_eq!(
+                indexed.unknown_address_count(),
+                reference.entries.iter().filter(|e| e.addr.is_none()).count()
+            );
+        }
+        // Query agreement from several vantage points, including seqs below,
+        // inside and above the live range.
+        let probe = MemAccess::new(probe_addr, sizes[probe_size_idx as usize]);
+        for probe_seq in [0, next_seq / 2, next_seq + 1] {
+            prop_assert_eq!(
+                indexed.find_forwarding_store(probe_seq, &probe).map(|h| h.store_seq),
+                reference.find_forwarding_store(probe_seq, &probe)
+            );
+            prop_assert_eq!(
+                indexed.find_violating_load(probe_seq, &probe),
+                reference.find_violating_load(probe_seq, &probe)
+            );
+            prop_assert_eq!(
+                indexed.has_older_unknown_address(probe_seq),
+                reference.has_older_unknown_address(probe_seq)
+            );
+            for probe_hi in [probe_seq, next_seq] {
+                prop_assert_eq!(
+                    indexed.has_unknown_address_between(probe_seq / 2, probe_hi),
+                    reference.has_unknown_address_between(probe_seq / 2, probe_hi)
+                );
+            }
         }
     }
 

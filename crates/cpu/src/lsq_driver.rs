@@ -192,10 +192,12 @@ impl LsqDriver {
         }
     }
 
-    /// Retires the oldest epoch (ELSQ only).
+    /// Retires the oldest epoch (ELSQ only). Uses the allocation-free path:
+    /// the cycle loop never inspects the retired stores (their write-back is
+    /// accounted at instruction commit), so nothing is materialized.
     pub fn commit_oldest_epoch(&mut self, l1: Option<&mut SetAssocCache>) {
         if let LsqDriver::Elsq(l) = self {
-            l.commit_oldest_epoch(l1);
+            l.retire_oldest_epoch(l1);
         }
     }
 

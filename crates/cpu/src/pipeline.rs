@@ -203,10 +203,8 @@ impl Processor {
             if fetched >= max_wp {
                 break;
             }
-            // Peek at the next fetch slot; stop once it reaches resolution.
-            let next_slot = st.fetch_ports.free_at(0); // placeholder, replaced below
-            let _ = next_slot;
-            let probe = st.fetch_blocked_until.max(0);
+            // Reserve the next fetch slot; stop once it reaches resolution.
+            let probe = st.fetch_blocked_until;
             let slot_if_fetched = st.fetch_ports.reserve(probe);
             if slot_if_fetched >= resolve {
                 // The slot belongs to the redirected correct path; it stays
@@ -666,12 +664,15 @@ impl Processor {
                     let safe_ssn = if forwarded {
                         forwarded_from.unwrap_or(0)
                     } else {
-                        // Youngest store that had committed when the load issued.
-                        st.store_commit_log
-                            .iter()
-                            .rev()
-                            .find(|(cycle, _)| *cycle <= issue)
-                            .map(|(_, s)| *s)
+                        // Youngest store that had committed when the load
+                        // issued. The log's commit cycles are non-decreasing
+                        // (commit is in order), so binary search replaces the
+                        // former backwards scan over up to 8192 entries.
+                        let idx = st
+                            .store_commit_log
+                            .partition_point(|(cycle, _)| *cycle <= issue);
+                        idx.checked_sub(1)
+                            .map(|i| st.store_commit_log[i].1)
                             .unwrap_or(0)
                     };
                     let unknown_between = forwarded

@@ -6,15 +6,29 @@
 //! and the commit-time store traffic as well as SVW re-executions (whose
 //! extra cache pressure is one of the paper's arguments against re-execution
 //! in large windows, Section 5.6).
+//!
+//! The per-cycle usage counts live in a ring deque indexed by `cycle -
+//! base`, not a `BTreeMap` keyed by cycle: reservation scans — which walk
+//! cycle by cycle from `earliest` until a free slot appears, and dominate
+//! wrong-path fetch bursts where hundreds of fetches probe from the same
+//! blocked cycle — become sequential array reads instead of repeated tree
+//! look-ups, and [`PortSchedule::retire_before`] becomes a front drain. The
+//! reservation policy (first cycle `>= max(earliest, horizon)` with a free
+//! port) is unchanged, so granted cycles are byte-identical to the map-based
+//! implementation.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Tracks per-cycle usage of a structure with a fixed number of ports and
 /// hands out reservations at the earliest available cycle.
 #[derive(Debug, Clone)]
 pub struct PortSchedule {
     ports: u32,
-    used: BTreeMap<u64, u32>,
+    /// Usage count of cycle `base + i` at index `i`; trailing cycles are
+    /// implicitly free.
+    used: VecDeque<u32>,
+    /// The cycle `used[0]` corresponds to. Always `>= horizon`.
+    base: u64,
     /// Cycles below this value may be pruned; reservations are never granted
     /// in the past.
     horizon: u64,
@@ -30,7 +44,8 @@ impl PortSchedule {
         assert!(ports > 0, "a port schedule needs at least one port");
         Self {
             ports,
-            used: BTreeMap::new(),
+            used: VecDeque::new(),
+            base: 0,
             horizon: 0,
         }
     }
@@ -44,10 +59,17 @@ impl PortSchedule {
     /// cycle.
     pub fn reserve(&mut self, earliest: u64) -> u64 {
         let mut cycle = earliest.max(self.horizon);
+        debug_assert!(cycle >= self.base);
         loop {
-            let entry = self.used.entry(cycle).or_insert(0);
-            if *entry < self.ports {
-                *entry += 1;
+            let idx = (cycle - self.base) as usize;
+            if idx >= self.used.len() {
+                // Everything past the tracked window is free: take the slot.
+                self.used.resize(idx + 1, 0);
+                self.used[idx] = 1;
+                return cycle;
+            }
+            if self.used[idx] < self.ports {
+                self.used[idx] += 1;
                 return cycle;
             }
             cycle += 1;
@@ -56,20 +78,33 @@ impl PortSchedule {
 
     /// Returns how many ports are free at `cycle` (0 if fully used).
     pub fn free_at(&self, cycle: u64) -> u32 {
-        let used = self.used.get(&cycle).copied().unwrap_or(0);
+        if cycle < self.base {
+            return 0;
+        }
+        let used = self
+            .used
+            .get((cycle - self.base) as usize)
+            .copied()
+            .unwrap_or(0);
         self.ports.saturating_sub(used)
     }
 
     /// Advances the pruning horizon: bookkeeping for cycles before `cycle`
     /// is discarded and no reservation will ever be granted before it.
     pub fn retire_before(&mut self, cycle: u64) {
-        self.horizon = self.horizon.max(cycle);
-        self.used = self.used.split_off(&cycle);
+        if cycle <= self.horizon {
+            return;
+        }
+        self.horizon = cycle;
+        let drop = (cycle - self.base).min(self.used.len() as u64) as usize;
+        self.used.drain(..drop);
+        self.base = cycle;
     }
 
-    /// Number of cycles currently tracked (bounded by `retire_before`).
+    /// Number of cycles currently tracked with at least one reservation
+    /// (bounded by `retire_before`).
     pub fn tracked_cycles(&self) -> usize {
-        self.used.len()
+        self.used.iter().filter(|&&u| u > 0).count()
     }
 }
 
@@ -108,6 +143,21 @@ mod tests {
     }
 
     #[test]
+    fn retire_keeps_future_reservations() {
+        let mut p = PortSchedule::new(1);
+        p.reserve(5);
+        p.reserve(50);
+        p.retire_before(10);
+        assert_eq!(p.tracked_cycles(), 1);
+        assert_eq!(p.free_at(50), 0);
+        assert_eq!(p.free_at(5), 0, "pruned cycles are never grantable");
+        assert_eq!(p.reserve(50), 51);
+        // A lower horizon is a no-op.
+        p.retire_before(3);
+        assert_eq!(p.reserve(0), 10);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one port")]
     fn zero_ports_panics() {
         let _ = PortSchedule::new(0);
@@ -118,5 +168,19 @@ mod tests {
         let mut p = PortSchedule::new(1);
         let cycles: Vec<u64> = (0..5).map(|_| p.reserve(0)).collect();
         assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn burst_from_same_cycle_spreads_forward() {
+        // The wrong-path fetch pattern: many reservations probing the same
+        // earliest cycle must fill consecutive cycles at `ports` per cycle.
+        let mut p = PortSchedule::new(4);
+        let mut granted = Vec::new();
+        for _ in 0..64 {
+            granted.push(p.reserve(1000));
+        }
+        for (i, cycle) in granted.iter().enumerate() {
+            assert_eq!(*cycle, 1000 + (i as u64) / 4);
+        }
     }
 }
