@@ -23,6 +23,7 @@ use crate::bench::{
     BENCH_COMMITS, BENCH_COMMITS_QUICK, BENCH_SEED,
 };
 use crate::diff::{diff_reports, parse_reports};
+use crate::trace::{TraceCmd, TraceDumpArgs, TraceFileArgs};
 
 /// Usage text printed by `elsq-lab help` and on parse errors.
 pub const USAGE: &str = "\
@@ -34,6 +35,10 @@ USAGE:
     elsq-lab bench [OPTS]         measure simulator throughput
     elsq-lab diff A.json B.json [--tol REL]
                                   compare two report files cell-by-cell
+    elsq-lab trace dump [WORKLOADS...] --out DIR [OPTS]
+                                  record workloads to .etrc trace files
+    elsq-lab trace info FILE...   print trace provenance and block stats
+    elsq-lab trace verify FILE... fully decode traces, checking every CRC
     elsq-lab help                 show this help
 
 RUN OPTIONS:
@@ -49,6 +54,17 @@ RUN OPTIONS:
                        --jobs 1 is exactly sequential)
     --sequential       run experiments one after another (suites still
                        parallel); with --jobs 1, fully sequential
+    --trace DIR        replay recorded .etrc traces from DIR (written by
+                       `trace dump`) instead of running the generators;
+                       the dump's seed must match and its per-workload
+                       instruction count must cover the commit budget
+
+TRACE DUMP OPTIONS:
+    WORKLOADS          `both` (default), `fp`, `int`, or workload names
+    --quick            record the quick preset (5k insts per workload)
+    --commits N        instructions to record per workload (default 60k)
+    --seed N           generator seed to record at (default 7)
+    --out DIR          directory to write `.etrc` files into (required)
 
 BENCH OPTIONS:
     --quick            5k commits per workload instead of 20k
@@ -122,6 +138,9 @@ pub struct RunArgs {
     pub jobs: Option<usize>,
     /// Disable the experiment-level fan-out.
     pub sequential: bool,
+    /// Replay recorded `.etrc` traces from this directory instead of
+    /// running the generators.
+    pub trace: Option<PathBuf>,
 }
 
 /// Parsed `elsq-lab bench` arguments.
@@ -167,6 +186,8 @@ pub enum Command {
     Bench(BenchArgs),
     /// `elsq-lab diff a.json b.json`
     Diff(DiffArgs),
+    /// `elsq-lab trace dump|info|verify ...`
+    Trace(TraceCmd),
     /// `elsq-lab help` / `--help`
     Help,
 }
@@ -181,14 +202,14 @@ pub struct CliError {
 }
 
 impl CliError {
-    fn usage(message: impl Into<String>) -> Self {
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
             exit_code: 2,
         }
     }
 
-    fn runtime(message: impl Into<String>) -> Self {
+    pub(crate) fn runtime(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
             exit_code: 1,
@@ -220,6 +241,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some("run") => parse_run(it.as_slice()).map(Command::Run),
         Some("bench") => parse_bench(it.as_slice()).map(Command::Bench),
         Some("diff") => parse_diff(it.as_slice()).map(Command::Diff),
+        Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`; try `elsq-lab help`"
         ))),
@@ -309,6 +331,75 @@ fn parse_diff(args: &[String]) -> Result<DiffArgs, CliError> {
     })
 }
 
+fn parse_trace(args: &[String]) -> Result<TraceCmd, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("dump") => {
+            let mut dump = TraceDumpArgs {
+                workloads: Vec::new(),
+                quick: false,
+                commits: None,
+                seed: None,
+                out: PathBuf::new(),
+            };
+            let mut out = None;
+            let mut it = it.as_slice().iter();
+            while let Some(arg) = it.next() {
+                let mut value_of = |flag: &str| -> Result<&String, CliError> {
+                    it.next()
+                        .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+                };
+                match arg.as_str() {
+                    "--quick" => dump.quick = true,
+                    "--commits" => {
+                        dump.commits = Some(parse_num(value_of("--commits")?, "--commits")?)
+                    }
+                    "--seed" => dump.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+                    "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::usage(format!("unknown option `{flag}`")));
+                    }
+                    workload => dump.workloads.push(workload.to_owned()),
+                }
+            }
+            dump.out = out.ok_or_else(|| {
+                CliError::usage("`trace dump` requires `--out DIR` for the .etrc files")
+            })?;
+            // Selection semantics (suites vs individual names, no mixing)
+            // are validated by `trace::execute_dump`, which owns them.
+            Ok(TraceCmd::Dump(dump))
+        }
+        Some(sub @ ("info" | "verify")) => {
+            let mut files = Vec::new();
+            for arg in it {
+                if arg.starts_with('-') {
+                    return Err(CliError::usage(format!(
+                        "unknown option `{arg}` for `trace {sub}`"
+                    )));
+                }
+                files.push(PathBuf::from(arg));
+            }
+            if files.is_empty() {
+                return Err(CliError::usage(format!(
+                    "`trace {sub}` takes one or more .etrc files"
+                )));
+            }
+            let files = TraceFileArgs { files };
+            Ok(if sub == "info" {
+                TraceCmd::Info(files)
+            } else {
+                TraceCmd::Verify(files)
+            })
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown trace subcommand `{other}`; expected dump, info or verify"
+        ))),
+        None => Err(CliError::usage(
+            "`trace` needs a subcommand: dump, info or verify",
+        )),
+    }
+}
+
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
     let mut run = RunArgs {
         ids: Vec::new(),
@@ -320,6 +411,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
         out: None,
         jobs: None,
         sequential: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -342,6 +434,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
             }
             "--format" => run.format = OutputFormat::parse(value_of("--format")?)?,
             "--out" => run.out = Some(PathBuf::from(value_of("--out")?)),
+            "--trace" => run.trace = Some(PathBuf::from(value_of("--trace")?)),
             flag if flag.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{flag}`")));
             }
@@ -453,11 +546,36 @@ pub fn list_output() -> String {
 
 /// Executes a run and returns the produced reports (in selection order).
 pub fn execute_run(run: &RunArgs) -> Result<Vec<Report>, CliError> {
+    // The unit tests drive this function in-process and libtest runs them
+    // in parallel; the `--trace` override installed below is process-global
+    // and run_suite panics on a seed/budget mismatch against an installed
+    // roster, so under test all runs are serialized — one test's override
+    // window can then never observe another test's parameters.
+    #[cfg(test)]
+    let _serial = {
+        static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        RUN_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    };
     let experiments = select_experiments(run)?;
     let jobs: Vec<(&'static dyn Experiment, ExperimentParams)> = experiments
         .into_iter()
         .map(|e| (e, effective_params(e, run)))
         .collect();
+    // `--trace DIR`: load, verify and validate the recorded roster before
+    // anything runs, then install it as the process-global workload source
+    // for the duration of the run (the guard restores the generators).
+    let _trace_guard = match &run.trace {
+        Some(dir) => {
+            let ids: Vec<_> = jobs
+                .iter()
+                .map(|(e, p)| (e.id(), e.classes(), *p))
+                .collect();
+            Some(crate::trace::install_roster(dir, &ids)?)
+        }
+        None => None,
+    };
     // The pool reads ELSQ_THREADS at every fan-out, so `--jobs` caps each
     // level (experiments, and each suite inside one) rather than the whole
     // process — `--jobs 1` is exactly sequential, larger values are a
@@ -633,6 +751,9 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
         }
         Command::Bench(bench) => execute_bench(&bench),
         Command::Diff(diff) => execute_diff(&diff),
+        Command::Trace(TraceCmd::Dump(dump)) => crate::trace::execute_dump(&dump),
+        Command::Trace(TraceCmd::Info(files)) => crate::trace::execute_info(&files),
+        Command::Trace(TraceCmd::Verify(files)) => crate::trace::execute_verify(&files),
     }
 }
 

@@ -16,6 +16,7 @@
 pub mod bench;
 pub mod cli;
 pub mod diff;
+pub mod trace;
 
 use elsq_sim::driver::ExperimentParams;
 

@@ -1,6 +1,6 @@
 //! Store Sequence Bloom Filter (SSBF) for Store Vulnerability Windows.
 //!
-//! The SSBF (Roth, ISCA 2005 — reference [10] of the paper) is a small RAM
+//! The SSBF (Roth, ISCA 2005 — reference \[10\] of the paper) is a small RAM
 //! indexed by a hash of the address. Each entry holds the *store sequence
 //! number* (SSN) of the youngest committed store that wrote an address
 //! mapping to that entry. A committing load compares the entry against the

@@ -1,0 +1,1469 @@
+//! The `.etrc` on-disk trace format: versioned, block-compressed,
+//! CRC-checked dynamic-instruction traces.
+//!
+//! An `.etrc` file stores a correct-path [`DynInst`] stream plus the
+//! provenance needed to replay it bit-for-bit: the generator name and seed,
+//! and the [`WrongPathSpec`] that parameterizes wrong-path synthesis (the
+//! wrong-path stream is demand-driven by simulated timing, so it is recorded
+//! as its generating spec, not as flat records). Records are delta-encoded
+//! (program counters and memory addresses as zig-zag varint deltas) and
+//! packed into independently decodable blocks, each optionally LZSS
+//! compressed and guarded by a CRC-32 of its uncompressed payload.
+//!
+//! The full byte-level specification lives in `docs/TRACE_FORMAT.md`; this
+//! module is the reference implementation. File layout at a glance:
+//!
+//! ```text
+//! header  | magic "ELSQETRC", version, flags, provenance, name, CRC-32
+//! block*  | n_records, raw_len, comp_len, encoding, CRC-32, payload
+//! end     | an all-zero block header (17 zero bytes)
+//! trailer | magic "ETRCEND\0", instruction count, CRC-32
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use elsq_isa::etrc::{read_trace, write_trace, TraceMeta};
+//! use elsq_isa::{InstBuilder, OpClass};
+//!
+//! let insts = vec![
+//!     InstBuilder::load(0x1000, 0x8000, 8).dst(elsq_isa::ArchReg::int(1)).build(),
+//!     InstBuilder::alu(0x1004, OpClass::IntAlu).dst(elsq_isa::ArchReg::int(2)).build(),
+//! ];
+//! let bytes = write_trace(&insts, &TraceMeta::named("example", 7)).unwrap();
+//! let (meta, decoded) = read_trace(&bytes).unwrap();
+//! assert_eq!(meta.name, "example");
+//! assert_eq!(decoded, insts);
+//! ```
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::inst::{BranchInfo, DynInst, InvalidInstError, MemAccess, MAX_SRCS};
+use crate::op::{Op, OpClass};
+use crate::reg::{ArchReg, RegClass, NUM_ARCH_REGS_PER_CLASS};
+use crate::trace::TraceSource;
+use crate::wrongpath::{WrongPathSpec, WrongPathSynth};
+
+/// File magic, first 8 bytes of every `.etrc` file.
+pub const MAGIC: [u8; 8] = *b"ELSQETRC";
+/// Trailer magic, written after the end-of-blocks marker.
+pub const END_MAGIC: [u8; 8] = *b"ETRCEND\0";
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Default uncompressed block payload target in bytes.
+pub const DEFAULT_BLOCK_TARGET: u32 = 64 * 1024;
+/// Header flag bit: a wrong-path spec is present.
+pub const FLAG_WRONG_PATH: u16 = 1 << 0;
+
+/// Suite tag: the trace is not part of a recorded suite.
+pub const SUITE_NONE: u8 = 0;
+/// Suite tag: member of the FP-like suite roster.
+pub const SUITE_FP: u8 = 1;
+/// Suite tag: member of the INT-like suite roster.
+pub const SUITE_INT: u8 = 2;
+
+/// Block encoding: payload stored uncompressed.
+pub const ENC_RAW: u8 = 0;
+/// Block encoding: payload LZSS compressed (see `docs/TRACE_FORMAT.md`).
+pub const ENC_LZSS: u8 = 1;
+
+const HEADER_FIXED_LEN: usize = 60;
+const BLOCK_HEADER_LEN: usize = 17;
+const TRAILER_LEN: usize = 20;
+/// Minimum LZSS match length; shorter repeats are emitted as literals.
+const LZSS_MIN_MATCH: usize = 4;
+/// Maximum LZSS match length (`LZSS_MIN_MATCH + 255`).
+const LZSS_MAX_MATCH: usize = LZSS_MIN_MATCH + 255;
+
+/// Errors produced by the `.etrc` codec.
+#[derive(Debug)]
+pub enum EtrcError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The file does not start with the `.etrc` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader supports.
+    UnsupportedVersion(u16),
+    /// The file ended in the middle of the named structure.
+    Truncated(&'static str),
+    /// A CRC-32 check failed over the named structure.
+    Crc {
+        /// Which structure failed ("header", "block", "trailer").
+        what: &'static str,
+        /// Index of the failing block (0 for header/trailer).
+        block: u64,
+    },
+    /// The file is structurally invalid.
+    Corrupt(String),
+    /// An instruction failed [`DynInst::validate`] during encode or decode.
+    InvalidInst(InvalidInstError),
+}
+
+impl fmt::Display for EtrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtrcError::Io(e) => write!(f, "i/o error: {e}"),
+            EtrcError::BadMagic => write!(f, "not an .etrc file (bad magic)"),
+            EtrcError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported .etrc version {v} (reader supports {FORMAT_VERSION})"
+                )
+            }
+            EtrcError::Truncated(what) => write!(f, "truncated file: unexpected end inside {what}"),
+            EtrcError::Crc { what, block } => write!(f, "CRC mismatch in {what} {block}"),
+            EtrcError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+            EtrcError::InvalidInst(e) => write!(f, "invalid instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EtrcError {}
+
+impl From<std::io::Error> for EtrcError {
+    fn from(e: std::io::Error) -> Self {
+        EtrcError::Io(e)
+    }
+}
+
+impl From<InvalidInstError> for EtrcError {
+    fn from(e: InvalidInstError) -> Self {
+        EtrcError::InvalidInst(e)
+    }
+}
+
+/// Provenance metadata stored in an `.etrc` header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Format version of the file. Readers fill in the version actually
+    /// decoded from the header; writers can only produce the current
+    /// [`FORMAT_VERSION`] and reject anything else.
+    pub version: u16,
+    /// Workload name, reported verbatim by [`FileTrace::name`] so replayed
+    /// reports label rows exactly like generator-driven ones.
+    pub name: String,
+    /// Seed the generator that produced the trace was constructed with.
+    pub seed: u64,
+    /// Which suite roster the trace belongs to ([`SUITE_NONE`],
+    /// [`SUITE_FP`] or [`SUITE_INT`]).
+    pub suite_tag: u8,
+    /// Position within the suite roster, if any.
+    pub suite_index: Option<u8>,
+    /// Wrong-path synthesis parameters, if the source exposed them.
+    pub wrong_path: Option<WrongPathSpec>,
+    /// Uncompressed block payload target in bytes.
+    pub block_target: u32,
+}
+
+impl TraceMeta {
+    /// A minimal meta: just a name and a seed (no suite membership, no
+    /// wrong-path spec, default block size).
+    pub fn named(name: impl Into<String>, seed: u64) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            name: name.into(),
+            seed,
+            suite_tag: SUITE_NONE,
+            suite_index: None,
+            wrong_path: None,
+            block_target: DEFAULT_BLOCK_TARGET,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, as used by gzip/zlib/PNG)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `data`, the checksum every `.etrc` structure uses.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varint + zig-zag primitives
+// ---------------------------------------------------------------------------
+
+/// Zig-zag maps a signed delta to an unsigned varint-friendly value.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (7 data bits per byte, MSB = continue).
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], cursor: &mut usize) -> Result<u64, EtrcError> {
+    let mut v = 0u64;
+    for shift in 0..10 {
+        let byte = *buf.get(*cursor).ok_or(EtrcError::Truncated("varint"))?;
+        *cursor += 1;
+        v |= u64::from(byte & 0x7F) << (shift * 7);
+        if byte & 0x80 == 0 {
+            if shift == 9 && byte > 1 {
+                return Err(EtrcError::Corrupt("varint overflows u64".into()));
+            }
+            return Ok(v);
+        }
+    }
+    Err(EtrcError::Corrupt("varint longer than 10 bytes".into()))
+}
+
+// ---------------------------------------------------------------------------
+// LZSS block compression
+// ---------------------------------------------------------------------------
+
+const LZSS_HASH_BITS: u32 = 15;
+
+fn lzss_hash(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - LZSS_HASH_BITS)) as usize
+}
+
+/// LZSS-compresses `raw`. Returns `None` when the compressed form would not
+/// be smaller (the block is then stored raw).
+fn lzss_compress(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw.len());
+    // Single-slot hash table of the most recent position of each 4-byte
+    // prefix hash; position + 1 so 0 means empty.
+    let mut table = vec![0u32; 1 << LZSS_HASH_BITS];
+    let mut pos = 0usize;
+    let mut control_at = usize::MAX;
+    let mut control_bits = 8u8;
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool| {
+        if control_bits == 8 {
+            control_at = out.len();
+            out.push(0);
+            control_bits = 0;
+        }
+        if is_match {
+            out[control_at] |= 1 << control_bits;
+        }
+        control_bits += 1;
+    };
+    while pos < raw.len() {
+        let mut matched = 0usize;
+        let mut offset = 0usize;
+        if pos + LZSS_MIN_MATCH <= raw.len() {
+            let h = lzss_hash(&raw[pos..]);
+            let cand = table[h] as usize;
+            table[h] = (pos + 1) as u32;
+            if cand > 0 {
+                let cand = cand - 1;
+                let dist = pos - cand;
+                if dist > 0 && dist <= u16::MAX as usize {
+                    let limit = (raw.len() - pos).min(LZSS_MAX_MATCH);
+                    let mut len = 0usize;
+                    while len < limit && raw[cand + len] == raw[pos + len] {
+                        len += 1;
+                    }
+                    if len >= LZSS_MIN_MATCH {
+                        matched = len;
+                        offset = dist;
+                    }
+                }
+            }
+        }
+        if matched > 0 {
+            push_token(&mut out, true);
+            out.extend_from_slice(&(offset as u16).to_le_bytes());
+            out.push((matched - LZSS_MIN_MATCH) as u8);
+            // Index the interior of the match so later data can refer to it.
+            let stop = (pos + matched).min(raw.len().saturating_sub(LZSS_MIN_MATCH - 1));
+            for p in (pos + 1)..stop {
+                table[lzss_hash(&raw[p..])] = (p + 1) as u32;
+            }
+            pos += matched;
+        } else {
+            push_token(&mut out, false);
+            out.push(raw[pos]);
+            pos += 1;
+        }
+    }
+    (out.len() < raw.len()).then_some(out)
+}
+
+/// Decompresses an LZSS payload into exactly `raw_len` bytes.
+fn lzss_decompress(comp: &[u8], raw_len: usize, block: u64) -> Result<Vec<u8>, EtrcError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut cursor = 0usize;
+    let mut control = 0u8;
+    let mut control_bits = 0u8;
+    while out.len() < raw_len {
+        if control_bits == 0 {
+            control = *comp
+                .get(cursor)
+                .ok_or(EtrcError::Truncated("LZSS control byte"))?;
+            cursor += 1;
+            control_bits = 8;
+        }
+        let is_match = control & 1 != 0;
+        control >>= 1;
+        control_bits -= 1;
+        if is_match {
+            let bytes = comp
+                .get(cursor..cursor + 3)
+                .ok_or(EtrcError::Truncated("LZSS match token"))?;
+            cursor += 3;
+            let offset = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+            let len = bytes[2] as usize + LZSS_MIN_MATCH;
+            if offset == 0 || offset > out.len() {
+                return Err(EtrcError::Corrupt(format!(
+                    "block {block}: LZSS offset {offset} outside the {} bytes produced",
+                    out.len()
+                )));
+            }
+            if out.len() + len > raw_len {
+                return Err(EtrcError::Corrupt(format!(
+                    "block {block}: LZSS match overruns the declared raw length"
+                )));
+            }
+            // Byte-by-byte to support overlapping (run-length style) matches.
+            let start = out.len() - offset;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        } else {
+            let b = *comp
+                .get(cursor)
+                .ok_or(EtrcError::Truncated("LZSS literal"))?;
+            cursor += 1;
+            out.push(b);
+        }
+    }
+    if cursor != comp.len() {
+        return Err(EtrcError::Corrupt(format!(
+            "block {block}: {} trailing bytes after the LZSS stream",
+            comp.len() - cursor
+        )));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Record codec (delta encoding of DynInst)
+// ---------------------------------------------------------------------------
+
+fn class_code(class: OpClass) -> u8 {
+    match class {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAlu => 2,
+        OpClass::FpMul => 3,
+        OpClass::FpDiv => 4,
+        OpClass::Load => 5,
+        OpClass::Store => 6,
+        OpClass::Branch => 7,
+        OpClass::Nop => 8,
+    }
+}
+
+fn code_class(code: u8) -> Result<OpClass, EtrcError> {
+    Ok(match code {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAlu,
+        3 => OpClass::FpMul,
+        4 => OpClass::FpDiv,
+        5 => OpClass::Load,
+        6 => OpClass::Store,
+        7 => OpClass::Branch,
+        8 => OpClass::Nop,
+        other => return Err(EtrcError::Corrupt(format!("unknown op-class code {other}"))),
+    })
+}
+
+fn reg_code(reg: Option<ArchReg>) -> u8 {
+    reg.map(|r| r.flat_index() as u8).unwrap_or(0xFF)
+}
+
+fn code_reg(code: u8) -> Result<Option<ArchReg>, EtrcError> {
+    match code {
+        0xFF => Ok(None),
+        i if i < NUM_ARCH_REGS_PER_CLASS => Ok(Some(ArchReg::new(RegClass::Int, i))),
+        i if i < 2 * NUM_ARCH_REGS_PER_CLASS => Ok(Some(ArchReg::new(
+            RegClass::Fp,
+            i - NUM_ARCH_REGS_PER_CLASS,
+        ))),
+        other => Err(EtrcError::Corrupt(format!(
+            "register code {other} out of range"
+        ))),
+    }
+}
+
+/// Per-stream delta state; reset at every block boundary so each block
+/// decodes independently.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeltaState {
+    prev_pc: u64,
+    prev_mem_addr: u64,
+}
+
+fn encode_record(buf: &mut Vec<u8>, inst: &DynInst, st: &mut DeltaState) -> Result<(), EtrcError> {
+    inst.validate()?;
+    let class = inst.op.class();
+    let explicit_latency = inst.op.latency() != class.default_latency();
+    let mut flags = class_code(class);
+    debug_assert!(flags < 16);
+    if inst.dst.is_some() {
+        flags |= 1 << 4;
+    }
+    if explicit_latency {
+        flags |= 1 << 5;
+    }
+    if inst.wrong_path {
+        flags |= 1 << 6;
+    }
+    buf.push(flags);
+    write_varint(buf, zigzag(inst.pc.wrapping_sub(st.prev_pc) as i64));
+    st.prev_pc = inst.pc;
+    if explicit_latency {
+        write_varint(buf, inst.op.latency() as u64);
+    }
+    if let Some(dst) = inst.dst {
+        buf.push(reg_code(Some(dst)));
+    }
+    buf.push(reg_code(inst.srcs[0]));
+    buf.push(reg_code(inst.srcs[1]));
+    if let Some(mem) = inst.mem {
+        write_varint(buf, zigzag(mem.addr.wrapping_sub(st.prev_mem_addr) as i64));
+        st.prev_mem_addr = mem.addr;
+        buf.push(mem.size.trailing_zeros() as u8);
+    }
+    if let Some(branch) = inst.branch {
+        buf.push(u8::from(branch.taken) | (u8::from(branch.mispredicted) << 1));
+        write_varint(buf, zigzag(branch.target.wrapping_sub(inst.pc) as i64));
+    }
+    Ok(())
+}
+
+fn decode_record(
+    buf: &[u8],
+    cursor: &mut usize,
+    st: &mut DeltaState,
+) -> Result<DynInst, EtrcError> {
+    let flags = *buf
+        .get(*cursor)
+        .ok_or(EtrcError::Truncated("record flags"))?;
+    *cursor += 1;
+    if flags & 0x80 != 0 {
+        return Err(EtrcError::Corrupt("reserved record flag bit set".into()));
+    }
+    let class = code_class(flags & 0x0F)?;
+    let has_dst = flags & (1 << 4) != 0;
+    let explicit_latency = flags & (1 << 5) != 0;
+    let wrong_path = flags & (1 << 6) != 0;
+    let pc = st
+        .prev_pc
+        .wrapping_add(unzigzag(read_varint(buf, cursor)?) as u64);
+    st.prev_pc = pc;
+    let op = if explicit_latency {
+        let latency = read_varint(buf, cursor)?;
+        let latency = u32::try_from(latency)
+            .ok()
+            .filter(|&l| l > 0)
+            .ok_or_else(|| EtrcError::Corrupt(format!("latency {latency} out of range")))?;
+        Op::with_latency(class, latency)
+    } else {
+        Op::of(class)
+    };
+    let dst = if has_dst {
+        let code = *buf
+            .get(*cursor)
+            .ok_or(EtrcError::Truncated("dst register"))?;
+        *cursor += 1;
+        let reg = code_reg(code)?;
+        if reg.is_none() {
+            return Err(EtrcError::Corrupt(
+                "dst flagged present but encoded as none".into(),
+            ));
+        }
+        reg
+    } else {
+        None
+    };
+    let mut srcs = [None; MAX_SRCS];
+    for src in srcs.iter_mut() {
+        let code = *buf
+            .get(*cursor)
+            .ok_or(EtrcError::Truncated("src register"))?;
+        *cursor += 1;
+        *src = code_reg(code)?;
+    }
+    let mem = if class.is_mem() {
+        let addr = st
+            .prev_mem_addr
+            .wrapping_add(unzigzag(read_varint(buf, cursor)?) as u64);
+        st.prev_mem_addr = addr;
+        let size_log2 = *buf
+            .get(*cursor)
+            .ok_or(EtrcError::Truncated("access size"))?;
+        *cursor += 1;
+        if size_log2 > 3 {
+            return Err(EtrcError::Corrupt(format!(
+                "access size log2 {size_log2} out of range"
+            )));
+        }
+        Some(MemAccess::new(addr, 1 << size_log2))
+    } else {
+        None
+    };
+    let branch = if class == OpClass::Branch {
+        let bits = *buf
+            .get(*cursor)
+            .ok_or(EtrcError::Truncated("branch outcome"))?;
+        *cursor += 1;
+        if bits & !0x03 != 0 {
+            return Err(EtrcError::Corrupt("reserved branch outcome bit set".into()));
+        }
+        let target = pc.wrapping_add(unzigzag(read_varint(buf, cursor)?) as u64);
+        Some(BranchInfo {
+            taken: bits & 1 != 0,
+            mispredicted: bits & 2 != 0,
+            target,
+        })
+    } else {
+        None
+    };
+    let inst = DynInst {
+        pc,
+        op,
+        dst,
+        srcs,
+        mem,
+        branch,
+        wrong_path,
+    };
+    inst.validate()?;
+    Ok(inst)
+}
+
+// ---------------------------------------------------------------------------
+// Header / trailer codec
+// ---------------------------------------------------------------------------
+
+// Encoding enforces every constraint decoding checks, so a writer can
+// never produce a file its own reader refuses to open.
+fn encode_header(meta: &TraceMeta) -> Result<Vec<u8>, EtrcError> {
+    if meta.version != FORMAT_VERSION {
+        return Err(EtrcError::Corrupt(format!(
+            "writer can only produce format version {FORMAT_VERSION}, not {}",
+            meta.version
+        )));
+    }
+    let name = meta.name.as_bytes();
+    if name.len() > u16::MAX as usize {
+        return Err(EtrcError::Corrupt(
+            "workload name longer than 65535 bytes".into(),
+        ));
+    }
+    if meta.block_target == 0 {
+        return Err(EtrcError::Corrupt("block target of zero bytes".into()));
+    }
+    if let Some(wp) = meta.wrong_path {
+        if !(0.0..=1.0).contains(&wp.load_rate) {
+            return Err(EtrcError::Corrupt(format!(
+                "wrong-path load rate {} outside [0, 1]",
+                wp.load_rate
+            )));
+        }
+    }
+    let mut buf = Vec::with_capacity(HEADER_FIXED_LEN + name.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let flags = if meta.wrong_path.is_some() {
+        FLAG_WRONG_PATH
+    } else {
+        0
+    };
+    buf.extend_from_slice(&flags.to_le_bytes());
+    buf.push(meta.suite_tag);
+    if meta.suite_index == Some(0xFF) {
+        // 0xFF is the on-disk "no slot" sentinel; writing it as a real slot
+        // would decode back as None and silently break round-tripping.
+        return Err(EtrcError::Corrupt(
+            "suite index 255 is reserved for \"no slot\"".into(),
+        ));
+    }
+    buf.push(meta.suite_index.unwrap_or(0xFF));
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(&meta.seed.to_le_bytes());
+    let wp = meta.wrong_path.unwrap_or(WrongPathSpec {
+        seed: 0,
+        region_base: 0,
+        region_size: 0,
+        load_rate: 0.0,
+    });
+    buf.extend_from_slice(&wp.seed.to_le_bytes());
+    buf.extend_from_slice(&wp.region_base.to_le_bytes());
+    buf.extend_from_slice(&wp.region_size.to_le_bytes());
+    buf.extend_from_slice(&wp.load_rate.to_bits().to_le_bytes());
+    buf.extend_from_slice(&meta.block_target.to_le_bytes());
+    debug_assert_eq!(buf.len(), HEADER_FIXED_LEN);
+    buf.extend_from_slice(name);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    Ok(buf)
+}
+
+fn read_exact_or(src: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), EtrcError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            EtrcError::Truncated(what)
+        } else {
+            EtrcError::Io(e)
+        }
+    })
+}
+
+fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
+    let mut fixed = [0u8; HEADER_FIXED_LEN];
+    read_exact_or(src, &mut fixed, "header")?;
+    if fixed[0..8] != MAGIC {
+        return Err(EtrcError::BadMagic);
+    }
+    let u16_at = |i: usize| u16::from_le_bytes([fixed[i], fixed[i + 1]]);
+    let u32_at = |i: usize| u32::from_le_bytes(fixed[i..i + 4].try_into().unwrap());
+    let u64_at = |i: usize| u64::from_le_bytes(fixed[i..i + 8].try_into().unwrap());
+    let version = u16_at(8);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(EtrcError::UnsupportedVersion(version));
+    }
+    let flags = u16_at(10);
+    if flags & !FLAG_WRONG_PATH != 0 {
+        // Reserved bits are the forward-compat escape hatch (see the
+        // versioning rules in docs/TRACE_FORMAT.md): tolerating them here
+        // would let a future minor extension silently misdecode.
+        return Err(EtrcError::Corrupt(format!(
+            "reserved header flag bits set ({flags:#06x})"
+        )));
+    }
+    let suite_tag = fixed[12];
+    let suite_index = if fixed[13] == 0xFF {
+        None
+    } else {
+        Some(fixed[13])
+    };
+    let name_len = u16_at(14) as usize;
+    let seed = u64_at(16);
+    let wrong_path = (flags & FLAG_WRONG_PATH != 0).then(|| WrongPathSpec {
+        seed: u64_at(24),
+        region_base: u64_at(32),
+        region_size: u64_at(40),
+        load_rate: f64::from_bits(u64_at(48)),
+    });
+    if let Some(wp) = wrong_path {
+        if !(0.0..=1.0).contains(&wp.load_rate) {
+            return Err(EtrcError::Corrupt(format!(
+                "wrong-path load rate {} outside [0, 1]",
+                wp.load_rate
+            )));
+        }
+    }
+    let block_target = u32_at(56);
+    if block_target == 0 {
+        return Err(EtrcError::Corrupt("block target of zero bytes".into()));
+    }
+    let mut name = vec![0u8; name_len];
+    read_exact_or(src, &mut name, "header name")?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or(src, &mut crc_bytes, "header CRC")?;
+    let mut crc_input = fixed.to_vec();
+    crc_input.extend_from_slice(&name);
+    if crc32(&crc_input) != u32::from_le_bytes(crc_bytes) {
+        return Err(EtrcError::Crc {
+            what: "header",
+            block: 0,
+        });
+    }
+    let name = String::from_utf8(name)
+        .map_err(|_| EtrcError::Corrupt("workload name is not UTF-8".into()))?;
+    let consumed = (HEADER_FIXED_LEN + name_len + 4) as u64;
+    Ok((
+        TraceMeta {
+            version,
+            name,
+            seed,
+            suite_tag,
+            suite_index,
+            wrong_path,
+            block_target,
+        },
+        consumed,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming `.etrc` encoder over any [`Write`] sink.
+///
+/// Instructions are buffered into blocks of roughly the header's block
+/// target and flushed as they fill. [`EtrcWriter::finish`] writes the
+/// end-of-blocks marker and the counting trailer; a file abandoned without
+/// `finish` is detectably truncated (readers error rather than silently
+/// yielding a short stream).
+pub struct EtrcWriter<W: Write> {
+    sink: W,
+    raw: Vec<u8>,
+    n_records: u32,
+    delta: DeltaState,
+    block_target: usize,
+    inst_count: u64,
+}
+
+impl<W: Write> EtrcWriter<W> {
+    /// Creates a writer and immediately writes the header for `meta`.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, EtrcError> {
+        sink.write_all(&encode_header(meta)?)?;
+        Ok(Self {
+            sink,
+            raw: Vec::with_capacity(meta.block_target as usize + 64),
+            n_records: 0,
+            delta: DeltaState::default(),
+            block_target: meta.block_target as usize,
+            inst_count: 0,
+        })
+    }
+
+    /// Appends one instruction record.
+    ///
+    /// Returns an error if `inst` fails [`DynInst::validate`] (only valid
+    /// instructions are representable) or on I/O failure.
+    pub fn write_inst(&mut self, inst: &DynInst) -> Result<(), EtrcError> {
+        encode_record(&mut self.raw, inst, &mut self.delta)?;
+        self.n_records += 1;
+        self.inst_count += 1;
+        // Flush after completing a record so records never straddle blocks.
+        if self.raw.len() >= self.block_target {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), EtrcError> {
+        if self.n_records == 0 {
+            return Ok(());
+        }
+        let crc = crc32(&self.raw);
+        let comp = lzss_compress(&self.raw);
+        let (encoding, payload): (u8, &[u8]) = match &comp {
+            Some(comp) => (ENC_LZSS, comp),
+            None => (ENC_RAW, &self.raw),
+        };
+        let mut header = [0u8; BLOCK_HEADER_LEN];
+        header[0..4].copy_from_slice(&self.n_records.to_le_bytes());
+        header[4..8].copy_from_slice(&(self.raw.len() as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[12] = encoding;
+        header[13..17].copy_from_slice(&crc.to_le_bytes());
+        self.sink.write_all(&header)?;
+        self.sink.write_all(payload)?;
+        self.raw.clear();
+        self.n_records = 0;
+        // Each block decodes independently: deltas restart from zero.
+        self.delta = DeltaState::default();
+        Ok(())
+    }
+
+    /// Flushes the final block, writes the end marker and trailer, and
+    /// returns the total number of instruction records written.
+    pub fn finish(mut self) -> Result<u64, EtrcError> {
+        self.flush_block()?;
+        self.sink.write_all(&[0u8; BLOCK_HEADER_LEN])?;
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[0..8].copy_from_slice(&END_MAGIC);
+        trailer[8..16].copy_from_slice(&self.inst_count.to_le_bytes());
+        let crc = crc32(&trailer[0..16]);
+        trailer[16..20].copy_from_slice(&crc.to_le_bytes());
+        self.sink.write_all(&trailer)?;
+        self.sink.flush()?;
+        Ok(self.inst_count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Aggregate statistics collected while reading a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Instruction records decoded so far.
+    pub insts: u64,
+    /// Data blocks decoded so far (excluding the end marker).
+    pub blocks: u64,
+    /// Sum of uncompressed block payload bytes.
+    pub raw_bytes: u64,
+    /// Sum of on-disk block payload bytes (after compression).
+    pub compressed_bytes: u64,
+    /// Total bytes consumed from the source, including framing.
+    pub file_bytes: u64,
+    /// Loads decoded.
+    pub loads: u64,
+    /// Stores decoded.
+    pub stores: u64,
+    /// Branches decoded.
+    pub branches: u64,
+}
+
+/// Streaming `.etrc` decoder over any [`Read`] source.
+///
+/// Decodes one block at a time: block framing is read lazily, payloads are
+/// CRC-checked before any record is decoded, and the trailer count is
+/// verified against the number of records actually decoded.
+pub struct EtrcReader<R: Read> {
+    src: R,
+    meta: TraceMeta,
+    block: Vec<u8>,
+    cursor: usize,
+    records_left: u32,
+    delta: DeltaState,
+    stats: TraceStats,
+    done: bool,
+}
+
+impl<R: Read> EtrcReader<R> {
+    /// Opens a trace, parsing and CRC-checking the header.
+    pub fn new(mut src: R) -> Result<Self, EtrcError> {
+        let (meta, header_bytes) = decode_header(&mut src)?;
+        Ok(Self {
+            src,
+            meta,
+            block: Vec::new(),
+            cursor: 0,
+            records_left: 0,
+            delta: DeltaState::default(),
+            stats: TraceStats {
+                file_bytes: header_bytes,
+                ..TraceStats::default()
+            },
+            done: false,
+        })
+    }
+
+    /// The header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Statistics over everything decoded so far (complete once
+    /// [`EtrcReader::next_inst`] has returned `Ok(None)`).
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    fn load_next_block(&mut self) -> Result<bool, EtrcError> {
+        let mut header = [0u8; BLOCK_HEADER_LEN];
+        read_exact_or(&mut self.src, &mut header, "block header")?;
+        self.stats.file_bytes += BLOCK_HEADER_LEN as u64;
+        let n_records = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let raw_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let comp_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let encoding = header[12];
+        let crc = u32::from_le_bytes(header[13..17].try_into().unwrap());
+        if n_records == 0 {
+            // End-of-blocks marker: every field must be zero, then the
+            // trailer follows.
+            if header != [0u8; BLOCK_HEADER_LEN] {
+                return Err(EtrcError::Corrupt("non-zero end-of-blocks marker".into()));
+            }
+            let mut trailer = [0u8; TRAILER_LEN];
+            read_exact_or(&mut self.src, &mut trailer, "trailer")?;
+            self.stats.file_bytes += TRAILER_LEN as u64;
+            if trailer[0..8] != END_MAGIC {
+                return Err(EtrcError::Corrupt("bad trailer magic".into()));
+            }
+            if crc32(&trailer[0..16]) != u32::from_le_bytes(trailer[16..20].try_into().unwrap()) {
+                return Err(EtrcError::Crc {
+                    what: "trailer",
+                    block: 0,
+                });
+            }
+            let declared = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+            if declared != self.stats.insts {
+                return Err(EtrcError::Corrupt(format!(
+                    "trailer declares {declared} records but {} were decoded",
+                    self.stats.insts
+                )));
+            }
+            self.done = true;
+            return Ok(false);
+        }
+        let mut payload = vec![0u8; comp_len];
+        read_exact_or(&mut self.src, &mut payload, "block payload")?;
+        self.stats.file_bytes += comp_len as u64;
+        let block_index = self.stats.blocks;
+        let raw = match encoding {
+            ENC_RAW => {
+                if comp_len != raw_len {
+                    return Err(EtrcError::Corrupt(format!(
+                        "block {block_index}: raw block with comp_len {comp_len} != raw_len {raw_len}"
+                    )));
+                }
+                payload
+            }
+            ENC_LZSS => lzss_decompress(&payload, raw_len, block_index)?,
+            other => {
+                return Err(EtrcError::Corrupt(format!(
+                    "block {block_index}: unknown encoding {other}"
+                )));
+            }
+        };
+        if crc32(&raw) != crc {
+            return Err(EtrcError::Crc {
+                what: "block",
+                block: block_index,
+            });
+        }
+        self.stats.blocks += 1;
+        self.stats.raw_bytes += raw_len as u64;
+        self.stats.compressed_bytes += comp_len as u64;
+        self.block = raw;
+        self.cursor = 0;
+        self.records_left = n_records;
+        self.delta = DeltaState::default();
+        Ok(true)
+    }
+
+    /// Decodes the next instruction, or returns `Ok(None)` at a clean end of
+    /// trace (end marker + verified trailer).
+    pub fn next_inst(&mut self) -> Result<Option<DynInst>, EtrcError> {
+        while self.records_left == 0 {
+            if self.done {
+                return Ok(None);
+            }
+            if !self.load_next_block()? {
+                return Ok(None);
+            }
+        }
+        let inst = decode_record(&self.block, &mut self.cursor, &mut self.delta)?;
+        self.records_left -= 1;
+        if self.records_left == 0 && self.cursor != self.block.len() {
+            return Err(EtrcError::Corrupt(format!(
+                "block {}: {} payload bytes left after the last record",
+                self.stats.blocks.saturating_sub(1),
+                self.block.len() - self.cursor
+            )));
+        }
+        self.stats.insts += 1;
+        if inst.is_load() {
+            self.stats.loads += 1;
+        } else if inst.is_store() {
+            self.stats.stores += 1;
+        } else if inst.is_branch() {
+            self.stats.branches += 1;
+        }
+        Ok(Some(inst))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileTrace: the TraceSource adapter
+// ---------------------------------------------------------------------------
+
+/// A [`TraceSource`] replaying an `.etrc` file.
+///
+/// Correct-path instructions stream from the file; wrong-path instructions
+/// are re-synthesized from the recorded [`WrongPathSpec`], which reproduces
+/// the generator's wrong-path stream exactly (see [`crate::wrongpath`]).
+///
+/// # Panics
+///
+/// [`TraceSource::next_inst`] panics if the file turns out to be corrupt
+/// mid-stream (CRC mismatch, truncation): silently ending the trace early
+/// would skew simulation results, and `elsq-lab trace verify` exists to
+/// check files up front. A clean end of trace returns `None` as usual.
+pub struct FileTrace {
+    reader: EtrcReader<BufReader<File>>,
+    wrong_path: Option<WrongPathSynth>,
+    path: PathBuf,
+}
+
+impl FileTrace {
+    /// Opens `path`, parsing and CRC-checking the header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, EtrcError> {
+        let path = path.as_ref().to_path_buf();
+        let reader = EtrcReader::new(BufReader::new(File::open(&path)?))?;
+        let wrong_path = reader.meta().wrong_path.map(WrongPathSynth::from_spec);
+        Ok(Self {
+            reader,
+            wrong_path,
+            path,
+        })
+    }
+
+    /// The header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        self.reader.meta()
+    }
+
+    /// The path the trace was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.reader
+            .next_inst()
+            .unwrap_or_else(|e| panic!("corrupt trace {}: {e}", self.path.display()))
+    }
+
+    fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
+        match &mut self.wrong_path {
+            Some(synth) => synth.inst(pc),
+            None => crate::trace::default_wrong_path_inst(pc),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.reader.meta().name
+    }
+
+    fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+        self.reader.meta().wrong_path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record / inspect / convenience
+// ---------------------------------------------------------------------------
+
+/// Records up to `insts` correct-path instructions from `source` into
+/// `sink`, capturing the source's name and wrong-path spec in the header.
+///
+/// Stops early if a finite source is exhausted. Returns the written
+/// [`TraceMeta`] and the number of instructions recorded.
+pub fn record<W: Write>(
+    source: &mut dyn TraceSource,
+    insts: u64,
+    seed: u64,
+    suite_tag: u8,
+    suite_index: Option<u8>,
+    sink: W,
+) -> Result<(TraceMeta, u64), EtrcError> {
+    let meta = TraceMeta {
+        version: FORMAT_VERSION,
+        name: source.name().to_owned(),
+        seed,
+        suite_tag,
+        suite_index,
+        wrong_path: source.wrong_path_spec(),
+        block_target: DEFAULT_BLOCK_TARGET,
+    };
+    let mut writer = EtrcWriter::new(sink, &meta)?;
+    for _ in 0..insts {
+        match source.next_inst() {
+            Some(inst) => writer.write_inst(&inst)?,
+            None => break,
+        }
+    }
+    let written = writer.finish()?;
+    Ok((meta, written))
+}
+
+/// Fully decodes a trace from `src`, checking every CRC, record and the
+/// trailer count, and returns the header metadata plus aggregate stats.
+///
+/// This is the engine behind `elsq-lab trace info` and `trace verify`.
+pub fn inspect<R: Read>(src: R) -> Result<(TraceMeta, TraceStats), EtrcError> {
+    let mut reader = EtrcReader::new(src)?;
+    while reader.next_inst()?.is_some() {}
+    Ok((reader.meta().clone(), reader.stats()))
+}
+
+/// Encodes `insts` into an in-memory `.etrc` image.
+pub fn write_trace(insts: &[DynInst], meta: &TraceMeta) -> Result<Vec<u8>, EtrcError> {
+    let mut bytes = Vec::new();
+    let mut writer = EtrcWriter::new(&mut bytes, meta)?;
+    for inst in insts {
+        writer.write_inst(inst)?;
+    }
+    writer.finish()?;
+    Ok(bytes)
+}
+
+/// Decodes a complete in-memory `.etrc` image.
+pub fn read_trace(bytes: &[u8]) -> Result<(TraceMeta, Vec<DynInst>), EtrcError> {
+    let mut reader = EtrcReader::new(bytes)?;
+    let mut insts = Vec::new();
+    while let Some(inst) = reader.next_inst()? {
+        insts.push(inst);
+    }
+    Ok((reader.meta().clone(), insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstBuilder;
+    use crate::trace::VecTrace;
+
+    fn sample_stream(n: usize) -> Vec<DynInst> {
+        let mut insts = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let pc = 0x40_0000 + i * 4;
+            let inst = match i % 5 {
+                0 => InstBuilder::load(pc, 0x1000_0000 + i * 8, 8)
+                    .dst(ArchReg::int(1))
+                    .src(ArchReg::int(2))
+                    .build(),
+                1 => InstBuilder::store(pc, 0x1000_0000 + i * 8, 4)
+                    .src(ArchReg::int(1))
+                    .src(ArchReg::int(3))
+                    .build(),
+                2 => InstBuilder::branch(pc, i % 2 == 0, i % 10 == 2, pc + 64)
+                    .src(ArchReg::int(4))
+                    .build(),
+                3 => InstBuilder::alu(pc, OpClass::FpMul)
+                    .dst(ArchReg::fp(5))
+                    .src(ArchReg::fp(6))
+                    .src(ArchReg::fp(7))
+                    .build(),
+                _ => InstBuilder::alu(pc, OpClass::IntAlu)
+                    .dst(ArchReg::int(8))
+                    .src(ArchReg::int(8))
+                    .latency(3)
+                    .build(),
+            };
+            insts.push(inst);
+        }
+        insts
+    }
+
+    #[test]
+    fn round_trip_preserves_stream_and_meta() {
+        let insts = sample_stream(500);
+        let mut meta = TraceMeta::named("rt", 42);
+        meta.suite_tag = SUITE_INT;
+        meta.suite_index = Some(3);
+        meta.wrong_path = Some(WrongPathSpec {
+            seed: 42,
+            region_base: 0x8000,
+            region_size: 1 << 20,
+            load_rate: 0.25,
+        });
+        let bytes = write_trace(&insts, &meta).unwrap();
+        let (back_meta, back) = read_trace(&bytes).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(back, insts);
+    }
+
+    #[test]
+    fn multi_block_traces_round_trip() {
+        let insts = sample_stream(4000);
+        let mut meta = TraceMeta::named("blocks", 1);
+        meta.block_target = 512; // force many blocks
+        let bytes = write_trace(&insts, &meta).unwrap();
+        let mut reader = EtrcReader::new(&bytes[..]).unwrap();
+        let mut back = Vec::new();
+        while let Some(i) = reader.next_inst().unwrap() {
+            back.push(i);
+        }
+        assert_eq!(back, insts);
+        let stats = reader.stats();
+        assert!(
+            stats.blocks > 3,
+            "expected several blocks, got {}",
+            stats.blocks
+        );
+        assert_eq!(stats.insts, 4000);
+        assert_eq!(stats.loads, 800);
+        assert_eq!(stats.stores, 800);
+        assert_eq!(stats.branches, 800);
+        assert_eq!(stats.file_bytes as usize, bytes.len());
+        // Delta-encoded instruction streams compress well.
+        assert!(stats.compressed_bytes < stats.raw_bytes);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = write_trace(&[], &TraceMeta::named("empty", 0)).unwrap();
+        let (_, back) = read_trace(&bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_file_is_detected() {
+        let bytes = write_trace(&sample_stream(100), &TraceMeta::named("t", 0)).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() - TRAILER_LEN, 40, 9] {
+            let err = read_trace(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EtrcError::Truncated(_) | EtrcError::Crc { .. }),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_block_fails_crc() {
+        let insts = sample_stream(200);
+        let bytes = write_trace(&insts, &TraceMeta::named("c", 0)).unwrap();
+        // Flip a byte inside the first block payload (safely past the
+        // header and block framing).
+        let header_len = HEADER_FIXED_LEN + 1 + 4; // name "c" = 1 byte
+        let mut bad = bytes.clone();
+        bad[header_len + BLOCK_HEADER_LEN + 10] ^= 0x40;
+        let err = read_trace(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EtrcError::Crc { .. } | EtrcError::Corrupt(_) | EtrcError::Truncated(_)
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let bytes = write_trace(&[], &TraceMeta::named("v", 0)).unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_trace(&bad).unwrap_err(), EtrcError::BadMagic));
+        let mut future = bytes.clone();
+        future[8] = 99; // version 99
+                        // (CRC also breaks, but the version check runs first.)
+        assert!(matches!(
+            read_trace(&future).unwrap_err(),
+            EtrcError::UnsupportedVersion(99)
+        ));
+        let mut crc_broken = bytes;
+        crc_broken[16] ^= 1; // seed byte: header CRC must catch it
+        assert!(matches!(
+            read_trace(&crc_broken).unwrap_err(),
+            EtrcError::Crc { what: "header", .. }
+        ));
+    }
+
+    #[test]
+    fn reserved_header_flags_are_rejected() {
+        let mut bytes = write_trace(&[], &TraceMeta::named("f", 0)).unwrap();
+        // Set a reserved flag bit and re-sign the header CRC so only the
+        // flag check can reject the file.
+        bytes[10] |= 0x02;
+        let crc_at = HEADER_FIXED_LEN + 1; // name "f" = 1 byte
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = read_trace(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, EtrcError::Corrupt(msg) if msg.contains("reserved header flag")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn writer_rejects_what_the_reader_would_refuse() {
+        let mut meta = TraceMeta::named("w", 0);
+        meta.block_target = 0;
+        assert!(write_trace(&[], &meta).is_err(), "zero block target");
+        let mut meta = TraceMeta::named("w", 0);
+        meta.wrong_path = Some(WrongPathSpec {
+            seed: 0,
+            region_base: 0,
+            region_size: 64,
+            load_rate: 1.5,
+        });
+        assert!(write_trace(&[], &meta).is_err(), "load rate out of range");
+        let mut meta = TraceMeta::named("w", 0);
+        meta.version = 2;
+        assert!(write_trace(&[], &meta).is_err(), "foreign version");
+    }
+
+    #[test]
+    fn reserved_suite_index_is_rejected_at_write_time() {
+        let mut meta = TraceMeta::named("slot", 0);
+        meta.suite_index = Some(0xFF);
+        let err = write_trace(&[], &meta).unwrap_err();
+        assert!(matches!(err, EtrcError::Corrupt(_)), "got {err}");
+        meta.suite_index = Some(0xFE);
+        let bytes = write_trace(&[], &meta).unwrap();
+        assert_eq!(read_trace(&bytes).unwrap().0.suite_index, Some(0xFE));
+    }
+
+    #[test]
+    fn trailer_count_mismatch_is_detected() {
+        let bytes = write_trace(&sample_stream(10), &TraceMeta::named("n", 0)).unwrap();
+        let mut bad = bytes.clone();
+        // Rewrite the trailer count and fix its CRC so only the count lies.
+        let t = bad.len() - TRAILER_LEN;
+        bad[t + 8..t + 16].copy_from_slice(&11u64.to_le_bytes());
+        let crc = crc32(&bad[t..t + 16]);
+        bad[t + 16..t + 20].copy_from_slice(&crc.to_le_bytes());
+        let err = read_trace(&bad).unwrap_err();
+        assert!(matches!(err, EtrcError::Corrupt(_)), "got {err}");
+    }
+
+    #[test]
+    fn record_captures_name_and_wrong_path_spec() {
+        struct SpeccedVec(VecTrace);
+        impl TraceSource for SpeccedVec {
+            fn next_inst(&mut self) -> Option<DynInst> {
+                self.0.next_inst()
+            }
+            fn name(&self) -> &str {
+                "specced"
+            }
+            fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+                Some(WrongPathSpec {
+                    seed: 9,
+                    region_base: 0x100,
+                    region_size: 4096,
+                    load_rate: 0.5,
+                })
+            }
+        }
+        let mut src = SpeccedVec(VecTrace::new(sample_stream(64)));
+        let mut bytes = Vec::new();
+        let (meta, written) = record(&mut src, 1000, 7, SUITE_FP, Some(2), &mut bytes).unwrap();
+        assert_eq!(written, 64, "finite source stops early");
+        assert_eq!(meta.name, "specced");
+        assert_eq!(meta.seed, 7);
+        assert_eq!(meta.suite_tag, SUITE_FP);
+        assert_eq!(meta.suite_index, Some(2));
+        assert!(meta.wrong_path.is_some());
+        let (read_meta, insts) = read_trace(&bytes).unwrap();
+        assert_eq!(read_meta, meta);
+        assert_eq!(insts.len(), 64);
+    }
+
+    #[test]
+    fn file_trace_replays_and_synthesizes_wrong_path() {
+        let dir = std::env::temp_dir().join(format!("etrc-ft-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.etrc");
+        let insts = sample_stream(128);
+        let spec = WrongPathSpec {
+            seed: 11,
+            region_base: 0x2000,
+            region_size: 1 << 16,
+            load_rate: 0.25,
+        };
+        let mut meta = TraceMeta::named("file-trace", 11);
+        meta.wrong_path = Some(spec);
+        std::fs::write(&path, write_trace(&insts, &meta).unwrap()).unwrap();
+
+        let mut ft = FileTrace::open(&path).unwrap();
+        assert_eq!(ft.name(), "file-trace");
+        assert_eq!(ft.wrong_path_spec(), Some(spec));
+        let mut replayed = Vec::new();
+        while let Some(i) = ft.next_inst() {
+            replayed.push(i);
+        }
+        assert_eq!(replayed, insts);
+        // Wrong path matches a synth built from the same spec.
+        let mut reference = WrongPathSynth::from_spec(spec);
+        let mut ft2 = FileTrace::open(&path).unwrap();
+        for i in 0..64 {
+            assert_eq!(ft2.wrong_path_inst(i * 4), reference.inst(i * 4));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_reports_counts_and_compression() {
+        let insts = sample_stream(1000);
+        let bytes = write_trace(&insts, &TraceMeta::named("i", 0)).unwrap();
+        let (meta, stats) = inspect(&bytes[..]).unwrap();
+        assert_eq!(meta.name, "i");
+        assert_eq!(stats.insts, 1000);
+        assert_eq!(stats.loads + stats.stores + stats.branches, 600);
+        assert!(stats.raw_bytes > 0);
+    }
+
+    #[test]
+    fn lzss_round_trips_pathological_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0x55],
+            vec![7; 10_000],
+            (0..=255u8).cycle().take(5000).collect(),
+            b"abcabcabcabcabcabcabcabcabcd".to_vec(),
+            (0..4096u32).flat_map(|i| (i % 7).to_le_bytes()).collect(),
+        ];
+        for raw in cases {
+            match lzss_compress(&raw) {
+                Some(comp) => {
+                    assert!(comp.len() < raw.len());
+                    let back = lzss_decompress(&comp, raw.len(), 0).unwrap();
+                    assert_eq!(back, raw);
+                }
+                None => { /* incompressible: stored raw, nothing to check */ }
+            }
+        }
+    }
+
+    #[test]
+    fn varint_zigzag_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            63,
+            -64,
+            1 << 20,
+            -(1 << 40),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, zigzag(v));
+            let mut cursor = 0;
+            assert_eq!(unzigzag(read_varint(&buf, &mut cursor).unwrap()), v);
+            assert_eq!(cursor, buf.len());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

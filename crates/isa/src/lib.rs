@@ -15,7 +15,10 @@
 //! * [`DynInst`] — a single dynamic instruction,
 //! * [`MemAccess`] and [`BranchInfo`] — memory and control-flow payloads,
 //! * [`TraceSource`] — the interface workload generators implement, together
-//!   with the [`trace::VecTrace`] helper used throughout the test suites.
+//!   with the [`trace::VecTrace`] helper used throughout the test suites,
+//! * [`etrc`] — the compressed `.etrc` on-disk trace format (writer, reader
+//!   and the [`FileTrace`] replay source) and [`wrongpath`] — the seeded
+//!   wrong-path synthesizer whose spec the format records for exact replay.
 //!
 //! # Example
 //!
@@ -39,12 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod etrc;
 pub mod inst;
 pub mod op;
 pub mod reg;
 pub mod trace;
+pub mod wrongpath;
 
+pub use etrc::FileTrace;
 pub use inst::{BranchInfo, DynInst, InstBuilder, MemAccess};
 pub use op::{Op, OpClass};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS_PER_CLASS};
 pub use trace::TraceSource;
+pub use wrongpath::{WrongPathSpec, WrongPathSynth};

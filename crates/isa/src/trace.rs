@@ -11,6 +11,19 @@
 use crate::inst::{DynInst, InstBuilder};
 use crate::op::OpClass;
 use crate::reg::ArchReg;
+use crate::wrongpath::WrongPathSpec;
+
+/// The wrong-path instruction sources emit when they have no richer model:
+/// a simple integer ALU op. Shared by the [`TraceSource`] default and by
+/// spec-less [`crate::etrc::FileTrace`] replays, so the two can never
+/// diverge.
+pub fn default_wrong_path_inst(pc: u64) -> DynInst {
+    InstBuilder::alu(pc, OpClass::IntAlu)
+        .dst(ArchReg::int(1))
+        .src(ArchReg::int(1))
+        .wrong_path(true)
+        .build()
+}
 
 /// A source of dynamic instructions.
 ///
@@ -25,20 +38,30 @@ pub trait TraceSource: Send {
 
     /// Returns a wrong-path instruction to fetch at `pc`.
     ///
-    /// The default implementation produces a simple integer ALU instruction;
-    /// generators override this to produce a realistic mix including
-    /// wrong-path loads and stores.
+    /// The default implementation produces a simple integer ALU instruction
+    /// ([`default_wrong_path_inst`]); generators override this to produce a
+    /// realistic mix including wrong-path loads and stores.
     fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
-        InstBuilder::alu(pc, OpClass::IntAlu)
-            .dst(ArchReg::int(1))
-            .src(ArchReg::int(1))
-            .wrong_path(true)
-            .build()
+        default_wrong_path_inst(pc)
     }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str {
         "trace"
+    }
+
+    /// The parameters of this source's wrong-path synthesis, if it is a
+    /// pure function of a [`WrongPathSpec`].
+    ///
+    /// Sources that return `Some` can be recorded to an `.etrc` trace file
+    /// (see [`crate::etrc`]) and replayed bit-for-bit: the recorder stores
+    /// the spec in the trace header instead of recording the demand-driven
+    /// wrong-path stream, and the replaying [`crate::etrc::FileTrace`]
+    /// rebuilds an identical synthesizer from it. The default is `None`,
+    /// which records as "no spec": replays then fall back to the trait's
+    /// default ALU-only wrong path.
+    fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+        None
     }
 }
 

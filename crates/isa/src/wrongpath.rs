@@ -1,0 +1,164 @@
+//! Wrong-path instruction synthesis.
+//!
+//! After a mispredicted branch the front end fetches *wrong-path*
+//! instructions until the branch resolves. Those instructions never commit
+//! but they occupy LSQ entries and access caches, so their statistical mix
+//! matters for the paper's Table 2. Every workload generator synthesizes
+//! its wrong-path stream with a [`WrongPathSynth`] seeded independently of
+//! the correct-path randomness, which makes the stream a pure function of a
+//! small [`WrongPathSpec`].
+//!
+//! That purity is what makes on-disk traces replayable: the `.etrc` format
+//! (see [`crate::etrc`]) stores the spec in its header instead of recording
+//! wrong-path instructions, and a replaying [`crate::etrc::FileTrace`]
+//! reconstructs a synthesizer that produces the exact same stream the
+//! generator would have — wrong-path demand depends on simulated timing, so
+//! it cannot be captured as a flat record sequence.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::inst::{DynInst, InstBuilder};
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+
+/// Constant mixed into wrong-path RNG seeds so wrong-path streams are
+/// decorrelated from correct-path randomness ("WRONG_PT" in ASCII).
+const WRONG_PATH_SEED_MIX: u64 = 0x5752_4f4e_475f_5054;
+
+/// The complete parameterization of a [`WrongPathSynth`].
+///
+/// Two synthesizers constructed from equal specs produce identical
+/// instruction streams, so recording a spec is equivalent to recording the
+/// stream. The spec is stored verbatim in `.etrc` trace headers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrongPathSpec {
+    /// Seed of the wrong-path RNG (before the internal decorrelation mix).
+    pub seed: u64,
+    /// First byte of the region wrong-path loads probe.
+    pub region_base: u64,
+    /// Size in bytes of the probed region (clamped to at least 64).
+    pub region_size: u64,
+    /// Probability that a wrong-path instruction is a load.
+    pub load_rate: f64,
+}
+
+/// Synthesizes wrong-path instructions fetched after a mispredicted branch.
+///
+/// Wrong-path code looks statistically like nearby correct-path code: mostly
+/// ALU operations with some loads into the same regions, so it exercises the
+/// LSQ and the caches until the branch resolves and the window is squashed.
+#[derive(Debug, Clone)]
+pub struct WrongPathSynth {
+    rng: SmallRng,
+    spec: WrongPathSpec,
+}
+
+impl WrongPathSynth {
+    /// Creates a wrong-path synthesizer probing `region_size` bytes starting
+    /// at `region_base` for its loads.
+    pub fn new(seed: u64, region_base: u64, region_size: u64, load_rate: f64) -> Self {
+        Self::from_spec(WrongPathSpec {
+            seed,
+            region_base,
+            region_size,
+            load_rate,
+        })
+    }
+
+    /// Creates a synthesizer from its spec. Equal specs yield identical
+    /// instruction streams.
+    pub fn from_spec(spec: WrongPathSpec) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(spec.seed ^ WRONG_PATH_SEED_MIX),
+            spec: WrongPathSpec {
+                region_size: spec.region_size.max(64),
+                ..spec
+            },
+        }
+    }
+
+    /// The spec this synthesizer was built from (with the region size
+    /// clamp applied).
+    pub fn spec(&self) -> WrongPathSpec {
+        self.spec
+    }
+
+    /// Produces one wrong-path instruction at `pc`.
+    pub fn inst(&mut self, pc: u64) -> DynInst {
+        if self.rng.gen_bool(self.spec.load_rate) {
+            let offset = self.rng.gen_range(0..self.spec.region_size / 8) * 8;
+            InstBuilder::load(pc, self.spec.region_base + offset, 8)
+                .dst(ArchReg::int(9))
+                .src(ArchReg::int(8))
+                .wrong_path(true)
+                .build()
+        } else {
+            InstBuilder::alu(pc, OpClass::IntAlu)
+                .dst(ArchReg::int(9))
+                .src(ArchReg::int(9))
+                .wrong_path(true)
+                .build()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_specs_produce_identical_streams() {
+        let spec = WrongPathSpec {
+            seed: 42,
+            region_base: 0x8000,
+            region_size: 4096,
+            load_rate: 0.25,
+        };
+        let mut a = WrongPathSynth::from_spec(spec);
+        let mut b = WrongPathSynth::from_spec(spec);
+        for i in 0..500 {
+            assert_eq!(a.inst(i * 4), b.inst(i * 4));
+        }
+    }
+
+    #[test]
+    fn new_matches_from_spec() {
+        let mut a = WrongPathSynth::new(7, 0x1000, 1 << 20, 0.25);
+        let mut b = WrongPathSynth::from_spec(WrongPathSpec {
+            seed: 7,
+            region_base: 0x1000,
+            region_size: 1 << 20,
+            load_rate: 0.25,
+        });
+        for i in 0..100 {
+            assert_eq!(a.inst(i * 4), b.inst(i * 4));
+        }
+    }
+
+    #[test]
+    fn wrong_path_instructions_are_marked_and_valid() {
+        let mut wp = WrongPathSynth::new(3, 0x8000, 4096, 0.5);
+        let mut saw_load = false;
+        for i in 0..200 {
+            let inst = wp.inst(0x100 + i * 4);
+            assert!(inst.wrong_path);
+            assert!(inst.validate().is_ok());
+            if inst.is_load() {
+                saw_load = true;
+                let a = inst.mem.unwrap().addr;
+                assert!(a >= 0x8000 && a < 0x8000 + 4096);
+            }
+        }
+        assert!(saw_load);
+    }
+
+    #[test]
+    fn tiny_region_is_clamped() {
+        let mut wp = WrongPathSynth::new(1, 0x100, 8, 1.0);
+        let inst = wp.inst(0);
+        let addr = inst.mem.unwrap().addr;
+        assert!(addr >= 0x100 && addr < 0x100 + 64);
+        assert_eq!(wp.spec().region_size, 64);
+    }
+}

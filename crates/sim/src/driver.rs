@@ -6,15 +6,96 @@
 //! the parallel path byte-identical to [`run_suite_sequential`] for the same
 //! seed — a property the determinism test suite asserts for both workload
 //! classes.
+//!
+//! Suites normally come from the synthetic generators, but a recorded
+//! [`TraceRoster`] of `.etrc` files can be installed process-wide with
+//! [`install_trace_override`]; every `run_suite*` call (and therefore every
+//! registered experiment) then replays the recorded streams instead. This
+//! is how `elsq-lab run --trace DIR` works without threading a workload
+//! source through each experiment's signature.
+
+use std::sync::{Arc, OnceLock, RwLock};
 
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::pipeline::Processor;
 use elsq_cpu::result::SimResult;
-use elsq_workload::suite::{suite, WorkloadClass};
+use elsq_isa::TraceSource;
+use elsq_workload::suite::{suite, TraceRoster, WorkloadClass};
 
 pub use elsq_stats::report::ExperimentParams;
 
 use crate::pool::{parallel_map, parallel_map_with};
+
+fn override_slot() -> &'static RwLock<Option<Arc<TraceRoster>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<TraceRoster>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Restores the previously installed trace override when dropped; returned
+/// by [`install_trace_override`].
+#[must_use = "dropping the guard immediately restores the previous override"]
+pub struct TraceOverrideGuard {
+    previous: Option<Arc<TraceRoster>>,
+}
+
+impl Drop for TraceOverrideGuard {
+    fn drop(&mut self) {
+        *override_slot()
+            .write()
+            .expect("trace override lock poisoned") = self.previous.take();
+    }
+}
+
+/// Installs `roster` as the process-global workload source: until the
+/// returned guard drops, every [`run_suite`]-family call replays the
+/// roster's recorded traces instead of constructing generators.
+///
+/// The override is process-wide (worker threads of the pool read it), so
+/// callers running concurrent *differently-sourced* suites in one process
+/// must serialize around it; the `elsq-lab` CLI installs it once per
+/// invocation.
+pub fn install_trace_override(roster: Arc<TraceRoster>) -> TraceOverrideGuard {
+    let mut slot = override_slot()
+        .write()
+        .expect("trace override lock poisoned");
+    TraceOverrideGuard {
+        previous: slot.replace(roster),
+    }
+}
+
+/// The currently installed trace roster, if any.
+pub fn trace_override() -> Option<Arc<TraceRoster>> {
+    override_slot()
+        .read()
+        .expect("trace override lock poisoned")
+        .clone()
+}
+
+/// The suite every `run_suite*` call simulates: the installed trace
+/// override's recorded streams, or the generators.
+///
+/// # Panics
+///
+/// Panics if an installed roster cannot stand in for `suite(class,
+/// params.seed)` over `params.commits` commits (wrong seed, short or
+/// missing traces). `elsq-lab` validates rosters up front and reports the
+/// same message as a clean CLI error instead.
+fn build_suite(class: WorkloadClass, params: &ExperimentParams) -> Vec<Box<dyn TraceSource>> {
+    match trace_override() {
+        Some(roster) => {
+            let check = |r: Result<(), String>| match r {
+                Ok(()) => {}
+                Err(e) => panic!("trace override cannot replace the {class} suite: {e}"),
+            };
+            check(roster.validate(class, params.seed, params.commits));
+            match roster.suite(class) {
+                Ok(suite) => suite,
+                Err(e) => panic!("trace override cannot replace the {class} suite: {e}"),
+            }
+        }
+        None => suite(class, params.seed),
+    }
+}
 
 /// Runs `config` over every workload of `class` in parallel and returns the
 /// per-workload results in suite order.
@@ -23,7 +104,7 @@ pub fn run_suite(
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<SimResult> {
-    parallel_map(suite(class, params.seed), |mut workload| {
+    parallel_map(build_suite(class, params), |mut workload| {
         Processor::new(config).run(workload.as_mut(), params.commits)
     })
 }
@@ -37,7 +118,7 @@ pub fn run_suite_with_threads(
     workers: usize,
 ) -> Vec<SimResult> {
     parallel_map_with(
-        suite(class, params.seed),
+        build_suite(class, params),
         |mut workload| Processor::new(config).run(workload.as_mut(), params.commits),
         workers,
     )
@@ -50,7 +131,7 @@ pub fn run_suite_sequential(
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<SimResult> {
-    suite(class, params.seed)
+    build_suite(class, params)
         .into_iter()
         .map(|mut workload| Processor::new(config).run(workload.as_mut(), params.commits))
         .collect()

@@ -4,7 +4,7 @@
 //! Every experiment is a unit struct implementing [`Experiment`]: a stable
 //! id (`fig7`, `table2`, ...), a title, the parameter preset the paper-scale
 //! run uses, and a `run` that produces a structured
-//! [`Report`](elsq_stats::report::Report). The `elsq-lab` CLI discovers
+//! [`Report`]. The `elsq-lab` CLI discovers
 //! experiments exclusively through the registry, so adding a module +
 //! registry entry is all it takes to expose a new scenario.
 
@@ -19,6 +19,7 @@ pub mod table2;
 pub mod tuning;
 
 use elsq_stats::report::{ExperimentParams, Report};
+use elsq_workload::suite::WorkloadClass;
 
 use crate::pool::parallel_map;
 
@@ -37,6 +38,14 @@ pub trait Experiment: Sync {
     /// Sweep-heavy experiments default to the reduced sweep preset.
     fn default_params(&self) -> ExperimentParams {
         ExperimentParams::standard()
+    }
+
+    /// The workload classes this experiment simulates. `elsq-lab run
+    /// --trace` validates a recorded roster against exactly these classes
+    /// before anything runs, so a single-suite dump works for experiments
+    /// that only touch that suite. Defaults to both.
+    fn classes(&self) -> &'static [WorkloadClass] {
+        &[WorkloadClass::Int, WorkloadClass::Fp]
     }
 
     /// Runs the experiment and collects every table it produces.

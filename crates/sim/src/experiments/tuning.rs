@@ -30,6 +30,12 @@ impl Experiment for Tuning {
     fn run(&self, params: &ExperimentParams) -> Report {
         Report::new(self.id(), self.title(), *params).with_table(run(params))
     }
+
+    fn classes(&self) -> &'static [WorkloadClass] {
+        // The sizing sweep runs SPEC FP only (see the module docs), so an
+        // FP-only trace dump suffices to replay it.
+        &[WorkloadClass::Fp]
+    }
 }
 
 /// The (loads, stores) sizes swept.

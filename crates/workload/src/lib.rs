@@ -15,9 +15,10 @@
 //! * branch misprediction rates (low for FP, higher for INT), which drive
 //!   the wrong-path LSQ activity visible in Table 2.
 //!
-//! Six FP-like and six INT-like workloads are provided; [`suite`] groups
+//! Six FP-like and six INT-like workloads are provided; [`suite()`] groups
 //! them into the two suites every experiment averages over, mirroring the
-//! paper's SPEC FP / SPEC INT split.
+//! paper's SPEC FP / SPEC INT split — and [`TraceRoster`] replays recorded
+//! `.etrc` dumps of those suites interchangeably.
 //!
 //! # Example
 //!
@@ -48,4 +49,4 @@ pub mod streaming;
 pub mod suite;
 
 pub use mix::{MixParams, WrongPathSynth};
-pub use suite::{fp_suite, int_suite, WorkloadClass};
+pub use suite::{fp_suite, int_suite, suite, TraceRoster, WorkloadClass, SUITE_SIZE};

@@ -9,9 +9,14 @@
 use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
-use elsq_isa::{ArchReg, DynInst, InstBuilder, OpClass, TraceSource};
+use elsq_isa::{ArchReg, DynInst, InstBuilder, OpClass, TraceSource, WrongPathSpec};
+
+// Wrong-path synthesis moved to `elsq_isa::wrongpath` so `.etrc` trace
+// replay (`elsq_isa::etrc::FileTrace`) can rebuild identical streams from
+// the spec recorded in a trace header; re-exported here for compatibility.
+pub use elsq_isa::wrongpath::WrongPathSynth;
 
 /// Default instruction footprint of one "program counter" step.
 pub const PC_STEP: u64 = 4;
@@ -101,54 +106,6 @@ impl Emitter {
     }
 }
 
-/// Synthesizes wrong-path instructions fetched after a mispredicted branch.
-///
-/// Wrong-path code looks statistically like nearby correct-path code: mostly
-/// ALU operations with some loads into the same regions, so it exercises the
-/// LSQ and the caches until the branch resolves and the window is squashed.
-#[derive(Debug, Clone)]
-pub struct WrongPathSynth {
-    rng: SmallRng,
-    region_base: u64,
-    region_size: u64,
-    load_rate: f64,
-}
-
-impl WrongPathSynth {
-    /// Creates a wrong-path synthesizer probing `region_size` bytes starting
-    /// at `region_base` for its loads.
-    pub fn new(seed: u64, region_base: u64, region_size: u64, load_rate: f64) -> Self {
-        Self {
-            rng: SmallRng::seed_from_u64(seed ^ WRONG_PATH_SEED_MIX),
-            region_base,
-            region_size: region_size.max(64),
-            load_rate,
-        }
-    }
-
-    /// Produces one wrong-path instruction at `pc`.
-    pub fn inst(&mut self, pc: u64) -> DynInst {
-        if self.rng.gen_bool(self.load_rate) {
-            let offset = self.rng.gen_range(0..self.region_size / 8) * 8;
-            InstBuilder::load(pc, self.region_base + offset, 8)
-                .dst(ArchReg::int(9))
-                .src(ArchReg::int(8))
-                .wrong_path(true)
-                .build()
-        } else {
-            InstBuilder::alu(pc, OpClass::IntAlu)
-                .dst(ArchReg::int(9))
-                .src(ArchReg::int(9))
-                .wrong_path(true)
-                .build()
-        }
-    }
-}
-
-/// Constant mixed into wrong-path RNG seeds so wrong-path streams are
-/// decorrelated from correct-path randomness ("WRONG_PT" in ASCII).
-const WRONG_PATH_SEED_MIX: u64 = 0x5752_4f4e_475f_5054;
-
 /// A source of basic blocks of dynamic instructions.
 ///
 /// `Send` so any [`BlockTrace`] built from it satisfies the `TraceSource`
@@ -172,6 +129,10 @@ pub struct BlockTrace<B> {
     wrong_path: WrongPathSynth,
 }
 
+/// Probability that a synthesized wrong-path instruction is a load; shared
+/// by every [`BlockTrace`] so all generators' wrong-path mixes match.
+const WRONG_PATH_LOAD_RATE: f64 = 0.25;
+
 impl<B: BlockSource> BlockTrace<B> {
     /// Wraps `source`.
     pub fn new(source: B, seed: u64) -> Self {
@@ -180,7 +141,7 @@ impl<B: BlockSource> BlockTrace<B> {
             source,
             buffer: VecDeque::new(),
             scratch: Vec::new(),
-            wrong_path: WrongPathSynth::new(seed, base, size, 0.25),
+            wrong_path: WrongPathSynth::new(seed, base, size, WRONG_PATH_LOAD_RATE),
         }
     }
 
@@ -212,11 +173,16 @@ impl<B: BlockSource> TraceSource for BlockTrace<B> {
     fn name(&self) -> &str {
         self.source.label()
     }
+
+    fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+        Some(self.wrong_path.spec())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     struct TwoInstBlock {
         emitter: Emitter,

@@ -3,7 +3,18 @@
 //! Every experiment in `elsq-sim` runs all members of a suite and averages
 //! results with the arithmetic mean, exactly as the paper's methodology
 //! section describes (Section 5.1).
+//!
+//! Suites come from two interchangeable sources: the synthetic generators
+//! ([`suite`]) or recorded `.etrc` trace files on disk ([`TraceRoster`],
+//! built by `elsq-lab trace dump`). A roster records which suite and slot
+//! each trace was dumped from, so a replayed suite has the same members in
+//! the same order — and, because the trace captures the exact correct-path
+//! stream plus the wrong-path spec, identically-parameterized replays are
+//! byte-identical to generator runs.
 
+use std::path::{Path, PathBuf};
+
+use elsq_isa::etrc::{self, FileTrace, TraceMeta};
 use elsq_isa::TraceSource;
 
 use crate::compress::CompressInt;
@@ -68,6 +79,185 @@ pub fn suite(class: WorkloadClass, seed: u64) -> Vec<Box<dyn TraceSource>> {
     }
 }
 
+/// Number of workloads in each suite.
+pub const SUITE_SIZE: usize = 6;
+
+impl WorkloadClass {
+    /// The `.etrc` header suite tag for this class.
+    pub fn suite_tag(self) -> u8 {
+        match self {
+            WorkloadClass::Fp => etrc::SUITE_FP,
+            WorkloadClass::Int => etrc::SUITE_INT,
+        }
+    }
+
+    /// The class recorded by an `.etrc` suite tag, if any.
+    pub fn from_suite_tag(tag: u8) -> Option<Self> {
+        match tag {
+            etrc::SUITE_FP => Some(WorkloadClass::Fp),
+            etrc::SUITE_INT => Some(WorkloadClass::Int),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase key used in file names and on the command line.
+    pub fn key(self) -> &'static str {
+        match self {
+            WorkloadClass::Fp => "fp",
+            WorkloadClass::Int => "int",
+        }
+    }
+}
+
+/// One verified trace file of a [`TraceRoster`].
+#[derive(Debug, Clone)]
+pub struct RosterEntry {
+    /// Path of the `.etrc` file.
+    pub path: PathBuf,
+    /// Its header metadata.
+    pub meta: TraceMeta,
+    /// Number of correct-path instructions it holds.
+    pub insts: u64,
+}
+
+/// A set of recorded suite traces that can stand in for the generator
+/// roster.
+///
+/// Built by [`TraceRoster::from_dir`], which fully decodes every `.etrc`
+/// file it finds (all CRCs and the trailer count are checked up front, so a
+/// roster that loads cannot fail mid-simulation) and orders members by
+/// their recorded suite slot.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRoster {
+    fp: Vec<RosterEntry>,
+    int: Vec<RosterEntry>,
+}
+
+impl TraceRoster {
+    /// Loads and verifies every `*.etrc` file in `dir`.
+    ///
+    /// Files must carry a suite tag and a unique slot index per class
+    /// (`elsq-lab trace dump` writes them); slots must be contiguous from
+    /// zero so a replayed suite has no holes.
+    pub fn from_dir(dir: &Path) -> Result<Self, String> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read trace directory {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "etrc"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no .etrc files in {}", dir.display()));
+        }
+        let mut roster = Self::default();
+        for path in paths {
+            let file = std::fs::File::open(&path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+            let (meta, stats) = etrc::inspect(std::io::BufReader::new(file))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let class = WorkloadClass::from_suite_tag(meta.suite_tag).ok_or_else(|| {
+                format!(
+                    "{}: trace carries no suite tag; re-dump it with `elsq-lab trace dump`",
+                    path.display()
+                )
+            })?;
+            let entry = RosterEntry {
+                path,
+                meta,
+                insts: stats.insts,
+            };
+            match class {
+                WorkloadClass::Fp => roster.fp.push(entry),
+                WorkloadClass::Int => roster.int.push(entry),
+            }
+        }
+        for (class, members) in [
+            (WorkloadClass::Fp, &mut roster.fp),
+            (WorkloadClass::Int, &mut roster.int),
+        ] {
+            members.sort_by_key(|e| e.meta.suite_index);
+            for (slot, entry) in members.iter().enumerate() {
+                match entry.meta.suite_index {
+                    Some(i) if i as usize == slot => {}
+                    Some(i) => {
+                        return Err(format!(
+                            "{}: {class} slot {i} is duplicated or leaves a hole at slot {slot}",
+                            entry.path.display()
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "{}: suite member without a slot index",
+                            entry.path.display()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(roster)
+    }
+
+    /// The verified members recorded for `class`, in suite order.
+    pub fn members(&self, class: WorkloadClass) -> &[RosterEntry] {
+        match class {
+            WorkloadClass::Fp => &self.fp,
+            WorkloadClass::Int => &self.int,
+        }
+    }
+
+    /// Checks that this roster can stand in for `suite(class, seed)` over a
+    /// run of `commits` committed instructions: a full complement of
+    /// members, recorded at the same generator seed, each holding at least
+    /// `commits` instructions (the pipeline consumes exactly one record per
+    /// commit).
+    pub fn validate(&self, class: WorkloadClass, seed: u64, commits: u64) -> Result<(), String> {
+        let members = self.members(class);
+        if members.len() != SUITE_SIZE {
+            return Err(format!(
+                "{class} roster has {} trace(s), expected {SUITE_SIZE}",
+                members.len()
+            ));
+        }
+        for entry in members {
+            if entry.meta.seed != seed {
+                return Err(format!(
+                    "{}: recorded at seed {} but the run uses seed {seed}; \
+                     re-dump or pass --seed {}",
+                    entry.path.display(),
+                    entry.meta.seed,
+                    entry.meta.seed
+                ));
+            }
+            if entry.insts < commits {
+                return Err(format!(
+                    "{}: holds {} instruction(s) but the run commits {commits}; \
+                     re-dump with --commits {commits} or more",
+                    entry.path.display(),
+                    entry.insts
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens the recorded traces of `class` as a replay suite, in suite
+    /// order — the drop-in replacement for [`suite`].
+    pub fn suite(&self, class: WorkloadClass) -> Result<Vec<Box<dyn TraceSource>>, String> {
+        let members = self.members(class);
+        if members.is_empty() {
+            return Err(format!("roster holds no {class} traces"));
+        }
+        members
+            .iter()
+            .map(|entry| {
+                FileTrace::open(&entry.path)
+                    .map(|t| Box::new(t) as Box<dyn TraceSource>)
+                    .map_err(|e| format!("{}: {e}", entry.path.display()))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +297,83 @@ mod tests {
     fn class_display() {
         assert_eq!(WorkloadClass::Fp.to_string(), "SPEC FP");
         assert_eq!(WorkloadClass::Int.to_string(), "SPEC INT");
+    }
+
+    #[test]
+    fn suite_tags_round_trip() {
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            assert_eq!(
+                WorkloadClass::from_suite_tag(class.suite_tag()),
+                Some(class)
+            );
+        }
+        assert_eq!(WorkloadClass::from_suite_tag(0), None);
+        assert_eq!(WorkloadClass::from_suite_tag(9), None);
+    }
+
+    fn dump_suites(dir: &std::path::Path, seed: u64, commits: u64) {
+        std::fs::create_dir_all(dir).unwrap();
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            for (slot, mut workload) in suite(class, seed).into_iter().enumerate() {
+                let path = dir.join(format!("{}-{slot}.etrc", class.key()));
+                let file = std::fs::File::create(&path).unwrap();
+                elsq_isa::etrc::record(
+                    workload.as_mut(),
+                    commits,
+                    seed,
+                    class.suite_tag(),
+                    Some(slot as u8),
+                    std::io::BufWriter::new(file),
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn roster_loads_validates_and_replays_generator_streams() {
+        let dir = std::env::temp_dir().join(format!("elsq-roster-{}", std::process::id()));
+        dump_suites(&dir, 5, 300);
+        let roster = TraceRoster::from_dir(&dir).unwrap();
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            assert_eq!(roster.members(class).len(), SUITE_SIZE);
+            roster.validate(class, 5, 300).unwrap();
+            assert!(
+                roster.validate(class, 6, 300).is_err(),
+                "seed mismatch accepted"
+            );
+            assert!(
+                roster.validate(class, 5, 301).is_err(),
+                "short trace accepted"
+            );
+            // Replayed members yield exactly the generator's stream, in
+            // suite order, under the generator's names.
+            let mut replayed = roster.suite(class).unwrap();
+            let mut generated = suite(class, 5);
+            for (r, g) in replayed.iter_mut().zip(generated.iter_mut()) {
+                assert_eq!(r.name(), g.name());
+                for _ in 0..300 {
+                    assert_eq!(r.next_inst(), g.next_inst());
+                }
+                assert!(r.next_inst().is_none(), "trace longer than recorded");
+                // Wrong-path streams replay identically too.
+                for i in 0..50 {
+                    assert_eq!(r.wrong_path_inst(i * 4), g.wrong_path_inst(i * 4));
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn roster_rejects_holes_and_missing_tags() {
+        let dir = std::env::temp_dir().join(format!("elsq-roster-bad-{}", std::process::id()));
+        dump_suites(&dir, 3, 50);
+        // Remove a middle slot: the hole must be reported.
+        std::fs::remove_file(dir.join("fp-2.etrc")).unwrap();
+        let err = TraceRoster::from_dir(&dir).unwrap_err();
+        assert!(err.contains("hole"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(TraceRoster::from_dir(&dir).is_err(), "missing dir accepted");
     }
 }

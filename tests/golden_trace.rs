@@ -1,0 +1,160 @@
+//! Golden `.etrc` fixture: pins the on-disk trace format bit-for-bit.
+//!
+//! `tests/fixtures/golden.etrc` was produced by the `regenerate_fixture`
+//! test below (run with `cargo test --test golden_trace -- --ignored`) and
+//! is committed. Two pins:
+//!
+//! * **decode stability** — the committed bytes must keep decoding to the
+//!   known stream: old traces stay readable forever within a format
+//!   version;
+//! * **encode stability** — the current encoder must reproduce the
+//!   committed bytes exactly. An *intentional* encoder change (e.g. a
+//!   better match finder) may update the fixture via the regeneration
+//!   test, but must bump `FORMAT_VERSION` if old readers would misread the
+//!   new bytes — see the versioning rules in `docs/TRACE_FORMAT.md`.
+
+use elsq::elsq_isa::etrc::{read_trace, write_trace, TraceMeta, SUITE_INT};
+use elsq::elsq_isa::{ArchReg, DynInst, InstBuilder, OpClass, WrongPathSpec};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.etrc")
+}
+
+/// The golden stream: every record shape the format can express — all nine
+/// op classes, explicit latencies, fp and int registers, dense and sparse
+/// address deltas, all branch outcome combinations and a wrong-path record.
+fn golden_stream() -> Vec<DynInst> {
+    let mut insts = Vec::new();
+    let mut pc = 0x0040_0000u64;
+    let step = |delta: u64, pc: &mut u64| {
+        let at = *pc;
+        *pc += delta;
+        at
+    };
+    for round in 0..8u64 {
+        insts.push(
+            InstBuilder::load(step(4, &mut pc), 0x1000_0000 + round * 8, 8)
+                .dst(ArchReg::int(1))
+                .src(ArchReg::int(2))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::load(step(4, &mut pc), 0x7fff_0000_0000 + round * 4096, 4)
+                .dst(ArchReg::int(3))
+                .src(ArchReg::int(1))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::store(step(4, &mut pc), 0x1000_0000 + round * 8, 8)
+                .src(ArchReg::int(2))
+                .src(ArchReg::int(1))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::store(step(4, &mut pc), 0x20 + round, 1)
+                .src(ArchReg::int(4))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::branch(
+                step(4, &mut pc),
+                round % 2 == 0,
+                round % 4 == 1,
+                0x0040_0000,
+            )
+            .src(ArchReg::int(5))
+            .build(),
+        );
+        insts.push(
+            InstBuilder::alu(step(4, &mut pc), OpClass::IntAlu)
+                .dst(ArchReg::int(6))
+                .src(ArchReg::int(6))
+                .src(ArchReg::int(7))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::alu(step(4, &mut pc), OpClass::IntMul)
+                .dst(ArchReg::int(8))
+                .src(ArchReg::int(9))
+                .latency(12)
+                .build(),
+        );
+        insts.push(
+            InstBuilder::alu(step(4, &mut pc), OpClass::FpAlu)
+                .dst(ArchReg::fp(1))
+                .src(ArchReg::fp(2))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::alu(step(4, &mut pc), OpClass::FpMul)
+                .dst(ArchReg::fp(3))
+                .src(ArchReg::fp(1))
+                .src(ArchReg::fp(31))
+                .build(),
+        );
+        insts.push(
+            InstBuilder::alu(step(4, &mut pc), OpClass::FpDiv)
+                .dst(ArchReg::fp(4))
+                .src(ArchReg::fp(3))
+                .latency(30)
+                .build(),
+        );
+        insts.push(InstBuilder::alu(step(4, &mut pc), OpClass::Nop).build());
+        insts.push(
+            InstBuilder::alu(step(0x1000, &mut pc), OpClass::IntAlu)
+                .dst(ArchReg::int(10))
+                .src(ArchReg::int(0))
+                .wrong_path(true)
+                .build(),
+        );
+    }
+    insts
+}
+
+fn golden_meta() -> TraceMeta {
+    let mut meta = TraceMeta::named("golden-kernel", 424242);
+    meta.suite_tag = SUITE_INT;
+    meta.suite_index = Some(5);
+    meta.wrong_path = Some(WrongPathSpec {
+        seed: 424242,
+        region_base: 0x1000_0000,
+        region_size: 1 << 20,
+        load_rate: 0.25,
+    });
+    meta.block_target = 256; // several blocks even for this small stream
+    meta
+}
+
+#[test]
+fn golden_fixture_decodes_to_the_known_stream() {
+    let bytes = std::fs::read(fixture_path())
+        .expect("missing tests/fixtures/golden.etrc; regenerate with `cargo test --test golden_trace -- --ignored`");
+    let (meta, insts) = read_trace(&bytes).expect("golden fixture no longer decodes");
+    assert_eq!(meta, golden_meta(), "golden header drifted");
+    assert_eq!(insts, golden_stream(), "golden stream drifted");
+}
+
+#[test]
+fn encoder_reproduces_the_golden_bytes() {
+    let bytes = std::fs::read(fixture_path()).expect("missing golden fixture");
+    let encoded = write_trace(&golden_stream(), &golden_meta()).unwrap();
+    assert_eq!(
+        encoded, bytes,
+        "encoder output drifted from the committed fixture; if the change is \
+         intentional, regenerate the fixture and review the versioning rules \
+         in docs/TRACE_FORMAT.md"
+    );
+}
+
+/// Rewrites the fixture from the current encoder. Ignored by default; run
+/// explicitly after an intentional format change:
+/// `cargo test --test golden_trace -- --ignored`
+#[test]
+#[ignore = "regenerates tests/fixtures/golden.etrc from the current encoder"]
+fn regenerate_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let bytes = write_trace(&golden_stream(), &golden_meta()).unwrap();
+    std::fs::write(&path, &bytes).unwrap();
+    println!("wrote {} ({} bytes)", path.display(), bytes.len());
+}

@@ -90,7 +90,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
 
     /// Strategy for `Vec`s with a length drawn from a range; built by
-    /// [`vec`].
+    /// [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
