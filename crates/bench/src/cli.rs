@@ -14,9 +14,15 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use elsq_sim::driver::install_result_cache;
 use elsq_sim::experiments::{registry, run_experiments, Experiment};
-use elsq_stats::report::{ExperimentParams, Report};
+use elsq_sim::scenario::{run_plan, Axis, ScenarioSpec, SweepPlan};
+use elsq_sim::store::ResultStore;
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
+use elsq_workload::suite::WorkloadClass;
+use serde::Serialize;
 
 use crate::bench::{
     baseline_from_value, check_against_baseline, default_out_path, run_bench, BenchParams,
@@ -31,7 +37,10 @@ elsq-lab — registry-driven experiment runner for the ELSQ reproduction
 
 USAGE:
     elsq-lab list                 list registered experiments
+    elsq-lab show ID              print an experiment's parameters and
+                                  config grid as JSON
     elsq-lab run [IDS...] [OPTS]  run experiments by id
+    elsq-lab sweep [OPTS]         run an ad-hoc or scenario-file config grid
     elsq-lab bench [OPTS]         measure simulator throughput
     elsq-lab diff A.json B.json [--tol REL]
                                   compare two report files cell-by-cell
@@ -58,6 +67,27 @@ RUN OPTIONS:
                        `trace dump`) instead of running the generators;
                        the dump's seed must match and its per-workload
                        instruction count must cover the commit budget
+    --cache DIR        consult an on-disk result cache before simulating
+                       and write fresh points back (see docs/SCENARIOS.md)
+    --resume           required to reuse a --cache directory that already
+                       holds cached points
+
+SWEEP OPTIONS:
+    --scenario FILE    run the grid described by a scenario JSON file
+                       (format: docs/SCENARIOS.md); conflicts with
+                       --axis/--base/--classes/--name
+    --axis NAME=V,V    add a swept axis (repeatable, applied in order;
+                       `elsq-lab sweep --axis rob=64,128,256 --axis
+                       lsq=central,elsq`)
+    --base NAME        named base config for ad-hoc grids (default:
+                       fmc-hash-sqm; ooo64, fmc-line-sqm, ... — any name
+                       from docs/SCENARIOS.md)
+    --classes SEL      fp | int | both (default: both)
+    --name NAME        scenario name for ad-hoc grids (default: adhoc)
+    --quick            quick preset (5k commits) instead of the sweep
+                       preset (30k)
+    --commits/--seed, --cache DIR/--resume, --format, --out DIR, --jobs,
+    --trace DIR        as for `run` (--out writes DIR/sweep-<name>.<ext>)
 
 TRACE DUMP OPTIONS:
     WORKLOADS          `both` (default), `fp`, `int`, or workload names
@@ -141,6 +171,45 @@ pub struct RunArgs {
     /// Replay recorded `.etrc` traces from this directory instead of
     /// running the generators.
     pub trace: Option<PathBuf>,
+    /// On-disk result cache to consult/populate.
+    pub cache: Option<PathBuf>,
+    /// Allow reusing a cache directory that already holds points.
+    pub resume: bool,
+}
+
+/// Parsed `elsq-lab sweep` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Scenario file to run (`--scenario`); conflicts with the ad-hoc
+    /// grid flags.
+    pub scenario: Option<PathBuf>,
+    /// Ad-hoc axes, parsed from `--axis NAME=V1,V2,...` in order.
+    pub axes: Vec<Axis>,
+    /// Named base configuration for ad-hoc grids.
+    pub base: Option<String>,
+    /// Workload class selection (`fp`, `int` or `both`).
+    pub classes: Option<String>,
+    /// Scenario name for ad-hoc grids.
+    pub name: Option<String>,
+    /// Use the quick preset instead of the sweep preset.
+    pub quick: bool,
+    /// Override the commit budget.
+    pub commits: Option<u64>,
+    /// Override the workload seed.
+    pub seed: Option<u64>,
+    /// On-disk result cache to consult/populate.
+    pub cache: Option<PathBuf>,
+    /// Allow reusing a cache directory that already holds points.
+    pub resume: bool,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Output directory (the report is written as one file) instead of
+    /// stdout.
+    pub out: Option<PathBuf>,
+    /// Worker-thread cap (exported as `ELSQ_THREADS`).
+    pub jobs: Option<usize>,
+    /// Replay recorded `.etrc` traces from this directory.
+    pub trace: Option<PathBuf>,
 }
 
 /// Parsed `elsq-lab bench` arguments.
@@ -180,8 +249,12 @@ pub struct DiffArgs {
 pub enum Command {
     /// `elsq-lab list`
     List,
+    /// `elsq-lab show <id>`
+    Show(String),
     /// `elsq-lab run ...`
     Run(RunArgs),
+    /// `elsq-lab sweep ...`
+    Sweep(SweepArgs),
     /// `elsq-lab bench ...`
     Bench(BenchArgs),
     /// `elsq-lab diff a.json b.json`
@@ -238,7 +311,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::List)
         }
+        Some("show") => {
+            let id = it
+                .next()
+                .ok_or_else(|| CliError::usage("`show` takes an experiment id"))?;
+            if let Some(extra) = it.next() {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{extra}` after `show {id}`"
+                )));
+            }
+            Ok(Command::Show(id.clone()))
+        }
         Some("run") => parse_run(it.as_slice()).map(Command::Run),
+        Some("sweep") => parse_sweep(it.as_slice()).map(Command::Sweep),
         Some("bench") => parse_bench(it.as_slice()).map(Command::Bench),
         Some("diff") => parse_diff(it.as_slice()).map(Command::Diff),
         Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
@@ -400,6 +485,103 @@ fn parse_trace(args: &[String]) -> Result<TraceCmd, CliError> {
     }
 }
 
+/// Parses one `--axis NAME=V1,V2,...` specification.
+fn parse_axis_spec(spec: &str) -> Result<Axis, CliError> {
+    let Some((name, values)) = spec.split_once('=') else {
+        return Err(CliError::usage(format!(
+            "malformed `--axis {spec}`: expected NAME=VALUE[,VALUE...]"
+        )));
+    };
+    if name.is_empty() {
+        return Err(CliError::usage(format!(
+            "malformed `--axis {spec}`: the axis has no name"
+        )));
+    }
+    let values: Vec<String> = values.split(',').map(str::to_owned).collect();
+    if values.iter().any(String::is_empty) {
+        return Err(CliError::usage(format!(
+            "malformed `--axis {spec}`: empty value in the list"
+        )));
+    }
+    Ok(Axis {
+        name: name.to_owned(),
+        values,
+    })
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
+    let mut sweep = SweepArgs {
+        scenario: None,
+        axes: Vec::new(),
+        base: None,
+        classes: None,
+        name: None,
+        quick: false,
+        commits: None,
+        seed: None,
+        cache: None,
+        resume: false,
+        format: OutputFormat::Text,
+        out: None,
+        jobs: None,
+        trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--scenario" => sweep.scenario = Some(PathBuf::from(value_of("--scenario")?)),
+            "--axis" => sweep.axes.push(parse_axis_spec(value_of("--axis")?)?),
+            "--base" => sweep.base = Some(value_of("--base")?.clone()),
+            "--classes" => sweep.classes = Some(value_of("--classes")?.clone()),
+            "--name" => sweep.name = Some(value_of("--name")?.clone()),
+            "--quick" => sweep.quick = true,
+            "--commits" => sweep.commits = Some(parse_num(value_of("--commits")?, "--commits")?),
+            "--seed" => sweep.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+            "--cache" => sweep.cache = Some(PathBuf::from(value_of("--cache")?)),
+            "--resume" => sweep.resume = true,
+            "--format" => sweep.format = OutputFormat::parse(value_of("--format")?)?,
+            "--out" => sweep.out = Some(PathBuf::from(value_of("--out")?)),
+            "--jobs" => {
+                let n: u64 = parse_num(value_of("--jobs")?, "--jobs")?;
+                if n == 0 {
+                    return Err(CliError::usage("`--jobs` must be at least 1"));
+                }
+                sweep.jobs = Some(n as usize);
+            }
+            "--trace" => sweep.trace = Some(PathBuf::from(value_of("--trace")?)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{other}` for `sweep`"
+                )));
+            }
+        }
+    }
+    if sweep.scenario.is_some() {
+        if !sweep.axes.is_empty()
+            || sweep.base.is_some()
+            || sweep.classes.is_some()
+            || sweep.name.is_some()
+        {
+            return Err(CliError::usage(
+                "`--scenario FILE` conflicts with the ad-hoc grid flags \
+                 (--axis/--base/--classes/--name); the file specifies them",
+            ));
+        }
+    } else if sweep.axes.is_empty() {
+        return Err(CliError::usage(
+            "no grid selected; pass `--axis NAME=V1,V2,...` flags or `--scenario FILE`",
+        ));
+    }
+    if sweep.resume && sweep.cache.is_none() {
+        return Err(CliError::usage("`--resume` requires `--cache DIR`"));
+    }
+    Ok(sweep)
+}
+
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
     let mut run = RunArgs {
         ids: Vec::new(),
@@ -412,6 +594,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
         jobs: None,
         sequential: false,
         trace: None,
+        cache: None,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -435,6 +619,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
             "--format" => run.format = OutputFormat::parse(value_of("--format")?)?,
             "--out" => run.out = Some(PathBuf::from(value_of("--out")?)),
             "--trace" => run.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--cache" => run.cache = Some(PathBuf::from(value_of("--cache")?)),
+            "--resume" => run.resume = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{flag}`")));
             }
@@ -450,6 +636,9 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
         return Err(CliError::usage(
             "no experiments selected; pass ids or `--all` (see `elsq-lab list`)",
         ));
+    }
+    if run.resume && run.cache.is_none() {
+        return Err(CliError::usage("`--resume` requires `--cache DIR`"));
     }
     Ok(run)
 }
@@ -544,20 +733,76 @@ pub fn list_output() -> String {
     out
 }
 
+/// Serializes in-process runs under test: the unit tests drive the execute
+/// functions in-process and libtest runs them in parallel, but the
+/// `--trace` and `--cache` overrides are process-global (and `run_suite`
+/// panics on a mismatch against an installed roster), so one test's
+/// override window must never observe another test's parameters.
+#[cfg(test)]
+pub(crate) fn run_lock() -> std::sync::MutexGuard<'static, ()> {
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    RUN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `f` with `ELSQ_THREADS` pinned to `jobs` (when set).
+///
+/// The pool reads `ELSQ_THREADS` at every fan-out, so `--jobs` caps each
+/// level (experiments, and each suite inside one) rather than the whole
+/// process — `--jobs 1` is exactly sequential, larger values are a
+/// per-level budget. The previous value is restored afterwards so the cap
+/// cannot leak into later invocations from the same process (e.g. the
+/// in-process tests).
+fn with_jobs<R>(jobs: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let saved = jobs.map(|jobs| {
+        let previous = std::env::var("ELSQ_THREADS").ok();
+        std::env::set_var("ELSQ_THREADS", jobs.to_string());
+        previous
+    });
+    let result = f();
+    if let Some(previous) = saved {
+        match previous {
+            Some(value) => std::env::set_var("ELSQ_THREADS", value),
+            None => std::env::remove_var("ELSQ_THREADS"),
+        }
+    }
+    result
+}
+
+/// Opens `--cache DIR` (honouring `--resume`) and installs it as the
+/// process-global result store for the duration of the returned guards.
+fn open_cache(
+    cache: &Option<PathBuf>,
+    resume: bool,
+) -> Result<Option<(Arc<ResultStore>, elsq_sim::driver::ResultCacheGuard)>, CliError> {
+    let Some(dir) = cache else {
+        return Ok(None);
+    };
+    let store = Arc::new(
+        ResultStore::open(dir, resume)
+            .map_err(|e| CliError::runtime(format!("--cache {}: {e}", dir.display())))?,
+    );
+    let guard = install_result_cache(Arc::clone(&store));
+    Ok(Some((store, guard)))
+}
+
+/// The `cache: H hit(s), M miss(es)` summary line printed after cached
+/// runs.
+fn cache_summary(store: &ResultStore) -> String {
+    format!(
+        "cache {}: {} hit(s), {} miss(es), {} point(s) on disk\n",
+        store.dir().display(),
+        store.hits(),
+        store.misses(),
+        store.len()
+    )
+}
+
 /// Executes a run and returns the produced reports (in selection order).
 pub fn execute_run(run: &RunArgs) -> Result<Vec<Report>, CliError> {
-    // The unit tests drive this function in-process and libtest runs them
-    // in parallel; the `--trace` override installed below is process-global
-    // and run_suite panics on a seed/budget mismatch against an installed
-    // roster, so under test all runs are serialized — one test's override
-    // window can then never observe another test's parameters.
     #[cfg(test)]
-    let _serial = {
-        static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        RUN_LOCK
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    };
+    let _serial = run_lock();
     let experiments = select_experiments(run)?;
     let jobs: Vec<(&'static dyn Experiment, ExperimentParams)> = experiments
         .into_iter()
@@ -576,25 +821,177 @@ pub fn execute_run(run: &RunArgs) -> Result<Vec<Report>, CliError> {
         }
         None => None,
     };
-    // The pool reads ELSQ_THREADS at every fan-out, so `--jobs` caps each
-    // level (experiments, and each suite inside one) rather than the whole
-    // process — `--jobs 1` is exactly sequential, larger values are a
-    // per-level budget. Set it before any worker spawns and restore the
-    // previous value afterwards so the cap cannot leak into later
-    // invocations from the same process (e.g. the in-process tests).
-    let saved = run.jobs.map(|jobs| {
-        let previous = std::env::var("ELSQ_THREADS").ok();
-        std::env::set_var("ELSQ_THREADS", jobs.to_string());
-        previous
-    });
-    let reports = run_experiments(jobs, !run.sequential);
-    if let Some(previous) = saved {
-        match previous {
-            Some(value) => std::env::set_var("ELSQ_THREADS", value),
-            None => std::env::remove_var("ELSQ_THREADS"),
-        }
+    let _cache = open_cache(&run.cache, run.resume)?;
+    Ok(with_jobs(run.jobs, || {
+        run_experiments(jobs, !run.sequential)
+    }))
+}
+
+/// Resolves a `--classes` selection.
+fn parse_classes(sel: &str) -> Result<Vec<WorkloadClass>, CliError> {
+    match sel {
+        "both" => Ok(vec![WorkloadClass::Fp, WorkloadClass::Int]),
+        "fp" => Ok(vec![WorkloadClass::Fp]),
+        "int" => Ok(vec![WorkloadClass::Int]),
+        other => Err(CliError::usage(format!(
+            "unknown class selection `{other}` (expected fp, int or both)"
+        ))),
     }
-    Ok(reports)
+}
+
+/// Builds the effective [`ScenarioSpec`] of a sweep invocation: the
+/// scenario file or the ad-hoc flags, with `--quick`/`--commits`/`--seed`
+/// layered on top.
+pub fn sweep_spec(sweep: &SweepArgs) -> Result<ScenarioSpec, CliError> {
+    let mut spec = match &sweep.scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+            let spec: ScenarioSpec = serde_json::from_str(&text).map_err(|e| {
+                CliError::runtime(format!("{} is not a scenario file: {e}", path.display()))
+            })?;
+            spec
+        }
+        None => ScenarioSpec {
+            name: sweep.name.clone().unwrap_or_else(|| "adhoc".to_owned()),
+            base: sweep
+                .base
+                .clone()
+                .unwrap_or_else(|| "fmc-hash-sqm".to_owned()),
+            axes: sweep.axes.clone(),
+            classes: parse_classes(sweep.classes.as_deref().unwrap_or("both"))?,
+            params: ExperimentParams::sweep(),
+        },
+    };
+    // `--quick` is a commit-budget preset; it must not clobber a scenario
+    // file's seed (the seed feeds every cache key).
+    if sweep.quick {
+        spec.params.commits = ExperimentParams::quick().commits;
+    }
+    if let Some(commits) = sweep.commits {
+        spec.params.commits = commits;
+    }
+    if let Some(seed) = sweep.seed {
+        spec.params.seed = seed;
+    }
+    Ok(spec)
+}
+
+/// The outcome of a sweep: the merged report plus, when a cache was in
+/// play, its hit/miss statistics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The merged report (one table, one row per grid point and class).
+    pub report: Report,
+    /// `(hits, misses)` of the cache, if one was installed.
+    pub cache: Option<(u64, u64)>,
+    /// The `cache ...` summary line, if a cache was installed.
+    pub cache_line: Option<String>,
+}
+
+/// Executes a sweep: expands the grid, runs it (consulting the cache when
+/// one is configured) and assembles the merged report.
+pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
+    #[cfg(test)]
+    let _serial = run_lock();
+    let spec = sweep_spec(sweep)?;
+    let plan = spec.expand().map_err(CliError::usage)?;
+    let _trace_guard = match &sweep.trace {
+        Some(dir) => Some(crate::trace::install_roster(
+            dir,
+            &[("sweep", spec.classes.as_slice(), spec.params)],
+        )?),
+        None => None,
+    };
+    let cache = open_cache(&sweep.cache, sweep.resume)?;
+    let results = with_jobs(sweep.jobs, || run_plan(&plan, &spec.params));
+    let report = sweep_report(&spec, &plan, &results);
+    let (cache_stats, cache_line) = match &cache {
+        Some((store, _guard)) => (
+            Some((store.hits(), store.misses())),
+            Some(cache_summary(store)),
+        ),
+        None => (None, None),
+    };
+    Ok(SweepOutcome {
+        report,
+        cache: cache_stats,
+        cache_line,
+    })
+}
+
+/// Assembles the merged sweep report: one row per `(grid point, class)`,
+/// with one column per axis plus the suite and its mean IPC.
+///
+/// Wall time is left at zero so a repeated (fully cached) sweep produces a
+/// byte-identical report — the CI smoke step diffs exactly that.
+fn sweep_report(
+    spec: &ScenarioSpec,
+    plan: &SweepPlan,
+    results: &elsq_sim::scenario::PlanResults,
+) -> Report {
+    let mut headers: Vec<&str> = plan.axes.iter().map(String::as_str).collect();
+    if headers.is_empty() {
+        headers.push("base");
+    }
+    headers.push("suite");
+    headers.push("mean IPC");
+    let mut table = Table::new(
+        format!("Scenario sweep: {} (base {})", spec.name, spec.base),
+        &headers,
+    );
+    for (point, suite) in results.iter() {
+        let mut cells: Vec<Cell> = if point.axes.is_empty() {
+            vec![Cell::text(spec.base.clone())]
+        } else {
+            point
+                .axes
+                .iter()
+                .map(|b| Cell::text(b.value.clone()))
+                .collect()
+        };
+        cells.push(Cell::text(point.class.to_string()));
+        cells.push(Cell::f(elsq_cpu::result::SimResult::mean_ipc(suite)));
+        table.row_cells(cells);
+    }
+    Report::new(
+        format!("sweep-{}", spec.name),
+        format!("Scenario sweep: {}", spec.name),
+        spec.params,
+    )
+    .with_table(table)
+}
+
+/// The `elsq-lab show <id>` payload: identification, the default
+/// parameters, the advertised classes and the declared config grid.
+#[derive(Serialize)]
+struct ShowOutput {
+    id: String,
+    title: String,
+    default_params: ExperimentParams,
+    classes: Vec<WorkloadClass>,
+    plan: SweepPlan,
+}
+
+/// Executes `show <id>`: the experiment's parameters and grid as JSON.
+pub fn execute_show(id: &str) -> Result<String, CliError> {
+    let experiment = elsq_sim::experiments::find(id).ok_or_else(|| {
+        let known: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        CliError::usage(format!(
+            "unknown experiment `{id}`; known ids: {}",
+            known.join(", ")
+        ))
+    })?;
+    let output = ShowOutput {
+        id: experiment.id().to_owned(),
+        title: experiment.title().to_owned(),
+        default_params: experiment.default_params(),
+        classes: experiment.classes().to_vec(),
+        plan: experiment.plan(),
+    };
+    let mut json = serde_json::to_string_pretty(&output).expect("show output always serializes");
+    json.push('\n');
+    Ok(json)
 }
 
 /// Writes per-experiment files into `--out DIR` and returns the summary
@@ -742,11 +1139,37 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
     match parse(args)? {
         Command::Help => Ok(format!("{USAGE}\n")),
         Command::List => Ok(list_output()),
+        Command::Show(id) => execute_show(&id),
         Command::Run(run) => {
             let reports = execute_run(&run)?;
             match &run.out {
                 Some(dir) => write_reports(&reports, dir, run.format),
                 None => Ok(render_reports(&reports, run.format)),
+            }
+        }
+        Command::Sweep(sweep) => {
+            let outcome = execute_sweep(&sweep)?;
+            let reports = [outcome.report];
+            match &sweep.out {
+                Some(dir) => {
+                    let mut summary = write_reports(&reports, dir, sweep.format)?;
+                    if let Some(line) = &outcome.cache_line {
+                        summary.push_str(line);
+                    }
+                    Ok(summary)
+                }
+                None => {
+                    let mut output = render_reports(&reports, sweep.format);
+                    // JSON stdout stays pure JSON (`| jq` keeps working);
+                    // the cache statistics are a text-mode affordance.
+                    if sweep.format != OutputFormat::Json {
+                        if let Some(line) = &outcome.cache_line {
+                            output.push('\n');
+                            output.push_str(line);
+                        }
+                    }
+                    Ok(output)
+                }
             }
         }
         Command::Bench(bench) => execute_bench(&bench),
@@ -1010,6 +1433,307 @@ mod tests {
         })
         .unwrap();
         assert!(checked.contains("throughput check passed"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "elsq-cli-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_show() {
+        assert_eq!(
+            parse(&args(&["show", "fig7"])).unwrap(),
+            Command::Show("fig7".to_owned())
+        );
+        assert!(parse(&args(&["show"])).is_err());
+        assert!(parse(&args(&["show", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn show_prints_params_and_grid_and_rejects_unknown_ids() {
+        let json = execute_show("fig7").unwrap();
+        let value = serde_json::parse_value(&json).unwrap();
+        assert_eq!(value.get("id"), Some(&serde::Value::Str("fig7".into())));
+        let plan = value.get("plan").expect("plan present");
+        let points = match plan.get("points") {
+            Some(serde::Value::Seq(points)) => points,
+            other => panic!("points missing: {other:?}"),
+        };
+        // Baseline + 5 schemes, both classes.
+        assert_eq!(points.len(), 12);
+        // The grid carries full configs a scenario author can copy.
+        assert!(json.contains("rob_size"));
+        let err = execute_show("bogus").unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn parse_sweep_flags() {
+        let cmd = parse(&args(&[
+            "sweep",
+            "--axis",
+            "rob=64,128",
+            "--axis",
+            "sqm=on,off",
+            "--base",
+            "fmc-hash",
+            "--classes",
+            "fp",
+            "--name",
+            "demo",
+            "--commits",
+            "2000",
+            "--seed",
+            "9",
+            "--cache",
+            "cachedir",
+            "--resume",
+            "--format",
+            "json",
+            "--out",
+            "outdir",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Sweep(s) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(s.axes.len(), 2);
+        assert_eq!(s.axes[0].name, "rob");
+        assert_eq!(s.axes[0].values, vec!["64", "128"]);
+        assert_eq!(s.base.as_deref(), Some("fmc-hash"));
+        assert_eq!(s.classes.as_deref(), Some("fp"));
+        assert_eq!(s.name.as_deref(), Some("demo"));
+        assert_eq!((s.commits, s.seed), (Some(2000), Some(9)));
+        assert_eq!(s.cache, Some(PathBuf::from("cachedir")));
+        assert!(s.resume);
+        assert_eq!(s.format, OutputFormat::Json);
+        assert_eq!(s.out, Some(PathBuf::from("outdir")));
+        assert_eq!(s.jobs, Some(2));
+    }
+
+    #[test]
+    fn parse_sweep_rejects_malformed_axis_specs_and_conflicts() {
+        // Malformed --axis specs fail loudly at parse time (exit 2).
+        for bad in ["rob", "rob=", "=64", "rob=64,,128", "rob=64,"] {
+            let err = parse(&args(&["sweep", "--axis", bad])).unwrap_err();
+            assert_eq!(err.exit_code, 2, "`{bad}` accepted");
+            assert!(
+                err.message.contains("malformed"),
+                "`{bad}`: {}",
+                err.message
+            );
+        }
+        // No grid at all.
+        assert!(parse(&args(&["sweep"])).is_err());
+        // --scenario conflicts with the ad-hoc flags.
+        let err = parse(&args(&[
+            "sweep",
+            "--scenario",
+            "s.json",
+            "--axis",
+            "rob=64",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("conflicts"), "{}", err.message);
+        // --resume needs --cache.
+        let err = parse(&args(&["sweep", "--axis", "rob=64", "--resume"])).unwrap_err();
+        assert!(err.message.contains("--cache"), "{}", err.message);
+        // Unknown class selection is rejected when the spec is built.
+        let Command::Sweep(s) = parse(&args(&[
+            "sweep",
+            "--axis",
+            "rob=64",
+            "--classes",
+            "spec2006",
+        ]))
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(sweep_spec(&s).unwrap_err().exit_code, 2);
+        // An unknown axis *name* is rejected at expansion.
+        let Command::Sweep(s) = parse(&args(&["sweep", "--axis", "bogus=1"])).unwrap() else {
+            panic!("expected sweep");
+        };
+        let err = execute_sweep(&s).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown axis"), "{}", err.message);
+    }
+
+    #[test]
+    fn run_rejects_unknown_experiment_id_with_usage_error() {
+        let err = main_with_args(&args(&["run", "frobnicate", "--quick"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown experiment `frobnicate`"));
+        assert!(err.message.contains("fig7"), "lists known ids");
+    }
+
+    #[test]
+    fn run_trace_on_missing_directory_fails_loudly() {
+        let err = main_with_args(&args(&[
+            "run",
+            "tuning",
+            "--quick",
+            "--trace",
+            "/nonexistent/elsq-traces",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("--trace"), "{}", err.message);
+    }
+
+    #[test]
+    fn sweep_resume_with_corrupted_manifest_fails_loudly() {
+        let dir = tmp_dir("sweep-corrupt");
+        let cache = dir.join("cache");
+        std::fs::create_dir_all(&cache).unwrap();
+        std::fs::write(cache.join("manifest.json"), "{definitely not json").unwrap();
+        let sweep = SweepArgs {
+            scenario: None,
+            axes: vec![Axis {
+                name: "rob".into(),
+                values: vec!["48".into(), "64".into()],
+            }],
+            base: None,
+            classes: Some("fp".into()),
+            name: None,
+            quick: false,
+            commits: Some(300),
+            seed: Some(7),
+            cache: Some(cache.clone()),
+            resume: true,
+            format: OutputFormat::Json,
+            out: None,
+            jobs: None,
+            trace: None,
+        };
+        let err = execute_sweep(&sweep).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("corrupt"), "{}", err.message);
+        // Nothing was recomputed or overwritten behind the error.
+        assert_eq!(
+            std::fs::read_to_string(cache.join("manifest.json")).unwrap(),
+            "{definitely not json"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_cache_round_trip_is_all_hits_and_byte_identical() {
+        let dir = tmp_dir("sweep-cache");
+        let sweep = SweepArgs {
+            scenario: None,
+            axes: vec![Axis {
+                name: "rob".into(),
+                values: vec!["48".into(), "64".into()],
+            }],
+            base: Some("fmc-hash".into()),
+            classes: Some("fp".into()),
+            name: Some("demo".into()),
+            quick: false,
+            commits: Some(400),
+            seed: Some(5),
+            cache: Some(dir.join("cache")),
+            resume: false,
+            format: OutputFormat::Json,
+            out: None,
+            jobs: None,
+            trace: None,
+        };
+        let first = execute_sweep(&sweep).unwrap();
+        assert_eq!(first.cache, Some((0, 2)), "fresh cache misses everything");
+        // Re-running without --resume refuses the populated cache.
+        let err = execute_sweep(&sweep).unwrap_err();
+        assert!(err.message.contains("--resume"), "{}", err.message);
+        let second = execute_sweep(&SweepArgs {
+            resume: true,
+            ..sweep.clone()
+        })
+        .unwrap();
+        assert_eq!(second.cache, Some((2, 0)), "second run is 100% cache hits");
+        assert_eq!(
+            render_report(&second.report, OutputFormat::Json),
+            render_report(&first.report, OutputFormat::Json),
+            "cached report must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_from_scenario_file_matches_adhoc_flags() {
+        let dir = tmp_dir("sweep-file");
+        let spec = ScenarioSpec {
+            name: "filecase".into(),
+            base: "fmc-hash-sqm".into(),
+            axes: vec![Axis {
+                name: "l2mb".into(),
+                values: vec!["1".into(), "4".into()],
+            }],
+            classes: vec![WorkloadClass::Fp],
+            params: ExperimentParams {
+                commits: 400,
+                seed: 5,
+            },
+        };
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+        let from_file = execute_sweep(&SweepArgs {
+            scenario: Some(path.clone()),
+            axes: vec![],
+            base: None,
+            classes: None,
+            name: None,
+            quick: false,
+            commits: None,
+            seed: None,
+            cache: None,
+            resume: false,
+            format: OutputFormat::Json,
+            out: None,
+            jobs: None,
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(from_file.report.id, "sweep-filecase");
+        assert_eq!(from_file.report.params.commits, 400);
+        let table = &from_file.report.tables[0];
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.headers(), ["l2mb", "suite", "mean IPC"]);
+        // A file that is not a scenario is a loud runtime error.
+        std::fs::write(&path, "[1, 2, 3]").unwrap();
+        let err = execute_sweep(&SweepArgs {
+            scenario: Some(path),
+            axes: vec![],
+            base: None,
+            classes: None,
+            name: None,
+            quick: false,
+            commits: None,
+            seed: None,
+            cache: None,
+            resume: false,
+            format: OutputFormat::Json,
+            out: None,
+            jobs: None,
+            trace: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(
+            err.message.contains("not a scenario file"),
+            "{}",
+            err.message
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -279,7 +279,7 @@ pub fn execute_verify(args: &TraceFileArgs) -> Result<String, CliError> {
 /// experiment needs the missing suite.
 pub fn install_roster(
     dir: &Path,
-    jobs: &[(&'static str, &'static [WorkloadClass], ExperimentParams)],
+    jobs: &[(&str, &[WorkloadClass], ExperimentParams)],
 ) -> Result<TraceOverrideGuard, CliError> {
     let roster = TraceRoster::from_dir(dir)
         .map_err(|e| CliError::runtime(format!("--trace {}: {e}", dir.display())))?;
@@ -489,6 +489,8 @@ mod tests {
             jobs: None,
             sequential: false,
             trace: Some(dir.clone()),
+            cache: None,
+            resume: false,
         };
         let replayed = execute_run(&run).unwrap();
         assert_eq!(replayed[0].id, "tuning");
@@ -530,6 +532,8 @@ mod tests {
             jobs: None,
             sequential: false,
             trace: None,
+            cache: None,
+            resume: false,
         };
         let generated: Vec<Report> = execute_run(&run)
             .unwrap()

@@ -13,6 +13,15 @@
 //! registered experiment) then replays the recorded streams instead. This
 //! is how `elsq-lab run --trace DIR` works without threading a workload
 //! source through each experiment's signature.
+//!
+//! A [`crate::store::ResultStore`] installs the same way
+//! ([`install_result_cache`]): while the guard lives, [`run_suite`] computes
+//! the [`crate::scenario::PointKey`] of every `(config, class, params)`
+//! suite it is asked for and consults the cache first. Hits are answered
+//! from disk without simulating (the worker pool only ever receives cache
+//! misses); misses simulate and write back, so interrupted sweeps resume
+//! and repeated sweeps are free. The key includes the fingerprint of any
+//! installed trace roster, so generator runs and replays never alias.
 
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -20,11 +29,14 @@ use elsq_cpu::config::CpuConfig;
 use elsq_cpu::pipeline::Processor;
 use elsq_cpu::result::SimResult;
 use elsq_isa::TraceSource;
+use elsq_stats::canon::canonical_hash;
 use elsq_workload::suite::{suite, TraceRoster, WorkloadClass};
 
 pub use elsq_stats::report::ExperimentParams;
 
 use crate::pool::{parallel_map, parallel_map_with};
+use crate::scenario::PointKey;
+use crate::store::ResultStore;
 
 fn override_slot() -> &'static RwLock<Option<Arc<TraceRoster>>> {
     static SLOT: OnceLock<RwLock<Option<Arc<TraceRoster>>>> = OnceLock::new();
@@ -71,6 +83,89 @@ pub fn trace_override() -> Option<Arc<TraceRoster>> {
         .clone()
 }
 
+/// Canonical fingerprint of the installed trace roster, if any — the
+/// `trace` component of every [`PointKey`] minted while a replay override
+/// is active.
+///
+/// The fingerprint hashes what determines the replayed streams (per-member
+/// name, format version, seed, suite slot, instruction count and wrong-path
+/// spec) and deliberately excludes file paths, so the same dump cached from
+/// two directories shares results while a different dump never aliases a
+/// generator run.
+pub fn trace_fingerprint() -> Option<u64> {
+    let roster = trace_override()?;
+    use serde::Value;
+    let mut members = Vec::new();
+    for class in CLASSES {
+        for entry in roster.members(class) {
+            let meta = &entry.meta;
+            let wrong_path = match &meta.wrong_path {
+                Some(wp) => Value::Map(vec![
+                    ("seed".to_owned(), Value::U64(wp.seed)),
+                    ("region_base".to_owned(), Value::U64(wp.region_base)),
+                    ("region_size".to_owned(), Value::U64(wp.region_size)),
+                    ("load_rate".to_owned(), Value::F64(wp.load_rate)),
+                ]),
+                None => Value::Null,
+            };
+            members.push(Value::Map(vec![
+                ("class".to_owned(), Value::Str(class.key().to_owned())),
+                ("name".to_owned(), Value::Str(meta.name.clone())),
+                ("version".to_owned(), Value::U64(u64::from(meta.version))),
+                ("seed".to_owned(), Value::U64(meta.seed)),
+                (
+                    "slot".to_owned(),
+                    meta.suite_index
+                        .map_or(Value::Null, |i| Value::U64(u64::from(i))),
+                ),
+                ("insts".to_owned(), Value::U64(entry.insts)),
+                ("wrong_path".to_owned(), wrong_path),
+            ]));
+        }
+    }
+    Some(canonical_hash(&Value::Seq(members)))
+}
+
+fn cache_slot() -> &'static RwLock<Option<Arc<ResultStore>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<ResultStore>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Restores the previously installed result cache when dropped; returned by
+/// [`install_result_cache`].
+#[must_use = "dropping the guard immediately restores the previous cache"]
+pub struct ResultCacheGuard {
+    previous: Option<Arc<ResultStore>>,
+}
+
+impl Drop for ResultCacheGuard {
+    fn drop(&mut self) {
+        *cache_slot().write().expect("result cache lock poisoned") = self.previous.take();
+    }
+}
+
+/// Installs `store` as the process-global result cache: until the returned
+/// guard drops, every [`run_suite`] call consults it before simulating and
+/// writes fresh results back.
+///
+/// Like the trace override, the cache is process-wide, so concurrent runs
+/// that must *not* share a cache have to serialize around it; the `elsq-lab`
+/// CLI installs it once per invocation.
+pub fn install_result_cache(store: Arc<ResultStore>) -> ResultCacheGuard {
+    let mut slot = cache_slot().write().expect("result cache lock poisoned");
+    ResultCacheGuard {
+        previous: slot.replace(store),
+    }
+}
+
+/// The currently installed result cache, if any.
+pub fn result_cache() -> Option<Arc<ResultStore>> {
+    cache_slot()
+        .read()
+        .expect("result cache lock poisoned")
+        .clone()
+}
+
 /// The suite every `run_suite*` call simulates: the installed trace
 /// override's recorded streams, or the generators.
 ///
@@ -99,14 +194,59 @@ fn build_suite(class: WorkloadClass, params: &ExperimentParams) -> Vec<Box<dyn T
 
 /// Runs `config` over every workload of `class` in parallel and returns the
 /// per-workload results in suite order.
+///
+/// When a result cache is installed ([`install_result_cache`]), the point's
+/// canonical key is looked up first: a hit returns the stored results
+/// without simulating (byte-identical to a fresh run — `SimResult` JSON
+/// round trips losslessly), a miss simulates and writes back.
+///
+/// # Panics
+///
+/// Panics if the installed cache turns out corrupt mid-run (a listed point
+/// file whose contents fail to decode or hash back to its key, or a failed
+/// write-back). `elsq-lab` validates the manifest and the presence of every
+/// listed point file when it opens the cache, reporting those as clean CLI
+/// errors, so the panic path is reserved for tampering that only decoding
+/// can detect.
 pub fn run_suite(
     config: CpuConfig,
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<SimResult> {
-    parallel_map(build_suite(class, params), |mut workload| {
+    run_suite_labeled("", config, class, params)
+}
+
+/// [`run_suite`] with a human-readable label recorded into the result
+/// cache's manifest when the point is freshly computed — plan-driven runs
+/// ([`crate::scenario::run_plan`]) pass their point labels through here so
+/// a cache directory stays auditable. The label plays no part in the cache
+/// key.
+pub fn run_suite_labeled(
+    label: &str,
+    config: CpuConfig,
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<SimResult> {
+    let cache = result_cache();
+    let key = cache
+        .as_ref()
+        .map(|_| PointKey::current(config, class, params));
+    if let (Some(store), Some(key)) = (&cache, &key) {
+        match store.lookup(key) {
+            Ok(Some(results)) => return results,
+            Ok(None) => {}
+            Err(e) => panic!("result cache lookup failed: {e}"),
+        }
+    }
+    let results = parallel_map(build_suite(class, params), |mut workload| {
         Processor::new(config).run(workload.as_mut(), params.commits)
-    })
+    });
+    if let (Some(store), Some(key)) = (&cache, &key) {
+        if let Err(e) = store.insert(key, label, &results) {
+            panic!("result cache write-back failed: {e}");
+        }
+    }
+    results
 }
 
 /// [`run_suite`] with an explicit worker count — used by the determinism

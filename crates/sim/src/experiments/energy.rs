@@ -11,8 +11,8 @@ use elsq_stats::energy::{EnergyModel, LsqStructureSpecs};
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// The Section 6 energy comparison as a registered [`Experiment`]: one
 /// table per workload class.
@@ -27,6 +27,14 @@ impl Experiment for Energy {
         "Section 6: LSQ dynamic energy per 100M instructions"
     }
 
+    fn plan(&self) -> SweepPlan {
+        let mut plan = SweepPlan::new("energy");
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            plan.points.extend(class_plan(class).points);
+        }
+        plan
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         let mut report = Report::new(self.id(), self.title(), *params);
         for class in [WorkloadClass::Fp, WorkloadClass::Int] {
@@ -34,6 +42,15 @@ impl Experiment for Energy {
         }
         report
     }
+}
+
+/// The Section 6 grid for one suite: one point per compared configuration.
+fn class_plan(class: WorkloadClass) -> SweepPlan {
+    let mut plan = SweepPlan::new("energy");
+    for (name, cfg) in configurations() {
+        plan.push(name, cfg, class);
+    }
+    plan
 }
 
 /// Configurations compared in the Section 6 discussion.
@@ -60,9 +77,10 @@ pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
             "cache (uJ)",
         ],
     );
-    for (name, cfg) in configurations() {
-        let results = run_suite(cfg, class, params);
-        let mean = SimResult::mean_lsq_per_100m(&results);
+    let plan_results = run_plan(&class_plan(class), params);
+    for (name, _) in configurations() {
+        let results = plan_results.suite(name, class);
+        let mean = SimResult::mean_lsq_per_100m(results);
         let breakdown = model.lsq_energy_breakdown(&mean, &specs);
         table.row_cells(vec![
             Cell::text(name),

@@ -11,8 +11,8 @@ use elsq_cpu::result::Histogram;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 1 as a registered [`Experiment`]: the summary table plus the raw
 /// per-class histograms (the series a plot of the figure needs).
@@ -27,9 +27,15 @@ impl Experiment for Fig1 {
         "Figure 1: decode -> address calculation distance distributions"
     }
 
+    fn plan(&self) -> SweepPlan {
+        plan()
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
-        let mut report = Report::new(self.id(), self.title(), *params).with_table(run(params));
-        for dist in measure(params) {
+        let dists = measure(params);
+        let mut report =
+            Report::new(self.id(), self.title(), *params).with_table(summary_table(&dists));
+        for dist in dists {
             let mut t = Table::new(
                 format!("{} histogram (30-cycle bins)", dist.class),
                 &["bin_start", "loads", "stores"],
@@ -64,15 +70,27 @@ pub struct LocalityDistribution {
     pub stores: Histogram,
 }
 
+/// Label of the figure's single measured configuration.
+const CONFIG_LABEL: &str = "FMC-Hash";
+
+/// The Figure 1 grid: the large-window FMC processor over both suites.
+pub fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("fig1");
+    for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+        plan.push(CONFIG_LABEL, CpuConfig::fmc_hash(true), class);
+    }
+    plan
+}
+
 /// Runs the Figure 1 measurement on the large-window (FMC) processor.
 pub fn measure(params: &ExperimentParams) -> Vec<LocalityDistribution> {
-    let config = CpuConfig::fmc_hash(true);
+    let results = run_plan(&plan(), params);
     [WorkloadClass::Fp, WorkloadClass::Int]
         .into_iter()
         .map(|class| {
             let mut loads = Histogram::figure1();
             let mut stores = Histogram::figure1();
-            for r in run_suite(config, class, params) {
+            for r in results.suite(CONFIG_LABEL, class) {
                 loads.merge(&r.load_addr_hist);
                 stores.merge(&r.store_addr_hist);
             }
@@ -88,6 +106,11 @@ pub fn measure(params: &ExperimentParams) -> Vec<LocalityDistribution> {
 /// Renders the Figure 1 summary table (first-bin coverage and the 95 %/99 %
 /// distances for loads and stores in each class).
 pub fn run(params: &ExperimentParams) -> Table {
+    summary_table(&measure(params))
+}
+
+/// The summary table over already-measured distributions.
+fn summary_table(dists: &[LocalityDistribution]) -> Table {
     let mut table = Table::new(
         "Figure 1: decode -> address calculation distance",
         &[
@@ -99,7 +122,7 @@ pub fn run(params: &ExperimentParams) -> Table {
             "samples",
         ],
     );
-    for dist in measure(params) {
+    for dist in dists {
         for (kind, hist) in [("loads", &dist.loads), ("stores", &dist.stores)] {
             table.row_cells(vec![
                 Cell::text(dist.class.to_string()),

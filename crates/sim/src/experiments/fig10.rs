@@ -12,8 +12,8 @@ use elsq_cpu::result::SimResult;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 10 as a registered [`Experiment`].
 pub struct Fig10;
@@ -29,6 +29,10 @@ impl Experiment for Fig10 {
 
     fn default_params(&self) -> ExperimentParams {
         ExperimentParams::sweep()
+    }
+
+    fn plan(&self) -> SweepPlan {
+        plan()
     }
 
     fn run(&self, params: &ExperimentParams) -> Report {
@@ -56,9 +60,30 @@ pub struct SvwPoint {
     pub reexecutions_per_100m: u64,
 }
 
-/// Measures every point of Figure 10.
-pub fn measure(params: &ExperimentParams) -> Vec<SvwPoint> {
-    let mut points = Vec::new();
+fn processor_name(large_window: bool) -> &'static str {
+    if large_window {
+        "FMC"
+    } else {
+        "OoO-64"
+    }
+}
+
+fn baseline_label(large_window: bool) -> String {
+    format!("{} baseline", processor_name(large_window))
+}
+
+fn svw_label(large_window: bool, check_stores: bool, bits: u32) -> String {
+    format!(
+        "{} {} {bits}b",
+        processor_name(large_window),
+        if check_stores { "CheckStores" } else { "Blind" }
+    )
+}
+
+/// The Figure 10 grid: for each processor (OoO-64 and FMC) and suite, the
+/// associative-LQ baseline plus every `(variant, SSBF width)` combination.
+pub fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("fig10");
     for large_window in [false, true] {
         for class in [WorkloadClass::Int, WorkloadClass::Fp] {
             let baseline_cfg = if large_window {
@@ -66,7 +91,7 @@ pub fn measure(params: &ExperimentParams) -> Vec<SvwPoint> {
             } else {
                 CpuConfig::ooo64()
             };
-            let baseline = SimResult::mean_ipc(&run_suite(baseline_cfg, class, params));
+            plan.push(baseline_label(large_window), baseline_cfg, class);
             for check_stores in [true, false] {
                 for bits in SSBF_BITS {
                     let cfg = if large_window {
@@ -74,9 +99,26 @@ pub fn measure(params: &ExperimentParams) -> Vec<SvwPoint> {
                     } else {
                         CpuConfig::ooo64_svw(bits, check_stores)
                     };
-                    let results = run_suite(cfg, class, params);
-                    let ipc = SimResult::mean_ipc(&results);
-                    let mean = SimResult::mean_lsq_per_100m(&results);
+                    plan.push(svw_label(large_window, check_stores, bits), cfg, class);
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Measures every point of Figure 10.
+pub fn measure(params: &ExperimentParams) -> Vec<SvwPoint> {
+    let results = run_plan(&plan(), params);
+    let mut points = Vec::new();
+    for large_window in [false, true] {
+        for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+            let baseline = results.mean_ipc(&baseline_label(large_window), class);
+            for check_stores in [true, false] {
+                for bits in SSBF_BITS {
+                    let suite = results.suite(&svw_label(large_window, check_stores, bits), class);
+                    let ipc = SimResult::mean_ipc(suite);
+                    let mean = SimResult::mean_lsq_per_100m(suite);
                     points.push(SvwPoint {
                         large_window,
                         ssbf_bits: bits,

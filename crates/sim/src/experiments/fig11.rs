@@ -6,11 +6,13 @@
 //! the time at 1 MB rising towards half at 8 MB in the paper.
 
 use elsq_cpu::config::CpuConfig;
+use elsq_cpu::result::SimResult;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
 use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 11 as a registered [`Experiment`].
 pub struct Fig11;
@@ -24,6 +26,10 @@ impl Experiment for Fig11 {
         "Figure 11: LL-LSQ inactivity vs L2 size"
     }
 
+    fn plan(&self) -> SweepPlan {
+        plan()
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         Report::new(self.id(), self.title(), *params).with_table(run(params))
     }
@@ -32,16 +38,35 @@ impl Experiment for Fig11 {
 /// L2 capacities swept (MB).
 pub const L2_MB: [u64; 4] = [1, 2, 4, 8];
 
-/// Mean LL-LSQ idle fraction for one class and L2 size.
-pub fn idle_fraction(class: WorkloadClass, l2_mb: u64, params: &ExperimentParams) -> f64 {
+fn l2_config(l2_mb: u64) -> CpuConfig {
     let mut cfg = CpuConfig::fmc_hash(true);
     cfg.hierarchy = cfg.hierarchy.with_l2_mb(l2_mb);
-    let results = run_suite(cfg, class, params);
+    cfg
+}
+
+/// The Figure 11 grid: the FMC-Hash configuration at every L2 size, both
+/// suites (INT first, matching the table's columns).
+pub fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("fig11");
+    for mb in L2_MB {
+        for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+            plan.push(format!("{mb}MB"), l2_config(mb), class);
+        }
+    }
+    plan
+}
+
+fn mean_idle_fraction(results: &[SimResult]) -> f64 {
     results
         .iter()
         .map(|r| r.sim.ll_idle_fraction())
         .sum::<f64>()
         / results.len() as f64
+}
+
+/// Mean LL-LSQ idle fraction for one class and L2 size.
+pub fn idle_fraction(class: WorkloadClass, l2_mb: u64, params: &ExperimentParams) -> f64 {
+    mean_idle_fraction(&run_suite(l2_config(l2_mb), class, params))
 }
 
 /// Renders the Figure 11 table.
@@ -50,11 +75,13 @@ pub fn run(params: &ExperimentParams) -> Table {
         "Figure 11: LL-LSQ inactivity cycles (%) vs L2 size",
         &["L2 size", "SPEC INT", "SPEC FP"],
     );
+    let results = run_plan(&plan(), params);
     for mb in L2_MB {
+        let label = format!("{mb}MB");
         table.row_cells(vec![
-            Cell::text(format!("{mb}MB")),
-            Cell::f(100.0 * idle_fraction(WorkloadClass::Int, mb, params)),
-            Cell::f(100.0 * idle_fraction(WorkloadClass::Fp, mb, params)),
+            Cell::text(label.clone()),
+            Cell::f(100.0 * mean_idle_fraction(results.suite(&label, WorkloadClass::Int))),
+            Cell::f(100.0 * mean_idle_fraction(results.suite(&label, WorkloadClass::Fp))),
         ]);
     }
     table

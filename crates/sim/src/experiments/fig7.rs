@@ -12,8 +12,8 @@ use elsq_cpu::config::CpuConfig;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::mean_ipc;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 7 as a registered [`Experiment`].
 pub struct Fig7;
@@ -27,10 +27,17 @@ impl Experiment for Fig7 {
         "Figure 7: speed-up of large-window LSQ schemes over OoO-64"
     }
 
+    fn plan(&self) -> SweepPlan {
+        plan()
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         Report::new(self.id(), self.title(), *params).with_table(run(params))
     }
 }
+
+/// Label of the figure's normalization baseline.
+pub const BASELINE: &str = "OoO-64";
 
 /// The schemes plotted in Figure 7, in plot order.
 pub fn schemes() -> Vec<(&'static str, CpuConfig)> {
@@ -43,12 +50,32 @@ pub fn schemes() -> Vec<(&'static str, CpuConfig)> {
     ]
 }
 
+/// The figure's grid for one workload class: the baseline plus every scheme.
+fn class_plan(class: WorkloadClass) -> SweepPlan {
+    let mut plan = SweepPlan::new("fig7");
+    plan.push(BASELINE, CpuConfig::ooo64(), class);
+    for (name, cfg) in schemes() {
+        plan.push(name, cfg, class);
+    }
+    plan
+}
+
+/// The full Figure 7 grid: both suites over the baseline and every scheme.
+pub fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("fig7");
+    for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+        plan.points.extend(class_plan(class).points);
+    }
+    plan
+}
+
 /// Speed-ups over OoO-64 for one workload class, in scheme order.
 pub fn speedups(class: WorkloadClass, params: &ExperimentParams) -> Vec<(String, f64)> {
-    let base = mean_ipc(CpuConfig::ooo64(), class, params);
+    let results = run_plan(&class_plan(class), params);
+    let base = results.mean_ipc(BASELINE, class);
     schemes()
         .into_iter()
-        .map(|(name, cfg)| (name.to_owned(), mean_ipc(cfg, class, params) / base))
+        .map(|(name, _)| (name.to_owned(), results.mean_ipc(name, class) / base))
         .collect()
 }
 

@@ -12,8 +12,9 @@ use elsq_cpu::config::CpuConfig;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{mean_ipc, run_suite};
+use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 8a (filter accuracy vs hardware budget) as a registered
 /// [`Experiment`].
@@ -30,6 +31,10 @@ impl Experiment for Fig8a {
 
     fn default_params(&self) -> ExperimentParams {
         ExperimentParams::sweep()
+    }
+
+    fn plan(&self) -> SweepPlan {
+        accuracy_plan()
     }
 
     fn run(&self, params: &ExperimentParams) -> Report {
@@ -54,6 +59,14 @@ impl Experiment for Fig8bc {
         ExperimentParams::sweep()
     }
 
+    fn plan(&self) -> SweepPlan {
+        let mut plan = SweepPlan::new("fig8bc");
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            plan.points.extend(sensitivity_plan(class).points);
+        }
+        plan
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         let mut report = Report::new(self.id(), self.title(), *params);
         for class in [WorkloadClass::Fp, WorkloadClass::Int] {
@@ -66,10 +79,34 @@ impl Experiment for Fig8bc {
 /// Hash widths swept in Figure 8a.
 pub const HASH_BITS: [u32; 7] = [6, 8, 10, 11, 12, 14, 16];
 
+/// The filters Figure 8a compares, with their table labels.
+fn accuracy_filters() -> Vec<(String, ErtKind)> {
+    HASH_BITS
+        .iter()
+        .map(|&bits| (format!("hash {bits} bits"), ErtKind::Hash { bits }))
+        .chain(std::iter::once(("line-based".to_owned(), ErtKind::Line)))
+        .collect()
+}
+
+fn filter_config(ert: ErtKind) -> CpuConfig {
+    CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ert).with_sqm(false))
+}
+
+/// The Figure 8a grid: every filter over both suites (FP first, as the
+/// figure's columns are ordered).
+pub fn accuracy_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("fig8a");
+    for (label, ert) in accuracy_filters() {
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            plan.push(label.clone(), filter_config(ert), class);
+        }
+    }
+    plan
+}
+
 /// False positives per 100 M instructions for one filter configuration.
 pub fn false_positives(ert: ErtKind, class: WorkloadClass, params: &ExperimentParams) -> u64 {
-    let config = CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ert).with_sqm(false));
-    let results = run_suite(config, class, params);
+    let results = run_suite(filter_config(ert), class, params);
     let mean = elsq_cpu::result::SimResult::mean_lsq_per_100m(&results);
     mean.ert_false_positives
 }
@@ -80,22 +117,20 @@ pub fn run_accuracy(params: &ExperimentParams) -> Table {
         "Figure 8a: ERT false positives per 100M instructions",
         &["filter", "budget (bytes)", "SPEC FP", "SPEC INT"],
     );
+    let results = run_plan(&accuracy_plan(), params);
+    let fp_of = |label: &str, class| {
+        let mean = elsq_cpu::result::SimResult::mean_lsq_per_100m(results.suite(label, class));
+        mean.ert_false_positives
+    };
     let l1_lines = 32 * 1024 / 32;
-    for bits in HASH_BITS {
-        let kind = ErtKind::Hash { bits };
+    for (label, kind) in accuracy_filters() {
         table.row_cells(vec![
-            Cell::text(format!("hash {bits} bits")),
+            Cell::text(label.clone()),
             Cell::int(kind.storage_bytes(l1_lines)),
-            Cell::millions(false_positives(kind, WorkloadClass::Fp, params)),
-            Cell::millions(false_positives(kind, WorkloadClass::Int, params)),
+            Cell::millions(fp_of(&label, WorkloadClass::Fp)),
+            Cell::millions(fp_of(&label, WorkloadClass::Int)),
         ]);
     }
-    table.row_cells(vec![
-        Cell::text("line-based"),
-        Cell::int(ErtKind::Line.storage_bytes(l1_lines)),
-        Cell::millions(false_positives(ErtKind::Line, WorkloadClass::Fp, params)),
-        Cell::millions(false_positives(ErtKind::Line, WorkloadClass::Int, params)),
-    ]);
     table
 }
 
@@ -110,6 +145,29 @@ pub fn l1_sweep() -> Vec<(u64, u32)> {
     v
 }
 
+/// The two filter configurations compared at one L1 geometry: the
+/// line-based ERT and the hash-based ERT sized for that L1.
+fn geometry_configs(size_kb: u64, assoc: u32) -> (CpuConfig, CpuConfig) {
+    let mut line_cfg = CpuConfig::fmc_line(true);
+    line_cfg.hierarchy = line_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
+    let bits = if size_kb == 32 { 10 } else { 11 };
+    let mut hash_cfg = CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ErtKind::Hash { bits }));
+    hash_cfg.hierarchy = hash_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
+    (line_cfg, hash_cfg)
+}
+
+/// The Figure 8b/8c grid for one suite: line and hash filters at every L1
+/// geometry.
+fn sensitivity_plan(class: WorkloadClass) -> SweepPlan {
+    let mut plan = SweepPlan::new("fig8bc");
+    for (size_kb, assoc) in l1_sweep() {
+        let (line_cfg, hash_cfg) = geometry_configs(size_kb, assoc);
+        plan.push(format!("{size_kb}KB {assoc}-way line"), line_cfg, class);
+        plan.push(format!("{size_kb}KB {assoc}-way hash"), hash_cfg, class);
+    }
+    plan
+}
+
 /// Renders Figure 8b (FP) or 8c (INT): relative performance of the two
 /// filters as the L1 geometry changes, normalized to the best configuration.
 pub fn run_cache_sensitivity(class: WorkloadClass, params: &ExperimentParams) -> Table {
@@ -117,20 +175,17 @@ pub fn run_cache_sensitivity(class: WorkloadClass, params: &ExperimentParams) ->
         WorkloadClass::Fp => "Figure 8b: SPEC FP relative performance vs L1 geometry",
         WorkloadClass::Int => "Figure 8c: SPEC INT relative performance vs L1 geometry",
     };
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for (size_kb, assoc) in l1_sweep() {
-        let mut line_cfg = CpuConfig::fmc_line(true);
-        line_cfg.hierarchy = line_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
-        let bits = if size_kb == 32 { 10 } else { 11 };
-        let mut hash_cfg =
-            CpuConfig::fmc_elsq(ElsqConfig::default().with_ert(ErtKind::Hash { bits }));
-        hash_cfg.hierarchy = hash_cfg.hierarchy.with_l1(size_kb * 1024, assoc);
-        rows.push((
-            format!("{size_kb}KB {assoc}-way"),
-            mean_ipc(line_cfg, class, params),
-            mean_ipc(hash_cfg, class, params),
-        ));
-    }
+    let results = run_plan(&sensitivity_plan(class), params);
+    let rows: Vec<(String, f64, f64)> = l1_sweep()
+        .into_iter()
+        .map(|(size_kb, assoc)| {
+            (
+                format!("{size_kb}KB {assoc}-way"),
+                results.mean_ipc(&format!("{size_kb}KB {assoc}-way line"), class),
+                results.mean_ipc(&format!("{size_kb}KB {assoc}-way hash"), class),
+            )
+        })
+        .collect();
     let best = rows
         .iter()
         .flat_map(|(_, a, b)| [*a, *b])

@@ -11,8 +11,8 @@ use elsq_cpu::config::CpuConfig;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::mean_ipc;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Figure 9 as a registered [`Experiment`].
 pub struct Fig9;
@@ -26,9 +26,31 @@ impl Experiment for Fig9 {
         "Figure 9: restricted disambiguation models"
     }
 
+    fn plan(&self) -> SweepPlan {
+        let mut plan = SweepPlan::new("fig9");
+        for class in [WorkloadClass::Int, WorkloadClass::Fp] {
+            plan.points.extend(class_plan(class).points);
+        }
+        plan
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         Report::new(self.id(), self.title(), *params).with_table(run(params))
     }
+}
+
+fn model_config(model: DisambiguationModel) -> CpuConfig {
+    CpuConfig::fmc_elsq(ElsqConfig::default().with_disambiguation(model))
+}
+
+/// The figure's grid for one suite: one point per disambiguation model, in
+/// Figure 9 order.
+fn class_plan(class: WorkloadClass) -> SweepPlan {
+    let mut plan = SweepPlan::new("fig9");
+    for model in DisambiguationModel::ALL {
+        plan.push(model.to_string(), model_config(model), class);
+    }
+    plan
 }
 
 /// Mean IPC of each disambiguation model for one class, in Figure 9 order.
@@ -36,12 +58,10 @@ pub fn model_ipcs(
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<(DisambiguationModel, f64)> {
+    let results = run_plan(&class_plan(class), params);
     DisambiguationModel::ALL
         .iter()
-        .map(|&model| {
-            let cfg = CpuConfig::fmc_elsq(ElsqConfig::default().with_disambiguation(model));
-            (model, mean_ipc(cfg, class, params))
-        })
+        .map(|&model| (model, results.mean_ipc(&model.to_string(), class)))
         .collect()
 }
 

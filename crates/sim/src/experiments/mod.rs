@@ -22,6 +22,7 @@ use elsq_stats::report::{ExperimentParams, Report};
 use elsq_workload::suite::WorkloadClass;
 
 use crate::pool::parallel_map;
+use crate::scenario::SweepPlan;
 
 /// A named, runnable reproduction of one paper figure/table/study.
 ///
@@ -47,6 +48,17 @@ pub trait Experiment: Sync {
     fn classes(&self) -> &'static [WorkloadClass] {
         &[WorkloadClass::Int, WorkloadClass::Fp]
     }
+
+    /// The experiment's configuration grid, declared as data: every
+    /// `(configuration, workload class)` suite that [`Self::run`] simulates,
+    /// in execution order.
+    ///
+    /// `elsq-lab show <id>` prints this plan so sweep authors can copy an
+    /// experiment's grid into a scenario file, and `run` implementations
+    /// drive it through [`crate::scenario::run_plan`] — which answers
+    /// cached points from an installed
+    /// [result store](crate::store::ResultStore) without simulating.
+    fn plan(&self) -> SweepPlan;
 
     /// Runs the experiment and collects every table it produces.
     fn run(&self, params: &ExperimentParams) -> Report;
@@ -126,6 +138,27 @@ mod tests {
             assert!(e.default_params().commits > 0);
         }
         assert!(find("nonsense").is_none());
+    }
+
+    /// Every registered experiment declares a well-formed grid: non-empty,
+    /// uniquely labelled, named after the experiment, and touching exactly
+    /// the classes the experiment advertises (the set `--trace` validates).
+    #[test]
+    fn declared_plans_are_consistent_with_the_experiments() {
+        for e in registry() {
+            let plan = e.plan();
+            assert!(!plan.is_empty(), "{} declares an empty plan", e.id());
+            assert_eq!(plan.name, e.id());
+            plan.assert_unique_labels();
+            let planned: HashSet<WorkloadClass> = plan.points.iter().map(|p| p.class).collect();
+            let advertised: HashSet<WorkloadClass> = e.classes().iter().copied().collect();
+            assert_eq!(
+                planned,
+                advertised,
+                "{}: plan classes disagree with classes()",
+                e.id()
+            );
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@ use elsq_cpu::result::SimResult;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::run_suite;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// Table 2 as a registered [`Experiment`]: one table per workload class.
 pub struct Table2;
@@ -21,6 +21,14 @@ impl Experiment for Table2 {
         "Table 2: accesses to the LSQ components"
     }
 
+    fn plan(&self) -> SweepPlan {
+        let mut plan = SweepPlan::new("table2");
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            plan.points.extend(class_plan(class).points);
+        }
+        plan
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         let mut report = Report::new(self.id(), self.title(), *params);
         for class in [WorkloadClass::Fp, WorkloadClass::Int] {
@@ -30,7 +38,8 @@ impl Experiment for Table2 {
     }
 }
 
-/// The configurations listed in Table 2, in row order.
+/// The configurations listed in Table 2, in row order. The first row
+/// (OoO-64) doubles as the speed-up baseline.
 pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
     vec![
         ("OoO-64", CpuConfig::ooo64()),
@@ -40,6 +49,15 @@ pub fn configurations() -> Vec<(&'static str, CpuConfig)> {
         ("FMC-Hash-SVW", CpuConfig::fmc_hash_svw(10, false)),
         ("FMC-Hash-RSAC", CpuConfig::fmc_hash_rsac()),
     ]
+}
+
+/// The Table 2 grid for one suite: one point per listed configuration.
+fn class_plan(class: WorkloadClass) -> SweepPlan {
+    let mut plan = SweepPlan::new("table2");
+    for (name, cfg) in configurations() {
+        plan.push(name, cfg, class);
+    }
+    plan
 }
 
 /// Renders Table 2 for one workload class.
@@ -59,11 +77,12 @@ pub fn run(class: WorkloadClass, params: &ExperimentParams) -> Table {
             "Speed-Up",
         ],
     );
-    let baseline = SimResult::mean_ipc(&run_suite(CpuConfig::ooo64(), class, params));
-    for (name, cfg) in configurations() {
-        let results = run_suite(cfg, class, params);
-        let ipc = SimResult::mean_ipc(&results);
-        let mean = SimResult::mean_lsq_per_100m(&results);
+    let plan_results = run_plan(&class_plan(class), params);
+    let baseline = plan_results.mean_ipc("OoO-64", class);
+    for (name, _) in configurations() {
+        let results = plan_results.suite(name, class);
+        let ipc = SimResult::mean_ipc(results);
+        let mean = SimResult::mean_lsq_per_100m(results);
         table.row_cells(vec![
             Cell::text(name),
             Cell::millions(mean.hl_lq_searches),

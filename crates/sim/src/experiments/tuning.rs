@@ -12,8 +12,8 @@ use elsq_cpu::config::CpuConfig;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::mean_ipc;
 use crate::experiments::Experiment;
+use crate::scenario::{run_plan, SweepPlan};
 
 /// The Section 5.2 sizing study as a registered [`Experiment`].
 pub struct Tuning;
@@ -27,6 +27,10 @@ impl Experiment for Tuning {
         "Section 5.2: per-epoch LSQ sizing"
     }
 
+    fn plan(&self) -> SweepPlan {
+        plan()
+    }
+
     fn run(&self, params: &ExperimentParams) -> Report {
         Report::new(self.id(), self.title(), *params).with_table(run(params))
     }
@@ -38,8 +42,30 @@ impl Experiment for Tuning {
     }
 }
 
-/// The (loads, stores) sizes swept.
+/// The (loads, stores) sizes swept. The last, generously sized entry
+/// (128/64) doubles as the normalization reference.
 pub const SIZES: [(usize, usize); 4] = [(16, 8), (32, 16), (64, 32), (128, 64)];
+
+fn sized_config(loads: usize, stores: usize) -> CpuConfig {
+    CpuConfig::fmc_elsq(ElsqConfig {
+        epoch_max_loads: loads,
+        epoch_max_stores: stores,
+        ..ElsqConfig::default()
+    })
+}
+
+/// The sizing grid: every swept size, SPEC FP only.
+pub fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("tuning");
+    for (loads, stores) in SIZES {
+        plan.push(
+            format!("{loads}/{stores}"),
+            sized_config(loads, stores),
+            WorkloadClass::Fp,
+        );
+    }
+    plan
+}
 
 /// Renders the sizing table: IPC relative to generously sized epoch queues.
 pub fn run(params: &ExperimentParams) -> Table {
@@ -47,23 +73,12 @@ pub fn run(params: &ExperimentParams) -> Table {
         "Section 5.2: per-epoch LSQ sizing (SPEC FP, relative to 128/64)",
         &["loads/stores per epoch", "relative IPC"],
     );
-    let reference_cfg = CpuConfig::fmc_elsq(ElsqConfig {
-        epoch_max_loads: 128,
-        epoch_max_stores: 64,
-        ..ElsqConfig::default()
-    });
-    let reference = mean_ipc(reference_cfg, WorkloadClass::Fp, params);
+    let results = run_plan(&plan(), params);
+    let reference = results.mean_ipc("128/64", WorkloadClass::Fp);
     for (loads, stores) in SIZES {
-        let cfg = CpuConfig::fmc_elsq(ElsqConfig {
-            epoch_max_loads: loads,
-            epoch_max_stores: stores,
-            ..ElsqConfig::default()
-        });
-        let ipc = mean_ipc(cfg, WorkloadClass::Fp, params);
-        table.row_cells(vec![
-            Cell::text(format!("{loads}/{stores}")),
-            Cell::f(ipc / reference),
-        ]);
+        let label = format!("{loads}/{stores}");
+        let ipc = results.mean_ipc(&label, WorkloadClass::Fp);
+        table.row_cells(vec![Cell::text(label), Cell::f(ipc / reference)]);
     }
     table
 }

@@ -47,6 +47,10 @@
 pub mod driver;
 pub mod experiments;
 pub mod pool;
+pub mod scenario;
+pub mod store;
 
 pub use driver::{run_suite, run_suite_sequential, run_suite_with_threads, ExperimentParams};
 pub use experiments::{find, registry, run_experiment, run_experiments, Experiment};
+pub use scenario::{run_plan, PlanPoint, PlanResults, PointKey, ScenarioSpec, SweepPlan};
+pub use store::ResultStore;

@@ -1,0 +1,448 @@
+//! The on-disk result cache behind scenario sweeps: a directory of
+//! `point-<hash>.json` files plus a `manifest.json` index.
+//!
+//! A [`ResultStore`] maps a [`PointKey`] (the canonical content hash of
+//! `(config, class, commits, seed, trace fingerprint)`) to the
+//! [`SimResult`]s of the corresponding suite run. [`crate::driver::run_suite`]
+//! consults the installed store before simulating and writes fresh results
+//! back, so interrupted sweeps resume computing only the missing points and
+//! a repeated identical sweep performs zero simulations.
+//!
+//! The layout keeps two properties the sweep workflow depends on:
+//!
+//! * **loud failure** — the manifest is the source of truth. A manifest
+//!   that does not parse, a listed point file that is missing or corrupt,
+//!   or a point file whose recomputed key disagrees with its file name all
+//!   *fail the run*; nothing is ever silently recomputed and overwritten,
+//!   because a half-trusted cache poisons every report merged from it.
+//! * **interruption safety** — a point file is written (via a temp file and
+//!   rename) *before* the manifest records it, so killing a sweep between
+//!   the two leaves an orphaned point file the next `--resume` run simply
+//!   recomputes and replaces; the manifest never lists data that is not
+//!   durably on disk.
+//!
+//! `docs/SCENARIOS.md` documents the directory layout and the key
+//! definition at the byte level.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use elsq_cpu::result::SimResult;
+
+use crate::scenario::PointKey;
+
+/// Version tag of the store layout; bumped on incompatible changes so an
+/// old cache fails loudly instead of mis-decoding.
+pub const STORE_VERSION: u32 = 1;
+
+/// File name of the manifest index inside a cache directory.
+pub const MANIFEST_NAME: &str = "manifest.json";
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ManifestEntry {
+    /// Hex spelling of the point's canonical hash.
+    key: String,
+    /// Label of the plan point that first produced the entry (informational).
+    label: String,
+    /// Number of per-workload results the point file holds.
+    workloads: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    points: Vec<ManifestEntry>,
+}
+
+/// One cached point on disk: the full key (for auditability and a
+/// consistency check on load), the label, and the suite results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PointFile {
+    key: String,
+    label: String,
+    point: PointKey,
+    results: Vec<SimResult>,
+}
+
+/// A directory-backed cache of suite results, keyed by [`PointKey`] hashes.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    entries: Mutex<std::collections::BTreeMap<String, ManifestEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl ResultStore {
+    /// Opens (or initializes) the store in `dir`.
+    ///
+    /// * A missing directory or missing manifest initializes an empty
+    ///   store — unless the directory already holds `point-*.json` files,
+    ///   which without a manifest means a corrupt store and is an error.
+    /// * A manifest that fails to parse is an error (never silently
+    ///   recreated).
+    /// * A manifest holding cached points is only reused when `resume` is
+    ///   set, so a sweep cannot accidentally mix into a stale cache.
+    pub fn open(dir: &Path, resume: bool) -> Result<Self, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache directory {}: {e}", dir.display()))?;
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let manifest = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let manifest: Manifest = serde_json::from_str(&text).map_err(|e| {
+                    format!(
+                        "cache manifest {} is corrupt ({e}); refusing to reuse or \
+                         overwrite it — delete the cache directory to start fresh",
+                        manifest_path.display()
+                    )
+                })?;
+                if manifest.version != STORE_VERSION {
+                    return Err(format!(
+                        "cache manifest {} has layout version {} but this binary \
+                         writes version {STORE_VERSION}; delete the cache directory \
+                         to start fresh",
+                        manifest_path.display(),
+                        manifest.version
+                    ));
+                }
+                if !manifest.points.is_empty() && !resume {
+                    return Err(format!(
+                        "cache {} already holds {} cached point(s); pass --resume to \
+                         reuse it or point --cache at a fresh directory",
+                        dir.display(),
+                        manifest.points.len()
+                    ));
+                }
+                // Every listed point must be durably on disk: catching a
+                // deleted point file here turns a mid-run abort into a
+                // clean open-time error. (Tampered contents are still
+                // caught at lookup time, when the file is decoded.)
+                for entry in &manifest.points {
+                    let path = dir.join(format!("point-{}.json", entry.key));
+                    if !path.exists() {
+                        return Err(format!(
+                            "cache point {} is listed in the manifest but missing \
+                             from disk; the cache is corrupt — delete the \
+                             directory to start fresh",
+                            path.display()
+                        ));
+                    }
+                }
+                manifest
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let stray = Self::stray_point_files(dir)?;
+                if let Some(stray) = stray {
+                    return Err(format!(
+                        "cache {} holds point files ({} ...) but no manifest; the \
+                         store is corrupt — delete the directory to start fresh",
+                        dir.display(),
+                        stray
+                    ));
+                }
+                let manifest = Manifest {
+                    version: STORE_VERSION,
+                    points: Vec::new(),
+                };
+                write_json_atomically(&manifest_path, &manifest, 0)?;
+                manifest
+            }
+            Err(e) => {
+                return Err(format!("cannot read {}: {e}", manifest_path.display()));
+            }
+        };
+        Ok(Self {
+            dir: dir.to_owned(),
+            entries: Mutex::new(
+                manifest
+                    .points
+                    .into_iter()
+                    .map(|p| (p.key.clone(), p))
+                    .collect(),
+            ),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    fn stray_point_files(dir: &Path) -> Result<Option<String>, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read cache directory {}: {e}", dir.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("point-") && name.ends_with(".json") {
+                return Ok(Some(name.into_owned()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock poisoned").len()
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits served since the store was opened.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded since the store was opened.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn point_path(&self, hex: &str) -> PathBuf {
+        self.dir.join(format!("point-{hex}.json"))
+    }
+
+    /// Looks a point up. `Ok(None)` is a clean miss; a manifest-listed
+    /// point that cannot be loaded back is an error (the cache is corrupt,
+    /// and recomputing would silently mask it).
+    pub fn lookup(&self, key: &PointKey) -> Result<Option<Vec<SimResult>>, String> {
+        let hex = key.hex();
+        let listed = self
+            .entries
+            .lock()
+            .expect("store lock poisoned")
+            .contains_key(&hex);
+        if !listed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let path = self.point_path(&hex);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "cache point {} is listed in the manifest but cannot be read ({e}); \
+                 the cache is corrupt — delete the directory to start fresh",
+                path.display()
+            )
+        })?;
+        let point: PointFile = serde_json::from_str(&text)
+            .map_err(|e| format!("cache point {} is corrupt: {e}", path.display()))?;
+        if point.key != hex || point.point.hex() != hex {
+            return Err(format!(
+                "cache point {} does not match its key (file claims {}, content \
+                 hashes to {}); the cache is corrupt",
+                path.display(),
+                point.key,
+                point.point.hex()
+            ));
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(point.results))
+    }
+
+    /// Inserts a freshly computed point: point file first (temp + rename),
+    /// then the manifest entry. Re-inserting an already-listed key is a
+    /// no-op, so concurrent computations of the same point are safe.
+    pub fn insert(&self, key: &PointKey, label: &str, results: &[SimResult]) -> Result<(), String> {
+        let hex = key.hex();
+        {
+            let entries = self.entries.lock().expect("store lock poisoned");
+            if entries.contains_key(&hex) {
+                return Ok(());
+            }
+        }
+        let point = PointFile {
+            key: hex.clone(),
+            label: label.to_owned(),
+            point: key.clone(),
+            results: results.to_vec(),
+        };
+        let unique = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        write_json_atomically(&self.point_path(&hex), &point, unique)?;
+        // Serialize manifest rewrites; re-check under the lock so exactly
+        // one writer appends each key.
+        let mut entries = self.entries.lock().expect("store lock poisoned");
+        if entries.contains_key(&hex) {
+            return Ok(());
+        }
+        entries.insert(
+            hex.clone(),
+            ManifestEntry {
+                key: hex,
+                label: label.to_owned(),
+                workloads: results.len() as u64,
+            },
+        );
+        let manifest = Manifest {
+            version: STORE_VERSION,
+            points: entries.values().cloned().collect(),
+        };
+        write_json_atomically(&self.dir.join(MANIFEST_NAME), &manifest, unique)
+    }
+}
+
+fn write_json_atomically<T: Serialize>(path: &Path, value: &T, unique: u64) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize: {e}"))?;
+    let tmp = path.with_extension(format!("tmp.{}.{unique}", std::process::id()));
+    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsq_cpu::config::CpuConfig;
+    use elsq_stats::report::ExperimentParams;
+    use elsq_workload::suite::WorkloadClass;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "elsq-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn key(seed: u64) -> PointKey {
+        PointKey {
+            config: CpuConfig::ooo64(),
+            class: WorkloadClass::Fp,
+            commits: 100,
+            seed,
+            trace: None,
+        }
+    }
+
+    fn result() -> SimResult {
+        let mut r = SimResult::new("w");
+        r.sim.cycles = 10;
+        r.sim.committed = 20;
+        r
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let dir = tmp_dir("rt");
+        let store = ResultStore::open(&dir, false).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.lookup(&key(1)).unwrap(), None);
+        store.insert(&key(1), "p1", &[result()]).unwrap();
+        assert_eq!(store.len(), 1);
+        let back = store.lookup(&key(1)).unwrap().unwrap();
+        assert_eq!(back, vec![result()]);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        // Idempotent re-insert.
+        store.insert(&key(1), "p1", &[result()]).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_requires_resume_and_preserves_points() {
+        let dir = tmp_dir("resume");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(2), "p", &[result()]).unwrap();
+        drop(store);
+        let err = ResultStore::open(&dir, false).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        let store = ResultStore::open(&dir, true).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.lookup(&key(2)).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_fails_loudly_even_with_resume() {
+        let dir = tmp_dir("badmanifest");
+        drop(ResultStore::open(&dir, false).unwrap());
+        std::fs::write(dir.join(MANIFEST_NAME), "{not json").unwrap();
+        for resume in [false, true] {
+            let err = ResultStore::open(&dir, resume).unwrap_err();
+            assert!(err.contains("corrupt"), "{err}");
+            assert!(err.contains("refusing"), "{err}");
+        }
+        // The manifest was not recreated behind the error.
+        assert_eq!(
+            std::fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap(),
+            "{not json"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_store_version_is_rejected() {
+        let dir = tmp_dir("version");
+        drop(ResultStore::open(&dir, false).unwrap());
+        std::fs::write(dir.join(MANIFEST_NAME), "{\"version\": 99, \"points\": []}").unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listed_point_with_missing_or_tampered_file_is_an_error() {
+        let dir = tmp_dir("missingpoint");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(3), "p", &[result()]).unwrap();
+        let path = store.point_path(&key(3).hex());
+        std::fs::remove_file(&path).unwrap();
+        let err = store.lookup(&key(3)).unwrap_err();
+        assert!(err.contains("cannot be read"), "{err}");
+        // A point file whose content does not hash to its key is rejected.
+        let other = PointFile {
+            key: key(3).hex(),
+            label: "p".into(),
+            point: key(4),
+            results: vec![result()],
+        };
+        std::fs::write(&path, serde_json::to_string(&other).unwrap()).unwrap();
+        let err = store.lookup(&key(3)).unwrap_err();
+        assert!(err.contains("does not match its key"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_with_a_deleted_point_file_fails_at_open_time() {
+        let dir = tmp_dir("deleted");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(5), "p", &[result()]).unwrap();
+        let path = store.point_path(&key(5).hex());
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_point_files_without_manifest_are_corrupt() {
+        let dir = tmp_dir("orphan");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("point-00ff.json"), "{}").unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("no manifest"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn params_feed_the_key() {
+        let params = ExperimentParams {
+            commits: 100,
+            seed: 9,
+        };
+        let k = PointKey::current(CpuConfig::ooo64(), WorkloadClass::Fp, &params);
+        assert_eq!((k.commits, k.seed), (100, 9));
+    }
+}

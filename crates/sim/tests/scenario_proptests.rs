@@ -1,0 +1,110 @@
+//! Property tests pinning cache-key stability for scenario points.
+//!
+//! The on-disk result cache addresses points by the canonical hash of a
+//! [`PointKey`]; if that key drifted across a serde round trip (a key is
+//! re-read from a `point-<hash>.json` file) or under field reordering (a
+//! hand-edited scenario or a struct layout change), the cache would be
+//! silently poisoned. These tests pin the invariant over randomly built
+//! processor configurations, not just the named presets.
+
+use elsq_sim::scenario::{apply_axis, named_config, PointKey, BASE_CONFIGS};
+use elsq_stats::canon::{canonical_hash, canonical_hash_of};
+use elsq_workload::suite::WorkloadClass;
+use proptest::prelude::*;
+use serde::Serialize;
+
+/// Builds a randomized configuration: a named base plus a few valid axis
+/// mutations picked from the numeric axes (the kind-changing axes are
+/// exercised separately by the unit tests).
+fn random_config(base_pick: u64, rob: u64, l2mb: u64, ports: u64) -> elsq_cpu::config::CpuConfig {
+    let base = BASE_CONFIGS[(base_pick % BASE_CONFIGS.len() as u64) as usize];
+    let mut config = named_config(base).expect("named base resolves");
+    apply_axis(&mut config, "rob", &rob.to_string()).expect("rob axis applies");
+    apply_axis(&mut config, "l2mb", &l2mb.to_string()).expect("l2mb axis applies");
+    apply_axis(&mut config, "ports", &ports.to_string()).expect("ports axis applies");
+    config
+}
+
+/// Recursively reverses every map's entry order in a serde value tree.
+fn reverse_maps(value: &serde::Value) -> serde::Value {
+    match value {
+        serde::Value::Seq(items) => serde::Value::Seq(items.iter().map(reverse_maps).collect()),
+        serde::Value::Map(entries) => serde::Value::Map(
+            entries
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), reverse_maps(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    /// The canonical hash of a scenario point is invariant under a serde
+    /// JSON round trip: serializing the key and parsing it back yields the
+    /// same cache address.
+    #[test]
+    fn point_key_hash_survives_serde_round_trip(
+        shape in (0u64..64, 8u64..512, 1u64..16, 1u64..4),
+        run in (1u64..1_000_000, 0u64..1_000, 0u64..2),
+    ) {
+        let (base_pick, rob, l2mb, ports) = shape;
+        let (commits, seed, class_pick) = run;
+        let key = PointKey {
+            config: random_config(base_pick, rob, l2mb, ports),
+            class: if class_pick == 0 { WorkloadClass::Fp } else { WorkloadClass::Int },
+            commits,
+            seed,
+            trace: if base_pick % 3 == 0 { Some(seed.wrapping_mul(7)) } else { None },
+        };
+        let json = serde_json::to_string(&key).expect("keys serialize");
+        let back: PointKey = serde_json::from_str(&json).expect("keys deserialize");
+        prop_assert_eq!(back.clone(), key.clone(), "round trip changed the key itself");
+        prop_assert_eq!(back.hash(), key.hash(), "round trip changed the cache address");
+        // The same invariant at the value level, without the typed detour.
+        let reparsed = serde_json::parse_value(&json).expect("key JSON parses");
+        prop_assert_eq!(canonical_hash_of(&key), canonical_hash(&reparsed));
+    }
+
+    /// Reordering fields anywhere in the serialized key (top level or
+    /// nested config structs) never changes the cache address.
+    #[test]
+    fn point_key_hash_ignores_field_order(
+        shape in (0u64..64, 8u64..512, 1u64..16, 1u64..4),
+        run in (1u64..1_000_000, 0u64..1_000),
+    ) {
+        let (base_pick, rob, l2mb, ports) = shape;
+        let (commits, seed) = run;
+        let key = PointKey {
+            config: random_config(base_pick, rob, l2mb, ports),
+            class: WorkloadClass::Fp,
+            commits,
+            seed,
+            trace: None,
+        };
+        let value = key.to_value();
+        let reversed = reverse_maps(&value);
+        // Reversal must actually reorder something (the key has 5 fields).
+        prop_assert_ne!(value.clone(), reversed.clone());
+        prop_assert_eq!(canonical_hash(&value), canonical_hash(&reversed));
+    }
+
+    /// Distinct run parameters produce distinct cache addresses (no
+    /// accidental aliasing between budgets or seeds of one config).
+    #[test]
+    fn point_key_hash_separates_params(run in (8u64..512, 1u64..1_000_000, 0u64..1_000)) {
+        let (rob, commits, seed) = run;
+        let key = PointKey {
+            config: random_config(0, rob, 2, 2),
+            class: WorkloadClass::Fp,
+            commits,
+            seed,
+            trace: None,
+        };
+        let bumped_commits = PointKey { commits: commits + 1, ..key.clone() };
+        let bumped_seed = PointKey { seed: seed + 1, ..key.clone() };
+        prop_assert_ne!(key.hash(), bumped_commits.hash());
+        prop_assert_ne!(key.hash(), bumped_seed.hash());
+    }
+}

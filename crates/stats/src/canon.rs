@@ -1,0 +1,328 @@
+//! Canonical content hashing over the serde data model.
+//!
+//! Scenario sweeps cache simulation results on disk keyed by *what was
+//! simulated*: the processor configuration, the run parameters, the workload
+//! class and (for trace replays) the trace fingerprint. The key must be a
+//! pure function of the *content* of those values — not of incidental
+//! representation details — or a re-serialized spec would silently miss (or
+//! worse, poison) the cache. Two representational hazards matter in
+//! practice:
+//!
+//! * **field order** — a struct gained a field, a scenario file lists keys
+//!   in a different order, or a JSON object was rewritten by another tool;
+//! * **number shape** — JSON has one number type, so `2.0_f64` prints as
+//!   `2` and parses back as an unsigned integer, and a non-negative `i64`
+//!   parses back as `u64`.
+//!
+//! [`canonicalize`] collapses both: map entries are sorted by key (stable,
+//! so duplicate keys keep their relative order) and every number is
+//! normalized to the smallest value class that represents it exactly
+//! (integral finite floats in the exactly-representable range become
+//! integers, non-negative signed integers become unsigned). Non-finite
+//! floats normalize to `Null`, exactly as the JSON encoder emits them.
+//! [`canonical_hash`] then folds the canonical tree into a 64-bit FNV-1a
+//! digest over an unambiguous tagged byte encoding.
+//!
+//! The invariant the cache relies on (pinned by the canon proptests):
+//! for any serializable `T`,
+//!
+//! ```text
+//! canonical_hash_of(&t) == canonical_hash(&parse(serialize(t)))
+//! ```
+//!
+//! and the hash is unchanged when any map's entries are reordered.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::Value;
+//! use elsq_stats::canon::canonical_hash;
+//!
+//! let a = Value::Map(vec![
+//!     ("x".into(), Value::U64(2)),
+//!     ("y".into(), Value::F64(0.5)),
+//! ]);
+//! // Same content: fields reordered, integer written as a float.
+//! let b = Value::Map(vec![
+//!     ("y".into(), Value::F64(0.5)),
+//!     ("x".into(), Value::F64(2.0)),
+//! ]);
+//! assert_eq!(canonical_hash(&a), canonical_hash(&b));
+//! ```
+
+use serde::{Serialize, Value};
+
+/// Largest magnitude at which every integral `f64` is exactly one integer
+/// (2^53): beyond it, normalizing a float to an integer could collide two
+/// distinct floats, so larger integral floats stay floats.
+const EXACT_INT_BOUND: f64 = 9_007_199_254_740_992.0;
+
+/// Normalizes a value tree into its canonical form: map entries sorted by
+/// key (stable), numbers collapsed into their smallest exact class, and
+/// non-finite floats turned into `Null` (matching the JSON encoder).
+pub fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Null | Value::Bool(_) | Value::Str(_) | Value::U64(_) => value.clone(),
+        Value::I64(i) => {
+            if *i >= 0 {
+                Value::U64(*i as u64)
+            } else {
+                Value::I64(*i)
+            }
+        }
+        Value::F64(f) => canonicalize_float(*f),
+        Value::Seq(items) => Value::Seq(items.iter().map(canonicalize).collect()),
+        Value::Map(entries) => {
+            let mut sorted: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Map(sorted)
+        }
+    }
+}
+
+fn canonicalize_float(f: f64) -> Value {
+    if !f.is_finite() {
+        // The JSON encoder writes non-finite floats as `null`; hash them the
+        // same way so encode→parse cannot change the key.
+        return Value::Null;
+    }
+    if f.fract() == 0.0 && f.abs() <= EXACT_INT_BOUND {
+        // An integral float in the exactly-representable range prints
+        // without a decimal point and parses back as an integer; normalize
+        // to the integer class up front. (-0.0 lands here and becomes 0.)
+        if f >= 0.0 {
+            return Value::U64(f as u64);
+        }
+        return Value::I64(f as i64);
+    }
+    Value::F64(f)
+}
+
+/// 64-bit FNV-1a running state.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Type tags of the canonical byte encoding. Every value starts with its
+/// tag, so `[1, 2]` and `["1, 2"]` cannot hash alike.
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const UINT: u8 = 2;
+    pub const NEG_INT: u8 = 3;
+    pub const FLOAT: u8 = 4;
+    pub const STR: u8 = 5;
+    pub const SEQ: u8 = 6;
+    pub const MAP: u8 = 7;
+}
+
+fn hash_canonical(value: &Value, h: &mut Fnv) {
+    match value {
+        Value::Null => h.write(&[tag::NULL]),
+        Value::Bool(b) => h.write(&[tag::BOOL, u8::from(*b)]),
+        Value::U64(u) => {
+            h.write(&[tag::UINT]);
+            h.write_u64(*u);
+        }
+        Value::I64(i) => {
+            // canonicalize() only leaves negative values in this class.
+            h.write(&[tag::NEG_INT]);
+            h.write_u64(*i as u64);
+        }
+        Value::F64(f) => {
+            h.write(&[tag::FLOAT]);
+            h.write_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            h.write(&[tag::STR]);
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            h.write(&[tag::SEQ]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_canonical(item, h);
+            }
+        }
+        Value::Map(entries) => {
+            h.write(&[tag::MAP]);
+            h.write_u64(entries.len() as u64);
+            for (key, val) in entries {
+                h.write(&[tag::STR]);
+                h.write_u64(key.len() as u64);
+                h.write(key.as_bytes());
+                hash_canonical(val, h);
+            }
+        }
+    }
+}
+
+/// The canonical 64-bit content hash of a value tree: [`canonicalize`], then
+/// FNV-1a over the tagged byte encoding.
+pub fn canonical_hash(value: &Value) -> u64 {
+    let mut h = Fnv::new();
+    hash_canonical(&canonicalize(value), &mut h);
+    h.0
+}
+
+/// [`canonical_hash`] of any serializable value.
+pub fn canonical_hash_of<T: Serialize + ?Sized>(value: &T) -> u64 {
+    canonical_hash(&value.to_value())
+}
+
+/// The fixed-width lowercase hex spelling of a hash, used in cache file
+/// names (`point-<hex>.json`) and manifests.
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, Value)]) -> Value {
+        Value::Map(
+            entries
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn map_key_order_is_irrelevant() {
+        let a = map(&[("a", Value::U64(1)), ("b", Value::Bool(true))]);
+        let b = map(&[("b", Value::Bool(true)), ("a", Value::U64(1))]);
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+        // ... including in nested maps.
+        let outer_a = map(&[("inner", a)]);
+        let outer_b = map(&[("inner", b)]);
+        assert_eq!(canonical_hash(&outer_a), canonical_hash(&outer_b));
+    }
+
+    #[test]
+    fn number_classes_collapse() {
+        assert_eq!(
+            canonical_hash(&Value::F64(2.0)),
+            canonical_hash(&Value::U64(2))
+        );
+        assert_eq!(
+            canonical_hash(&Value::I64(7)),
+            canonical_hash(&Value::U64(7))
+        );
+        assert_eq!(
+            canonical_hash(&Value::F64(-3.0)),
+            canonical_hash(&Value::I64(-3))
+        );
+        assert_eq!(
+            canonical_hash(&Value::F64(-0.0)),
+            canonical_hash(&Value::U64(0))
+        );
+        // Genuinely fractional values stay distinct floats.
+        assert_ne!(
+            canonical_hash(&Value::F64(2.5)),
+            canonical_hash(&Value::U64(2))
+        );
+        // Beyond 2^53 integral floats stay floats (no lossy collapse).
+        let big = 1.0e300;
+        assert!(matches!(canonicalize(&Value::F64(big)), Value::F64(_)));
+    }
+
+    #[test]
+    fn non_finite_floats_hash_like_null() {
+        assert_eq!(
+            canonical_hash(&Value::F64(f64::NAN)),
+            canonical_hash(&Value::Null)
+        );
+        assert_eq!(
+            canonical_hash(&Value::F64(f64::INFINITY)),
+            canonical_hash(&Value::Null)
+        );
+    }
+
+    #[test]
+    fn containers_and_scalars_do_not_collide() {
+        let values = [
+            Value::Null,
+            Value::Bool(false),
+            Value::U64(0),
+            Value::Str(String::new()),
+            Value::Seq(vec![]),
+            Value::Map(vec![]),
+            Value::Seq(vec![Value::U64(0)]),
+            Value::Str("0".into()),
+        ];
+        let mut hashes: Vec<u64> = values.iter().map(canonical_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), values.len(), "tagged encoding collided");
+    }
+
+    #[test]
+    fn string_content_is_length_prefixed() {
+        // Without length prefixes ["ab","c"] and ["a","bc"] would concatenate
+        // to the same byte stream.
+        let a = Value::Seq(vec![Value::Str("ab".into()), Value::Str("c".into())]);
+        let b = Value::Seq(vec![Value::Str("a".into()), Value::Str("bc".into())]);
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn hash_of_serializable_matches_value_hash() {
+        #[derive(serde::Serialize)]
+        struct Demo {
+            x: u64,
+            y: f64,
+        }
+        let d = Demo { x: 4, y: 0.25 };
+        assert_eq!(canonical_hash_of(&d), canonical_hash(&d.to_value()));
+    }
+
+    #[test]
+    fn hex_is_fixed_width_lowercase() {
+        assert_eq!(hash_hex(0xab), "00000000000000ab");
+        assert_eq!(hash_hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_hash() {
+        let v = map(&[
+            ("ipc", Value::F64(2.0)),
+            ("name", Value::Str("fmc-hash".into())),
+            ("rob", Value::U64(64)),
+            ("frac", Value::F64(0.375)),
+            ("neg", Value::I64(-12)),
+            ("opt", Value::Null),
+            (
+                "seq",
+                Value::Seq(vec![Value::F64(1.0), Value::F64(1.5), Value::Bool(true)]),
+            ),
+        ]);
+        let text = serde_json::to_string(&v).unwrap();
+        let back = serde_json::parse_value(&text).unwrap();
+        assert_eq!(canonical_hash(&v), canonical_hash(&back));
+    }
+}

@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod counters;
 pub mod energy;
 pub mod report;
 
+pub use canon::{canonical_hash, canonical_hash_of, hash_hex};
 pub use counters::{LsqAccessCounters, SimCounters};
 pub use energy::{EnergyModel, StructureKind, StructureSpec};
 pub use report::{Cell, ExperimentParams, Report, Table};

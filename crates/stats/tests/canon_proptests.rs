@@ -1,0 +1,138 @@
+//! Property tests pinning the canonical-hash invariants the result cache
+//! depends on: the hash of a value tree survives a JSON round trip (encode
+//! to text, parse back) and is unchanged when map entries are reordered.
+//!
+//! A drifting key silently poisons the cache — a re-serialized scenario
+//! would recompute (or worse, collide) — so these invariants are pinned
+//! over randomly generated value trees, not just the handful of structs the
+//! simulator happens to serialize today.
+
+use elsq_stats::canon::{canonical_hash, canonicalize};
+use proptest::prelude::*;
+use serde::Value;
+
+/// Builds a value tree from a stream of `(op, payload)` integers — a tiny
+/// stack machine, so random integer vectors explore nested maps/sequences
+/// with mixed number classes without needing recursive strategies.
+fn build_value(ops: &[(u64, u64)]) -> Value {
+    // Stack of containers under construction: maps collect (key, value)
+    // pairs, sequences collect values.
+    enum Frame {
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+    let mut stack = vec![Frame::Seq(Vec::new())];
+    let mut key_counter = 0u64;
+    let push = |stack: &mut Vec<Frame>, key_counter: &mut u64, v: Value| match stack
+        .last_mut()
+        .expect("root frame")
+    {
+        Frame::Seq(items) => items.push(v),
+        Frame::Map(entries) => {
+            *key_counter += 1;
+            entries.push((format!("k{key_counter}"), v));
+        }
+    };
+    for &(op, payload) in ops {
+        match op % 10 {
+            0 => push(&mut stack, &mut key_counter, Value::Null),
+            1 => push(&mut stack, &mut key_counter, Value::Bool(payload % 2 == 0)),
+            2 => push(&mut stack, &mut key_counter, Value::U64(payload)),
+            3 => push(
+                &mut stack,
+                &mut key_counter,
+                Value::I64(-((payload % 1_000_000) as i64)),
+            ),
+            // Dyadic fractions round-trip exactly through shortest-display
+            // printing, and payload/8 exercises both integral and
+            // fractional floats.
+            4 => push(
+                &mut stack,
+                &mut key_counter,
+                Value::F64((payload % 100_000) as f64 / 8.0),
+            ),
+            5 => push(
+                &mut stack,
+                &mut key_counter,
+                Value::Str(format!("s{}", payload % 1000)),
+            ),
+            6 if stack.len() < 5 => stack.push(Frame::Seq(Vec::new())),
+            7 if stack.len() < 5 => stack.push(Frame::Map(Vec::new())),
+            _ => {
+                if stack.len() > 1 {
+                    let done = match stack.pop().expect("non-empty") {
+                        Frame::Seq(items) => Value::Seq(items),
+                        Frame::Map(entries) => Value::Map(entries),
+                    };
+                    push(&mut stack, &mut key_counter, done);
+                }
+            }
+        }
+    }
+    // Close whatever is still open.
+    while stack.len() > 1 {
+        let done = match stack.pop().expect("non-empty") {
+            Frame::Seq(items) => Value::Seq(items),
+            Frame::Map(entries) => Value::Map(entries),
+        };
+        match stack.last_mut().expect("root frame") {
+            Frame::Seq(items) => items.push(done),
+            Frame::Map(entries) => entries.push(("tail".to_owned(), done)),
+        }
+    }
+    match stack.pop().expect("root frame") {
+        Frame::Seq(items) => Value::Seq(items),
+        Frame::Map(_) => unreachable!("root is a sequence"),
+    }
+}
+
+/// Recursively reverses the entry order of every map (and sequence-of-map
+/// contents stay in place: sequences are ordered data, maps are not).
+fn reverse_maps(value: &Value) -> Value {
+    match value {
+        Value::Seq(items) => Value::Seq(items.iter().map(reverse_maps).collect()),
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), reverse_maps(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    /// Encode → parse → hash equals hash: the cache key of any value tree
+    /// survives the JSON text representation.
+    #[test]
+    fn hash_survives_json_round_trip(ops in prop::collection::vec((0u64..10, 0u64..u64::MAX), 1..60)) {
+        let value = build_value(&ops);
+        let text = serde_json::to_string(&value).expect("values serialize");
+        let back = serde_json::parse_value(&text).expect("encoded JSON parses");
+        prop_assert_eq!(
+            canonical_hash(&value),
+            canonical_hash(&back),
+            "round trip changed the key for {}",
+            text
+        );
+    }
+
+    /// Reordering map entries — anywhere in the tree — never changes the
+    /// hash.
+    #[test]
+    fn hash_ignores_map_entry_order(ops in prop::collection::vec((0u64..10, 0u64..u64::MAX), 1..60)) {
+        let value = build_value(&ops);
+        let reversed = reverse_maps(&value);
+        prop_assert_eq!(canonical_hash(&value), canonical_hash(&reversed));
+    }
+
+    /// Canonicalization is idempotent: a canonical tree canonicalizes to
+    /// itself (so hashing pre-canonicalized values is stable too).
+    #[test]
+    fn canonicalize_is_idempotent(ops in prop::collection::vec((0u64..10, 0u64..u64::MAX), 1..60)) {
+        let once = canonicalize(&build_value(&ops));
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -35,6 +35,26 @@ pub enum WorkloadClass {
     Int,
 }
 
+// Scenario specs and cache-point keys serialize workload classes by their
+// short command-line key (`"fp"` / `"int"`), which is also what scenario
+// files use — hand-rolled impls rather than the derive so the JSON spelling
+// matches the CLI spelling.
+impl serde::Serialize for WorkloadClass {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.key().to_owned())
+    }
+}
+
+impl serde::Deserialize for WorkloadClass {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) => Self::from_key(s)
+                .ok_or_else(|| serde::Error::custom(format!("unknown workload class `{s}`"))),
+            other => Err(serde::Error::expected("workload class string", other)),
+        }
+    }
+}
+
 impl std::fmt::Display for WorkloadClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -105,6 +125,15 @@ impl WorkloadClass {
         match self {
             WorkloadClass::Fp => "fp",
             WorkloadClass::Int => "int",
+        }
+    }
+
+    /// The class named by a [`Self::key`] string (`"fp"` / `"int"`), if any.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "fp" => Some(WorkloadClass::Fp),
+            "int" => Some(WorkloadClass::Int),
+            _ => None,
         }
     }
 }
@@ -297,6 +326,20 @@ mod tests {
     fn class_display() {
         assert_eq!(WorkloadClass::Fp.to_string(), "SPEC FP");
         assert_eq!(WorkloadClass::Int.to_string(), "SPEC INT");
+    }
+
+    #[test]
+    fn class_keys_and_serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        for class in [WorkloadClass::Fp, WorkloadClass::Int] {
+            assert_eq!(WorkloadClass::from_key(class.key()), Some(class));
+            let v = class.to_value();
+            assert_eq!(v, serde::Value::Str(class.key().to_owned()));
+            assert_eq!(WorkloadClass::from_value(&v).unwrap(), class);
+        }
+        assert_eq!(WorkloadClass::from_key("both"), None);
+        assert!(WorkloadClass::from_value(&serde::Value::Str("x".into())).is_err());
+        assert!(WorkloadClass::from_value(&serde::Value::U64(1)).is_err());
     }
 
     #[test]
