@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use elsq_sim::driver::install_result_cache;
 use elsq_sim::experiments::{registry, run_experiments, Experiment};
-use elsq_sim::scenario::{run_plan, Axis, ScenarioSpec, SweepPlan};
+use elsq_sim::scenario::{run_plan, run_plan_each, Axis, ScenarioSpec, SweepPlan};
 use elsq_sim::store::ResultStore;
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
@@ -86,6 +86,9 @@ SWEEP OPTIONS:
     --name NAME        scenario name for ad-hoc grids (default: adhoc)
     --quick            quick preset (5k commits) instead of the sweep
                        preset (30k)
+    --no-batch         run grid points one at a time instead of batching
+                       same-class points over a shared captured stream
+                       (results and cache keys are identical either way)
     --commits/--seed, --cache DIR/--resume, --format, --out DIR, --jobs,
     --trace DIR        as for `run` (--out writes DIR/sweep-<name>.<ext>)
 
@@ -108,6 +111,9 @@ BENCH OPTIONS:
                        on regression
     --max-regress PCT  allowed per-case throughput drop for --check, in
                        percent (default: 30)
+    --trace DIR        bench over recorded .etrc traces instead of the
+                       generators; stream capture is outside the timed
+                       window either way, so rates stay comparable
 
 DIFF OPTIONS:
     --tol REL          relative tolerance for numeric cells (default: 0,
@@ -210,6 +216,9 @@ pub struct SweepArgs {
     pub jobs: Option<usize>,
     /// Replay recorded `.etrc` traces from this directory.
     pub trace: Option<PathBuf>,
+    /// Run points one at a time instead of batching same-class points over
+    /// a shared captured stream.
+    pub no_batch: bool,
 }
 
 /// Parsed `elsq-lab bench` arguments.
@@ -231,6 +240,10 @@ pub struct BenchArgs {
     pub check: Option<PathBuf>,
     /// Allowed per-case throughput regression for `--check`, as a fraction.
     pub max_regress: f64,
+    /// Replay recorded `.etrc` traces from this directory instead of
+    /// running the generators (setup stays outside the timed window either
+    /// way, so the rates are comparable).
+    pub trace: Option<PathBuf>,
 }
 
 /// Parsed `elsq-lab diff` arguments.
@@ -343,6 +356,7 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
         format: OutputFormat::Text,
         check: None,
         max_regress: 0.30,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -363,6 +377,7 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
                 format => bench.format = format,
             },
             "--check" => bench.check = Some(PathBuf::from(value_of("--check")?)),
+            "--trace" => bench.trace = Some(PathBuf::from(value_of("--trace")?)),
             "--max-regress" => {
                 let pct: u64 = parse_num(value_of("--max-regress")?, "--max-regress")?;
                 if pct > 100 {
@@ -525,6 +540,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
         out: None,
         jobs: None,
         trace: None,
+        no_batch: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -553,6 +569,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
                 sweep.jobs = Some(n as usize);
             }
             "--trace" => sweep.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--no-batch" => sweep.no_batch = true,
             other => {
                 return Err(CliError::usage(format!(
                     "unexpected argument `{other}` for `sweep`"
@@ -904,7 +921,13 @@ pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
         None => None,
     };
     let cache = open_cache(&sweep.cache, sweep.resume)?;
-    let results = with_jobs(sweep.jobs, || run_plan(&plan, &spec.params));
+    let results = with_jobs(sweep.jobs, || {
+        if sweep.no_batch {
+            run_plan_each(&plan, &spec.params)
+        } else {
+            run_plan(&plan, &spec.params)
+        }
+    });
     let report = sweep_report(&spec, &plan, &results);
     let (cache_stats, cache_line) = match &cache {
         Some((store, _guard)) => (
@@ -1022,6 +1045,8 @@ pub fn write_reports(
 /// Executes a bench invocation: runs the roster, writes the JSON file when
 /// `--label`/`--out` select one, and applies the `--check` comparison.
 pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
+    #[cfg(test)]
+    let _serial = run_lock();
     let commits = bench.commits.unwrap_or(if bench.quick {
         BENCH_COMMITS_QUICK
     } else {
@@ -1031,6 +1056,20 @@ pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
         commits,
         seed: bench.seed.unwrap_or(BENCH_SEED),
         label: bench.label.clone().unwrap_or_else(|| "local".to_owned()),
+    };
+    let _trace_guard = match &bench.trace {
+        Some(dir) => Some(crate::trace::install_roster(
+            dir,
+            &[(
+                "bench",
+                &[WorkloadClass::Fp, WorkloadClass::Int],
+                ExperimentParams {
+                    commits: params.commits,
+                    seed: params.seed,
+                },
+            )],
+        )?),
+        None => None,
     };
     let report = run_bench(&params);
     // In JSON mode, stdout carries *only* the report (so `| jq` works); the
@@ -1300,6 +1339,8 @@ mod tests {
             "BENCH_PR3.json",
             "--max-regress",
             "40",
+            "--trace",
+            "traces/",
         ]))
         .unwrap();
         let Command::Bench(b) = cmd else {
@@ -1313,6 +1354,7 @@ mod tests {
         assert_eq!(b.format, OutputFormat::Json);
         assert_eq!(b.check, Some(PathBuf::from("BENCH_PR3.json")));
         assert!((b.max_regress - 0.40).abs() < 1e-12);
+        assert_eq!(b.trace, Some(PathBuf::from("traces/")));
     }
 
     #[test]
@@ -1385,6 +1427,7 @@ mod tests {
             format: OutputFormat::Json,
             check: None,
             max_regress: 0.30,
+            trace: None,
         };
         execute_bench(&base).unwrap();
         // Same seed, different commit budget: rates are not comparable.
@@ -1414,6 +1457,7 @@ mod tests {
             format: OutputFormat::Json,
             check: None,
             max_regress: 0.30,
+            trace: None,
         };
         let output = execute_bench(&bench).unwrap();
         assert!(output.contains("minst_per_sec"));
@@ -1568,6 +1612,15 @@ mod tests {
         let err = execute_sweep(&s).unwrap_err();
         assert_eq!(err.exit_code, 2);
         assert!(err.message.contains("unknown axis"), "{}", err.message);
+        // So is the same axis passed twice — never a silent last-one-wins.
+        let Command::Sweep(s) =
+            parse(&args(&["sweep", "--axis", "rob=48", "--axis", "rob=64"])).unwrap()
+        else {
+            panic!("expected sweep");
+        };
+        let err = execute_sweep(&s).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("declared twice"), "{}", err.message);
     }
 
     #[test]
@@ -1616,6 +1669,7 @@ mod tests {
             out: None,
             jobs: None,
             trace: None,
+            no_batch: false,
         };
         let err = execute_sweep(&sweep).unwrap_err();
         assert_eq!(err.exit_code, 1);
@@ -1649,6 +1703,7 @@ mod tests {
             out: None,
             jobs: None,
             trace: None,
+            no_batch: false,
         };
         let first = execute_sweep(&sweep).unwrap();
         assert_eq!(first.cache, Some((0, 2)), "fresh cache misses everything");
@@ -1667,6 +1722,47 @@ mod tests {
             "cached report must be byte-identical"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_no_batch_is_byte_identical_to_batched() {
+        let sweep = SweepArgs {
+            scenario: None,
+            axes: vec![
+                Axis {
+                    name: "rob".into(),
+                    values: vec!["48".into(), "64".into()],
+                },
+                Axis {
+                    name: "issue".into(),
+                    values: vec!["2".into(), "4".into()],
+                },
+            ],
+            base: Some("fmc-hash".into()),
+            classes: Some("both".into()),
+            name: Some("batchparity".into()),
+            quick: false,
+            commits: Some(400),
+            seed: Some(5),
+            cache: None,
+            resume: false,
+            format: OutputFormat::Json,
+            out: None,
+            jobs: None,
+            trace: None,
+            no_batch: false,
+        };
+        let batched = execute_sweep(&sweep).unwrap();
+        let each = execute_sweep(&SweepArgs {
+            no_batch: true,
+            ..sweep
+        })
+        .unwrap();
+        assert_eq!(
+            render_report(&batched.report, OutputFormat::Json),
+            render_report(&each.report, OutputFormat::Json),
+            "--no-batch must not change a single byte of the report"
+        );
     }
 
     #[test]
@@ -1702,6 +1798,7 @@ mod tests {
             out: None,
             jobs: None,
             trace: None,
+            no_batch: false,
         })
         .unwrap();
         assert_eq!(from_file.report.id, "sweep-filecase");
@@ -1726,6 +1823,7 @@ mod tests {
             out: None,
             jobs: None,
             trace: None,
+            no_batch: false,
         })
         .unwrap_err();
         assert_eq!(err.exit_code, 1);

@@ -11,7 +11,11 @@
 //! # Representation
 //!
 //! The queue is a slab of entry slots threaded into a doubly-linked list in
-//! program order, with three auxiliary indices that turn the former linear
+//! program order. The slab is stored structure-of-arrays: entry payloads
+//! and list links live in parallel vectors indexed by slot, so the search
+//! loops scan densely packed [`MemEntry`] values while squash — the
+//! wrong-path hot path, which detaches a run of tail slots — rewrites only
+//! the compact link records. Three auxiliary indices turn the former linear
 //! scans into near-constant-time lookups (the searches themselves are the
 //! simulator's hottest operations — see `docs/PERFORMANCE.md`):
 //!
@@ -191,10 +195,12 @@ impl<T: Copy + Eq> LineBuckets<T> {
 /// Sentinel slot index for the linked-list endpoints.
 const NIL: u32 = u32::MAX;
 
-/// One slab slot: the entry plus its program-order list links.
+/// Program-order list links for one slab slot. Kept in an array parallel to
+/// the entry payloads: the forwarding/violation searches walk only entries
+/// (densely packed, no link bytes between them), while squash and detach
+/// walk only these 8-byte records plus the one entry they remove.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    entry: MemEntry,
+struct Link {
     prev: u32,
     next: u32,
 }
@@ -205,7 +211,10 @@ struct Slot {
 /// order), which is how both the HL and the epoch queues are filled.
 #[derive(Debug, Clone)]
 pub struct AgeQueue {
-    slots: Vec<Slot>,
+    /// Entry payloads, indexed by slot (parallel to `links`).
+    entries: Vec<MemEntry>,
+    /// Program-order list links, indexed by slot (parallel to `entries`).
+    links: Vec<Link>,
     free: Vec<u32>,
     head: u32,
     tail: u32,
@@ -224,7 +233,8 @@ impl AgeQueue {
     pub fn bounded(capacity: usize) -> Self {
         let prealloc = capacity.min(1024);
         Self {
-            slots: Vec::with_capacity(prealloc),
+            entries: Vec::with_capacity(prealloc),
+            links: Vec::with_capacity(prealloc),
             free: Vec::with_capacity(prealloc),
             head: NIL,
             tail: NIL,
@@ -239,7 +249,8 @@ impl AgeQueue {
     /// Creates an unbounded queue (the idealized central LSQ of Figure 7).
     pub fn unbounded() -> Self {
         Self {
-            slots: Vec::new(),
+            entries: Vec::new(),
+            links: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -283,29 +294,27 @@ impl AgeQueue {
     /// Takes a slot from the free list (or grows the slab) and links it at
     /// the tail.
     fn link_tail(&mut self, entry: MemEntry) -> u32 {
+        let link = Link {
+            prev: self.tail,
+            next: NIL,
+        };
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slots[slot as usize] = Slot {
-                    entry,
-                    prev: self.tail,
-                    next: NIL,
-                };
+                self.entries[slot as usize] = entry;
+                self.links[slot as usize] = link;
                 slot
             }
             None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(Slot {
-                    entry,
-                    prev: self.tail,
-                    next: NIL,
-                });
+                let slot = self.entries.len() as u32;
+                self.entries.push(entry);
+                self.links.push(link);
                 slot
             }
         };
         if self.tail == NIL {
             self.head = slot;
         } else {
-            self.slots[self.tail as usize].next = slot;
+            self.links[self.tail as usize].next = slot;
         }
         self.tail = slot;
         self.len += 1;
@@ -315,16 +324,17 @@ impl AgeQueue {
     /// Unlinks `slot` from the program-order list and returns it to the free
     /// list, maintaining every index. Returns the entry.
     fn detach(&mut self, slot: u32) -> MemEntry {
-        let Slot { entry, prev, next } = self.slots[slot as usize];
+        let entry = self.entries[slot as usize];
+        let Link { prev, next } = self.links[slot as usize];
         if prev == NIL {
             self.head = next;
         } else {
-            self.slots[prev as usize].next = next;
+            self.links[prev as usize].next = next;
         }
         if next == NIL {
             self.tail = prev;
         } else {
-            self.slots[next as usize].prev = prev;
+            self.links[next as usize].prev = prev;
         }
         self.index.remove(&entry.seq);
         match entry.addr {
@@ -369,7 +379,7 @@ impl AgeQueue {
             });
         }
         if self.tail != NIL {
-            let last_seq = self.slots[self.tail as usize].entry.seq;
+            let last_seq = self.entries[self.tail as usize].seq;
             assert!(
                 entry.seq > last_seq,
                 "queue entries must be allocated in program order ({} after {})",
@@ -392,7 +402,7 @@ impl AgeQueue {
     pub fn get(&self, seq: u64) -> Option<&MemEntry> {
         self.index
             .get(&seq)
-            .map(|&slot| &self.slots[slot as usize].entry)
+            .map(|&slot| &self.entries[slot as usize])
     }
 
     /// Records the effective address of entry `seq`. Returns `false` if the
@@ -401,14 +411,14 @@ impl AgeQueue {
         let Some(&slot) = self.index.get(&seq) else {
             return false;
         };
-        let previous = self.slots[slot as usize].entry.addr;
+        let previous = self.entries[slot as usize].addr;
         match previous {
             Some(old) => self.buckets.remove(&old, slot),
             None => {
                 self.unknown.remove(&seq);
             }
         }
-        self.slots[slot as usize].entry.addr = Some(addr);
+        self.entries[slot as usize].addr = Some(addr);
         self.buckets.insert(&addr, slot);
         true
     }
@@ -417,7 +427,7 @@ impl AgeQueue {
     pub fn set_issued(&mut self, seq: u64, cycle: u64) -> bool {
         match self.index.get(&seq) {
             Some(&slot) => {
-                let entry = &mut self.slots[slot as usize].entry;
+                let entry = &mut self.entries[slot as usize];
                 entry.issued = true;
                 entry.ready_at = cycle;
                 true
@@ -430,7 +440,7 @@ impl AgeQueue {
     /// (commit always proceeds in program order). The freed slot returns to
     /// the slab free list.
     pub fn commit_head(&mut self, seq: u64) -> Option<MemEntry> {
-        if self.head != NIL && self.slots[self.head as usize].entry.seq == seq {
+        if self.head != NIL && self.entries[self.head as usize].seq == seq {
             Some(self.detach(self.head))
         } else {
             None
@@ -448,7 +458,7 @@ impl AgeQueue {
     /// many were removed. Freed slots return to the slab free list.
     pub fn squash_from(&mut self, from_seq: u64) -> usize {
         let mut removed = 0;
-        while self.tail != NIL && self.slots[self.tail as usize].entry.seq >= from_seq {
+        while self.tail != NIL && self.entries[self.tail as usize].seq >= from_seq {
             self.detach(self.tail);
             removed += 1;
         }
@@ -485,7 +495,7 @@ impl AgeQueue {
         loop {
             if let Some(bucket) = self.buckets.get(line) {
                 for &slot in bucket {
-                    let entry = &self.slots[slot as usize].entry;
+                    let entry = &self.entries[slot as usize];
                     if entry.seq < load_seq
                         && entry.overlaps(access)
                         && best.map(|b| entry.seq > b.seq).unwrap_or(true)
@@ -540,7 +550,7 @@ impl AgeQueue {
         loop {
             if let Some(bucket) = self.buckets.get(line) {
                 for &slot in bucket {
-                    let entry = &self.slots[slot as usize].entry;
+                    let entry = &self.entries[slot as usize];
                     if entry.seq > store_seq
                         && entry.issued
                         && entry.overlaps(access)
@@ -563,7 +573,7 @@ impl AgeQueue {
         if self.head == NIL {
             None
         } else {
-            Some(self.slots[self.head as usize].entry.seq)
+            Some(self.entries[self.head as usize].seq)
         }
     }
 
@@ -572,7 +582,7 @@ impl AgeQueue {
         if self.tail == NIL {
             None
         } else {
-            Some(self.slots[self.tail as usize].entry.seq)
+            Some(self.entries[self.tail as usize].seq)
         }
     }
 }
@@ -591,9 +601,9 @@ impl<'a> Iterator for AgeQueueIter<'a> {
         if self.next == NIL {
             return None;
         }
-        let slot = &self.queue.slots[self.next as usize];
-        self.next = slot.next;
-        Some(&slot.entry)
+        let slot = self.next as usize;
+        self.next = self.queue.links[slot].next;
+        Some(&self.queue.entries[slot])
     }
 }
 
@@ -829,19 +839,19 @@ mod tests {
         for seq in 1..=4 {
             q.allocate(seq).unwrap();
         }
-        let slab_size = q.slots.len();
+        let slab_size = q.entries.len();
         q.squash_from(3); // frees two slots
         q.commit_head(1); // frees one more
         for seq in 10..=12 {
             q.allocate(seq).unwrap();
         }
-        assert_eq!(q.slots.len(), slab_size, "slab must not grow after frees");
+        assert_eq!(q.entries.len(), slab_size, "slab must not grow after frees");
         assert_eq!(q.len(), 4);
         q.clear();
         for seq in 20..=23 {
             q.allocate(seq).unwrap();
         }
-        assert_eq!(q.slots.len(), slab_size, "clear must recycle all slots");
+        assert_eq!(q.entries.len(), slab_size, "clear must recycle all slots");
     }
 
     #[test]

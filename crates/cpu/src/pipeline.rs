@@ -250,7 +250,7 @@ impl Processor {
             if st.lsq.has_room(kind) {
                 st.lsq.allocate(kind, seq);
                 if inst.is_load() {
-                    let addr = inst.mem.expect("load carries an address");
+                    let addr = inst.mem_access();
                     let ready = self.operand_ready(st, &inst).max(dispatch);
                     let issue = st.issue_ports.reserve(ready);
                     if issue < resolve {
@@ -488,7 +488,7 @@ impl Processor {
             // in-order Memory Engine to wait for its data.
             let early_issue = inst.is_mem() && addr_ready <= migrate_cycle;
             if early_issue {
-                let mem = inst.mem.expect("memory op carries an address");
+                let mem = inst.mem_access();
                 let issue = st.issue_ports.reserve(addr_ready);
                 addr_calc_cycle = Some(issue);
                 if inst.is_load() {

@@ -123,6 +123,27 @@ impl DynInst {
         self.op.is_branch()
     }
 
+    /// The memory payload of a load or store.
+    ///
+    /// Callers must only reach for this on memory operations — builders
+    /// guarantee ([`DynInst::validate`] enforces) that loads and stores
+    /// carry a payload and nothing else does, so on a validated instruction
+    /// this can only panic when the caller's classification logic is wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a debug assertion naming the op class first) if the
+    /// instruction is not a memory operation.
+    pub fn mem_access(&self) -> MemAccess {
+        debug_assert!(
+            self.is_mem(),
+            "mem_access() on a non-memory instruction ({:?})",
+            self.op.class()
+        );
+        self.mem
+            .expect("memory instruction without a MemAccess payload")
+    }
+
     /// Whether this branch is marked mispredicted.
     pub fn is_mispredicted_branch(&self) -> bool {
         self.is_branch() && self.branch.map(|b| b.mispredicted).unwrap_or(false)

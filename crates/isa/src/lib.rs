@@ -18,7 +18,9 @@
 //!   with the [`trace::VecTrace`] helper used throughout the test suites,
 //! * [`etrc`] — the compressed `.etrc` on-disk trace format (writer, reader
 //!   and the [`FileTrace`] replay source) and [`wrongpath`] — the seeded
-//!   wrong-path synthesizer whose spec the format records for exact replay.
+//!   wrong-path synthesizer whose spec the format records for exact replay,
+//! * [`SharedStream`] / [`SharedCursor`] — a captured correct-path stream
+//!   fanned out read-only to many pipeline instances (batched sweeps).
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod etrc;
 pub mod inst;
 pub mod op;
 pub mod reg;
+pub mod shared;
 pub mod trace;
 pub mod wrongpath;
 
@@ -53,5 +56,6 @@ pub use etrc::FileTrace;
 pub use inst::{BranchInfo, DynInst, InstBuilder, MemAccess};
 pub use op::{Op, OpClass};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS_PER_CLASS};
+pub use shared::{SharedCursor, SharedStream};
 pub use trace::TraceSource;
 pub use wrongpath::{WrongPathSpec, WrongPathSynth};

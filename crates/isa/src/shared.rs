@@ -1,0 +1,238 @@
+//! Shared read-only instruction streams: one captured correct path fanned
+//! out to many pipeline instances.
+//!
+//! A config-axis sweep runs the *same* workload suite under N processor
+//! configurations, and until now every point regenerated (or re-decoded)
+//! its instruction stream from scratch. A [`SharedStream`] captures the
+//! correct-path stream of any [`TraceSource`] once; each pipeline instance
+//! then reads through its own [`SharedCursor`], which is itself a
+//! `TraceSource`, so the processor models need no changes.
+//!
+//! # Why this is exact
+//!
+//! Byte-identical fan-out rests on two properties the rest of the codebase
+//! already depends on:
+//!
+//! * **The correct path is position-only.** A `TraceSource`'s `next_inst`
+//!   stream is a pure function of its construction parameters; capturing it
+//!   eagerly instead of lazily cannot change it.
+//! * **The wrong path is spec-pure and independent.** Wrong-path demand
+//!   depends on each configuration's simulated timing (a wider window
+//!   fetches deeper past a mispredicted branch), so it *cannot* be shared.
+//!   But every generator synthesizes its wrong path from a
+//!   [`WrongPathSpec`]-seeded [`WrongPathSynth`] decorrelated from the
+//!   correct-path randomness — the same purity `.etrc` replay relies on —
+//!   so each cursor rebuilds a private synthesizer from the captured spec
+//!   and produces exactly the stream the original source would have.
+//!
+//! A processor run consumes one `next_inst` per committed instruction, so
+//! capturing `max_commits` instructions suffices for any configuration
+//! simulated to `max_commits` commits.
+
+use std::sync::Arc;
+
+use crate::inst::DynInst;
+use crate::trace::{default_wrong_path_inst, TraceSource};
+use crate::wrongpath::{WrongPathSpec, WrongPathSynth};
+
+/// An immutable captured instruction stream, shareable across threads.
+///
+/// Construction eagerly drains the source's correct path (bounded by
+/// `max_insts`); the memory cost is `max_insts * size_of::<DynInst>()` per
+/// distinct workload, paid once per batch group instead of once per point.
+#[derive(Debug, Clone)]
+pub struct SharedStream {
+    name: String,
+    insts: Vec<DynInst>,
+    wrong_path: Option<WrongPathSpec>,
+}
+
+impl SharedStream {
+    /// Captures up to `max_insts` correct-path instructions from `source`,
+    /// together with its name and wrong-path spec.
+    ///
+    /// A finite source may end earlier; cursors then report the same early
+    /// exhaustion the source would have. A source holding *more* than
+    /// `max_insts` instructions is truncated, so callers must size the
+    /// capture to the maximum number of `next_inst` calls any consumer will
+    /// make (one per committed instruction for the processor models).
+    pub fn capture(source: &mut dyn TraceSource, max_insts: u64) -> Self {
+        let mut insts = Vec::with_capacity(usize::try_from(max_insts).unwrap_or(0));
+        for _ in 0..max_insts {
+            match source.next_inst() {
+                Some(inst) => insts.push(inst),
+                None => break,
+            }
+        }
+        Self {
+            name: source.name().to_owned(),
+            insts,
+            wrong_path: source.wrong_path_spec(),
+        }
+    }
+
+    /// The captured source's report name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of captured correct-path instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the capture holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The captured wrong-path spec, if the source had one.
+    pub fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+        self.wrong_path
+    }
+
+    /// A fresh cursor over `stream`, positioned at the beginning, with its
+    /// own wrong-path synthesizer.
+    pub fn cursor(self: &Arc<Self>) -> SharedCursor {
+        SharedCursor {
+            synth: self.wrong_path.map(WrongPathSynth::from_spec),
+            stream: Arc::clone(self),
+            pos: 0,
+        }
+    }
+}
+
+/// One pipeline instance's independent read position over a
+/// [`SharedStream`].
+///
+/// Each cursor owns a private [`WrongPathSynth`] rebuilt from the captured
+/// spec (when the source had one), because wrong-path demand differs per
+/// configuration and the synthesizer is stateful. Sources without a spec
+/// fall back to [`default_wrong_path_inst`], exactly as the
+/// [`TraceSource`] default does.
+#[derive(Debug, Clone)]
+pub struct SharedCursor {
+    stream: Arc<SharedStream>,
+    pos: usize,
+    synth: Option<WrongPathSynth>,
+}
+
+impl TraceSource for SharedCursor {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = self.stream.insts.get(self.pos).copied();
+        if inst.is_some() {
+            self.pos += 1;
+        }
+        inst
+    }
+
+    fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
+        match &mut self.synth {
+            Some(synth) => synth.inst(pc),
+            None => default_wrong_path_inst(pc),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.stream.name()
+    }
+
+    fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+        self.stream.wrong_path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstBuilder;
+    use crate::op::OpClass;
+    use crate::trace::VecTrace;
+
+    fn mk(n: usize) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| InstBuilder::alu(i as u64 * 4, OpClass::IntAlu).build())
+            .collect()
+    }
+
+    #[test]
+    fn capture_preserves_stream_name_and_spec() {
+        let mut src = VecTrace::with_name(mk(5), "w0");
+        let stream = Arc::new(SharedStream::capture(&mut src, 10));
+        assert_eq!(stream.name(), "w0");
+        assert_eq!(stream.len(), 5);
+        assert!(stream.wrong_path_spec().is_none());
+    }
+
+    #[test]
+    fn capture_truncates_at_max_insts() {
+        let mut src = VecTrace::new(mk(10));
+        let stream = SharedStream::capture(&mut src, 3);
+        assert_eq!(stream.len(), 3);
+        assert_eq!(src.remaining(), 7);
+    }
+
+    #[test]
+    fn cursors_are_independent_and_replay_the_capture() {
+        let insts = mk(4);
+        let mut src = VecTrace::new(insts.clone());
+        let stream = Arc::new(SharedStream::capture(&mut src, 4));
+        let mut a = stream.cursor();
+        let mut b = stream.cursor();
+        assert_eq!(a.next_inst().unwrap(), insts[0]);
+        assert_eq!(a.next_inst().unwrap(), insts[1]);
+        // b's position is untouched by a's reads.
+        assert_eq!(b.next_inst().unwrap(), insts[0]);
+        assert_eq!(a.next_inst().unwrap(), insts[2]);
+        assert_eq!(a.next_inst().unwrap(), insts[3]);
+        assert!(a.next_inst().is_none());
+        assert_eq!(b.next_inst().unwrap(), insts[1]);
+    }
+
+    #[test]
+    fn specless_cursor_uses_the_default_wrong_path() {
+        let mut src = VecTrace::new(mk(1));
+        let stream = Arc::new(SharedStream::capture(&mut src, 1));
+        let mut cursor = stream.cursor();
+        assert_eq!(cursor.wrong_path_inst(0x40), default_wrong_path_inst(0x40));
+    }
+
+    #[test]
+    fn spec_cursors_rebuild_identical_private_synthesizers() {
+        struct SpecSource(VecTrace, WrongPathSynth);
+        impl TraceSource for SpecSource {
+            fn next_inst(&mut self) -> Option<DynInst> {
+                self.0.next_inst()
+            }
+            fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
+                self.1.inst(pc)
+            }
+            fn name(&self) -> &str {
+                "spec-source"
+            }
+            fn wrong_path_spec(&self) -> Option<WrongPathSpec> {
+                Some(self.1.spec())
+            }
+        }
+        let spec = WrongPathSpec {
+            seed: 17,
+            region_base: 0x8000,
+            region_size: 4096,
+            load_rate: 0.25,
+        };
+        let mut src = SpecSource(VecTrace::new(mk(2)), WrongPathSynth::from_spec(spec));
+        let stream = Arc::new(SharedStream::capture(&mut src, 2));
+        assert_eq!(stream.wrong_path_spec(), Some(spec));
+        // Two cursors each replay the same wrong-path stream the original
+        // source would have produced, regardless of interleaving.
+        let mut a = stream.cursor();
+        let mut b = stream.cursor();
+        let mut reference = WrongPathSynth::from_spec(spec);
+        for i in 0..100 {
+            let pc = 0x4000_0000 + i * 4;
+            let want = reference.inst(pc);
+            assert_eq!(a.wrong_path_inst(pc), want);
+            assert_eq!(b.wrong_path_inst(pc), want);
+        }
+    }
+}

@@ -146,7 +146,7 @@ mod tests {
             assert!(inst.validate().is_ok());
             if inst.is_load() {
                 saw_load = true;
-                let a = inst.mem.unwrap().addr;
+                let a = inst.mem_access().addr;
                 assert!(a >= 0x8000 && a < 0x8000 + 4096);
             }
         }
@@ -157,8 +157,42 @@ mod tests {
     fn tiny_region_is_clamped() {
         let mut wp = WrongPathSynth::new(1, 0x100, 8, 1.0);
         let inst = wp.inst(0);
-        let addr = inst.mem.unwrap().addr;
+        let addr = inst.mem_access().addr;
         assert!(addr >= 0x100 && addr < 0x100 + 64);
         assert_eq!(wp.spec().region_size, 64);
+    }
+
+    #[test]
+    fn zero_region_is_clamped_and_never_divides_by_zero() {
+        // region_size 0 would make the load-offset divisor zero without the
+        // clamp; forcing every instruction to be a load exercises it.
+        let mut wp = WrongPathSynth::from_spec(WrongPathSpec {
+            seed: 5,
+            region_base: 0x2000,
+            region_size: 0,
+            load_rate: 1.0,
+        });
+        assert_eq!(wp.spec().region_size, 64);
+        for i in 0..100 {
+            let inst = wp.inst(i * 4);
+            assert!(inst.is_load());
+            assert!(inst.validate().is_ok());
+            let addr = inst.mem_access().addr;
+            assert!(addr >= 0x2000 && addr < 0x2000 + 64);
+        }
+    }
+
+    #[test]
+    fn zero_load_rate_produces_only_alu_instructions() {
+        // With no loads there is no memory payload anywhere in the stream;
+        // mem_access() must be unreachable by construction.
+        let mut wp = WrongPathSynth::new(9, 0x100, 0, 0.0);
+        for i in 0..200 {
+            let inst = wp.inst(i * 4);
+            assert!(inst.wrong_path);
+            assert!(!inst.is_mem());
+            assert!(inst.mem.is_none());
+            assert!(inst.validate().is_ok());
+        }
     }
 }

@@ -16,8 +16,23 @@
 //! reservation policy (first cycle `>= max(earliest, horizon)` with a free
 //! port) is unchanged, so granted cycles are byte-identical to the map-based
 //! implementation.
+//!
+//! On top of the ring, the schedule memoizes the most recent run of cycles
+//! it has *observed fully used*. Usage counts only ever grow (reservations
+//! add, [`PortSchedule::retire_before`] merely forgets the past), so a cycle
+//! once seen full stays full, and a probe landing inside the memoized run
+//! can jump straight past it. This turns the wrong-path fetch pattern —
+//! up to a thousand probes of the *same* blocked cycle per mispredicted
+//! branch, each of which would otherwise rescan the ever-longer saturated
+//! prefix — from quadratic in the burst length into amortized O(1), without
+//! changing a single granted cycle.
 
 use std::collections::VecDeque;
+
+/// Ring growth increment: a reservation landing past the tracked window
+/// extends the deque by at least this many slots, so bursts probing
+/// ever-deeper cycles settle into allocation-free steady state quickly.
+const GROW_CHUNK: usize = 256;
 
 /// Tracks per-cycle usage of a structure with a fixed number of ports and
 /// hands out reservations at the earliest available cycle.
@@ -32,6 +47,11 @@ pub struct PortSchedule {
     /// Cycles below this value may be pruned; reservations are never granted
     /// in the past.
     horizon: u64,
+    /// Start of the most recently observed run of fully used cycles.
+    full_from: u64,
+    /// One past the end of that run: every cycle in `full_from..full_until`
+    /// had all ports taken when last scanned, and counts never decrease.
+    full_until: u64,
 }
 
 impl PortSchedule {
@@ -47,6 +67,8 @@ impl PortSchedule {
             used: VecDeque::new(),
             base: 0,
             horizon: 0,
+            full_from: 0,
+            full_until: 0,
         }
     }
 
@@ -60,20 +82,46 @@ impl PortSchedule {
     pub fn reserve(&mut self, earliest: u64) -> u64 {
         let mut cycle = earliest.max(self.horizon);
         debug_assert!(cycle >= self.base);
+        // Skip the memoized run of cycles already observed full.
+        if cycle >= self.full_from && cycle < self.full_until {
+            cycle = self.full_until;
+        }
+        let scan_start = cycle;
+        let granted_fills;
         loop {
             let idx = (cycle - self.base) as usize;
             if idx >= self.used.len() {
                 // Everything past the tracked window is free: take the slot.
+                // Grow in chunks so a fetch burst probing ever-deeper cycles
+                // does not reallocate the ring on every reservation.
+                if self.used.capacity() <= idx {
+                    self.used.reserve(idx + 1 - self.used.len() + GROW_CHUNK);
+                }
                 self.used.resize(idx + 1, 0);
                 self.used[idx] = 1;
-                return cycle;
+                granted_fills = self.ports == 1;
+                break;
             }
             if self.used[idx] < self.ports {
                 self.used[idx] += 1;
-                return cycle;
+                granted_fills = self.used[idx] == self.ports;
+                break;
             }
             cycle += 1;
         }
+        // Cycles `scan_start..cycle` were observed full, and the grant may
+        // have filled `cycle` itself; fold that run into the memo.
+        let run_end = if granted_fills { cycle + 1 } else { cycle };
+        if run_end > scan_start {
+            if scan_start <= self.full_until && run_end >= self.full_from {
+                self.full_from = self.full_from.min(scan_start);
+                self.full_until = self.full_until.max(run_end);
+            } else {
+                self.full_from = scan_start;
+                self.full_until = run_end;
+            }
+        }
+        cycle
     }
 
     /// Returns how many ports are free at `cycle` (0 if fully used).
@@ -161,6 +209,94 @@ mod tests {
     #[should_panic(expected = "at least one port")]
     fn zero_ports_panics() {
         let _ = PortSchedule::new(0);
+    }
+
+    /// The original map-based scheduler, kept as the behavioral reference:
+    /// no full-run memo, no chunked growth, just the linear scan.
+    struct NaiveSchedule {
+        ports: u32,
+        used: std::collections::BTreeMap<u64, u32>,
+        horizon: u64,
+    }
+
+    impl NaiveSchedule {
+        fn new(ports: u32) -> Self {
+            Self {
+                ports,
+                used: std::collections::BTreeMap::new(),
+                horizon: 0,
+            }
+        }
+
+        fn reserve(&mut self, earliest: u64) -> u64 {
+            let mut cycle = earliest.max(self.horizon);
+            loop {
+                let count = self.used.entry(cycle).or_insert(0);
+                if *count < self.ports {
+                    *count += 1;
+                    return cycle;
+                }
+                cycle += 1;
+            }
+        }
+
+        fn retire_before(&mut self, cycle: u64) {
+            if cycle <= self.horizon {
+                return;
+            }
+            self.horizon = cycle;
+            self.used = self.used.split_off(&cycle);
+        }
+    }
+
+    #[test]
+    fn memoized_grants_match_the_naive_reference() {
+        // A deterministic mixed op sequence, heavy on the wrong-path burst
+        // pattern (many probes of one earliest cycle) that the memo exists
+        // for, interleaved with jumps and horizon advances.
+        for ports in [1u32, 2, 4] {
+            let mut fast = PortSchedule::new(ports);
+            let mut naive = NaiveSchedule::new(ports);
+            let mut state = 0x1234_5678_9abc_def0u64 ^ u64::from(ports);
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut earliest = 0u64;
+            for op in 0..5_000 {
+                match rng() % 10 {
+                    // Burst probe: same earliest, the saturating pattern.
+                    0..=6 => {}
+                    // Jump forward up to 200 cycles.
+                    7 | 8 => earliest += rng() % 200,
+                    // Advance the horizon like the periodic prune does.
+                    _ => {
+                        let h = earliest.saturating_sub(rng() % 50);
+                        fast.retire_before(h);
+                        naive.retire_before(h);
+                        continue;
+                    }
+                }
+                assert_eq!(
+                    fast.reserve(earliest),
+                    naive.reserve(earliest),
+                    "grant diverged at op {op} (ports={ports})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_burst_is_not_quadratic() {
+        // 4096 probes of the same cycle must complete without rescanning
+        // the saturated prefix: every grant lands exactly one slot after
+        // the previous, which the memo answers in O(1).
+        let mut p = PortSchedule::new(2);
+        for i in 0..4096u64 {
+            assert_eq!(p.reserve(100), 100 + i / 2);
+        }
     }
 
     #[test]

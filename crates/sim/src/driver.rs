@@ -7,6 +7,14 @@
 //! seed — a property the determinism test suite asserts for both workload
 //! classes.
 //!
+//! Sweeps that run *many configurations* over the *same* suite go through
+//! [`run_suite_batched`]: the correct-path streams are captured once into
+//! [`SharedStream`]s and every pipeline instance reads them through its own
+//! cursor, so workload generation (or `.etrc` decoding) is paid once per
+//! batch group instead of once per grid point. Results, cache keys and
+//! cache hit/miss behavior are identical to running the points one at a
+//! time — see `docs/PERFORMANCE.md` for the batching model.
+//!
 //! Suites normally come from the synthetic generators, but a recorded
 //! [`TraceRoster`] of `.etrc` files can be installed process-wide with
 //! [`install_trace_override`]; every `run_suite*` call (and therefore every
@@ -28,7 +36,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use elsq_cpu::config::CpuConfig;
 use elsq_cpu::pipeline::Processor;
 use elsq_cpu::result::SimResult;
-use elsq_isa::TraceSource;
+use elsq_isa::{SharedStream, TraceSource};
 use elsq_stats::canon::canonical_hash;
 use elsq_workload::suite::{suite, TraceRoster, WorkloadClass};
 
@@ -192,6 +200,28 @@ fn build_suite(class: WorkloadClass, params: &ExperimentParams) -> Vec<Box<dyn T
     }
 }
 
+/// Captures the `class` suite — from the generators or an installed trace
+/// override, exactly as [`run_suite`] would source it — into read-only
+/// [`SharedStream`]s of up to `params.commits` correct-path instructions
+/// each, in suite order.
+///
+/// This is the setup half of a batched run, exposed so callers that time
+/// simulation (the `elsq-lab bench` subcommand) can capture outside the
+/// measured window and drive pipelines off cursors alone.
+///
+/// # Panics
+///
+/// Panics if an installed trace override cannot stand in for the suite
+/// (see [`install_trace_override`]).
+pub fn capture_class_suite(
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<Arc<SharedStream>> {
+    parallel_map(build_suite(class, params), |mut workload| {
+        Arc::new(SharedStream::capture(workload.as_mut(), params.commits))
+    })
+}
+
 /// Runs `config` over every workload of `class` in parallel and returns the
 /// per-workload results in suite order.
 ///
@@ -247,6 +277,83 @@ pub fn run_suite_labeled(
         }
     }
     results
+}
+
+/// Runs many configurations over one workload class as a *batch*: the
+/// suite's correct-path streams are generated (or `.etrc`-decoded) once and
+/// fanned out read-only to every configuration's pipeline instances through
+/// [`SharedStream`] cursors, instead of being regenerated per point.
+///
+/// Per-point results are byte-identical to [`run_suite_labeled`] called
+/// once per `(label, config)` pair, because a captured stream replays
+/// exactly what the lazy source would have produced and each pipeline
+/// instance synthesizes its own wrong path from the captured spec — the
+/// same purity `.etrc` replay rests on. Cache interaction is also
+/// per-point and unchanged: every point's [`PointKey`] is looked up first
+/// (hits skip simulation; hit/miss counts match the point-at-a-time path)
+/// and fresh points write back under their own label, so batched and
+/// unbatched sweeps share one store.
+///
+/// Returns one suite-result vector per input point, in input order.
+///
+/// # Panics
+///
+/// As [`run_suite`]: an unusable trace override or a corrupt result cache
+/// panics rather than silently recomputing.
+pub fn run_suite_batched(
+    points: &[(&str, CpuConfig)],
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<Vec<SimResult>> {
+    let cache = result_cache();
+    let keys: Vec<Option<PointKey>> = points
+        .iter()
+        .map(|(_, config)| {
+            cache
+                .as_ref()
+                .map(|_| PointKey::current(*config, class, params))
+        })
+        .collect();
+    let mut out: Vec<Option<Vec<SimResult>>> = vec![None; points.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match (&cache, key) {
+            (Some(store), Some(key)) => match store.lookup(key) {
+                Ok(Some(results)) => out[i] = Some(results),
+                Ok(None) => misses.push(i),
+                Err(e) => panic!("result cache lookup failed: {e}"),
+            },
+            _ => misses.push(i),
+        }
+    }
+    if !misses.is_empty() {
+        // Capture the shared streams in parallel (each member generates
+        // independently), then fan every (miss, workload) pair out as its
+        // own job so wide grids keep all workers busy.
+        let streams = capture_class_suite(class, params);
+        let jobs: Vec<(CpuConfig, Arc<SharedStream>)> = misses
+            .iter()
+            .flat_map(|&i| {
+                let config = points[i].1;
+                streams.iter().map(move |s| (config, Arc::clone(s)))
+            })
+            .collect();
+        let commits = params.commits;
+        let results = parallel_map(jobs, move |(config, stream)| {
+            Processor::new(config).run(&mut stream.cursor(), commits)
+        });
+        for (&i, suite_results) in misses.iter().zip(results.chunks(streams.len())) {
+            if let (Some(store), Some(key)) = (&cache, &keys[i]) {
+                if let Err(e) = store.insert(key, points[i].0, suite_results) {
+                    panic!("result cache write-back failed: {e}");
+                }
+            }
+            out[i] = Some(suite_results.to_vec());
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every batched point resolved"))
+        .collect()
 }
 
 /// [`run_suite`] with an explicit worker count — used by the determinism
@@ -312,6 +419,29 @@ mod tests {
             &ExperimentParams::quick(),
         );
         assert!(ipc > 0.0 && ipc <= 4.0);
+    }
+
+    #[test]
+    fn batched_suite_matches_per_point_runs() {
+        // The tentpole equivalence: shared-stream fan-out must be invisible
+        // in the results, for both classes and across different configs in
+        // one batch.
+        let params = ExperimentParams {
+            commits: 1_500,
+            seed: 7,
+        };
+        let points = [
+            ("a", CpuConfig::ooo64()),
+            ("b", CpuConfig::fmc_hash(true)),
+            ("c", CpuConfig::fmc_central_ideal()),
+        ];
+        for class in CLASSES {
+            let batched = run_suite_batched(&points, class, &params);
+            assert_eq!(batched.len(), points.len());
+            for ((_, config), batch) in points.iter().zip(&batched) {
+                assert_eq!(batch, &run_suite(*config, class, &params), "{class}");
+            }
+        }
     }
 
     #[test]

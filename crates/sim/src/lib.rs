@@ -50,7 +50,12 @@ pub mod pool;
 pub mod scenario;
 pub mod store;
 
-pub use driver::{run_suite, run_suite_sequential, run_suite_with_threads, ExperimentParams};
+pub use driver::{
+    capture_class_suite, run_suite, run_suite_batched, run_suite_sequential,
+    run_suite_with_threads, ExperimentParams,
+};
 pub use experiments::{find, registry, run_experiment, run_experiments, Experiment};
-pub use scenario::{run_plan, PlanPoint, PlanResults, PointKey, ScenarioSpec, SweepPlan};
+pub use scenario::{
+    run_plan, run_plan_each, PlanPoint, PlanResults, PointKey, ScenarioSpec, SweepPlan,
+};
 pub use store::ResultStore;

@@ -36,7 +36,7 @@ use elsq_stats::canon::{canonical_hash_of, hash_hex};
 use elsq_stats::report::ExperimentParams;
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite_labeled, trace_fingerprint};
+use crate::driver::{run_suite_batched, run_suite_labeled, trace_fingerprint};
 
 /// One axis of a scenario grid: a name and the values it sweeps, both kept
 /// as strings so scenario files stay readable and diffable.
@@ -505,7 +505,74 @@ impl PlanResults {
     }
 }
 
-/// Runs every point of a plan, in plan order, and returns the results.
+/// Runs every point of a plan and returns the results, batching points
+/// that share a workload class.
+///
+/// A plan's points all share `(commits, seed)` — and the trace fingerprint
+/// is process-global — so the batch grouping key `(class, seed, commits,
+/// trace)` degenerates to the class: every same-class point reuses one
+/// captured instruction stream through
+/// [`crate::driver::run_suite_batched`]. Groups of a single point bypass
+/// the capture and take the [`crate::driver::run_suite_labeled`]
+/// point-at-a-time path, as does the whole plan under [`run_plan_each`]
+/// (the CLI's `--no-batch`).
+///
+/// Results are assembled back into plan order and are byte-identical to
+/// [`run_plan_each`] (pinned by the batch-equivalence proptests), and the
+/// cache story is unchanged: each point's [`PointKey`] is consulted and
+/// written back individually, with identical hit/miss accounting.
+///
+/// # Panics
+///
+/// Panics if two points share a `(label, class)` pair.
+pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
+    plan.assert_unique_labels();
+    let mut results: Vec<Option<Vec<SimResult>>> = vec![None; plan.points.len()];
+    // Group same-class points in order of first appearance.
+    let mut classes_in_order: Vec<WorkloadClass> = Vec::new();
+    for p in &plan.points {
+        if !classes_in_order.contains(&p.class) {
+            classes_in_order.push(p.class);
+        }
+    }
+    for class in classes_in_order {
+        let members: Vec<usize> = plan
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.class == class)
+            .map(|(i, _)| i)
+            .collect();
+        if let [only] = members.as_slice() {
+            // Nothing to share: skip the capture and run the point direct.
+            let p = &plan.points[*only];
+            results[*only] = Some(run_suite_labeled(&p.label, p.config, p.class, params));
+            continue;
+        }
+        let labeled: Vec<(&str, CpuConfig)> = members
+            .iter()
+            .map(|&i| (plan.points[i].label.as_str(), plan.points[i].config))
+            .collect();
+        for (i, suite_results) in members
+            .iter()
+            .zip(run_suite_batched(&labeled, class, params))
+        {
+            results[*i] = Some(suite_results);
+        }
+    }
+    PlanResults {
+        points: plan.points.clone(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every plan point resolved"))
+            .collect(),
+    }
+}
+
+/// Runs every point of a plan one at a time, in plan order — the
+/// point-at-a-time reference path [`run_plan`]'s batching must match
+/// byte-for-byte (and the implementation behind `elsq-lab sweep
+/// --no-batch`).
 ///
 /// Each point goes through [`crate::driver::run_suite_labeled`] (its plan
 /// label is recorded into the cache manifest), which consults the installed
@@ -518,7 +585,7 @@ impl PlanResults {
 /// # Panics
 ///
 /// Panics if two points share a `(label, class)` pair.
-pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
+pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
     plan.assert_unique_labels();
     let results = plan
         .points

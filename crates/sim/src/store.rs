@@ -17,9 +17,12 @@
 //!   because a half-trusted cache poisons every report merged from it.
 //! * **interruption safety** — a point file is written (via a temp file and
 //!   rename) *before* the manifest records it, so killing a sweep between
-//!   the two leaves an orphaned point file the next `--resume` run simply
-//!   recomputes and replaces; the manifest never lists data that is not
-//!   durably on disk.
+//!   the two leaves an *orphaned* point file: durable on disk, unlisted in
+//!   the manifest. Opening the store scans for orphans and **adopts** each
+//!   one after verifying it (the file decodes and its content hashes back
+//!   to the key in its name) — the interrupted computation is kept, never
+//!   silently recomputed and overwritten. An orphan that fails verification
+//!   fails the open, naming the file.
 //!
 //! `docs/SCENARIOS.md` documents the directory layout and the key
 //! definition at the byte level.
@@ -85,13 +88,19 @@ impl ResultStore {
     ///   which without a manifest means a corrupt store and is an error.
     /// * A manifest that fails to parse is an error (never silently
     ///   recreated).
-    /// * A manifest holding cached points is only reused when `resume` is
-    ///   set, so a sweep cannot accidentally mix into a stale cache.
+    /// * A point file the manifest does not list (the leftover of a run
+    ///   killed between the point write and its manifest update) is
+    ///   verified and adopted into the manifest; one that fails
+    ///   verification is an error naming the file.
+    /// * A manifest (or adopted orphan) holding cached points is only
+    ///   reused when `resume` is set, so a sweep cannot accidentally mix
+    ///   into a stale cache.
     pub fn open(dir: &Path, resume: bool) -> Result<Self, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create cache directory {}: {e}", dir.display()))?;
         let manifest_path = dir.join(MANIFEST_NAME);
-        let manifest = match std::fs::read_to_string(&manifest_path) {
+        let mut entries: std::collections::BTreeMap<String, ManifestEntry>;
+        match std::fs::read_to_string(&manifest_path) {
             Ok(text) => {
                 let manifest: Manifest = serde_json::from_str(&text).map_err(|e| {
                     format!(
@@ -109,19 +118,25 @@ impl ResultStore {
                         manifest.version
                     ));
                 }
-                if !manifest.points.is_empty() && !resume {
+                entries = manifest
+                    .points
+                    .into_iter()
+                    .map(|p| (p.key.clone(), p))
+                    .collect();
+                let adopted = Self::adopt_orphans(dir, &mut entries)?;
+                if !entries.is_empty() && !resume {
                     return Err(format!(
                         "cache {} already holds {} cached point(s); pass --resume to \
                          reuse it or point --cache at a fresh directory",
                         dir.display(),
-                        manifest.points.len()
+                        entries.len()
                     ));
                 }
                 // Every listed point must be durably on disk: catching a
                 // deleted point file here turns a mid-run abort into a
                 // clean open-time error. (Tampered contents are still
                 // caught at lookup time, when the file is decoded.)
-                for entry in &manifest.points {
+                for entry in entries.values() {
                     let path = dir.join(format!("point-{}.json", entry.key));
                     if !path.exists() {
                         return Err(format!(
@@ -132,7 +147,14 @@ impl ResultStore {
                         ));
                     }
                 }
-                manifest
+                // Make any adoptions durable only after every check passed.
+                if adopted > 0 {
+                    let manifest = Manifest {
+                        version: STORE_VERSION,
+                        points: entries.values().cloned().collect(),
+                    };
+                    write_json_atomically(&manifest_path, &manifest, 0)?;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 let stray = Self::stray_point_files(dir)?;
@@ -149,7 +171,7 @@ impl ResultStore {
                     points: Vec::new(),
                 };
                 write_json_atomically(&manifest_path, &manifest, 0)?;
-                manifest
+                entries = std::collections::BTreeMap::new();
             }
             Err(e) => {
                 return Err(format!("cannot read {}: {e}", manifest_path.display()));
@@ -157,17 +179,76 @@ impl ResultStore {
         };
         Ok(Self {
             dir: dir.to_owned(),
-            entries: Mutex::new(
-                manifest
-                    .points
-                    .into_iter()
-                    .map(|p| (p.key.clone(), p))
-                    .collect(),
-            ),
+            entries: Mutex::new(entries),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
         })
+    }
+
+    /// Scans `dir` for `point-*.json` files the manifest does not list —
+    /// the durable-but-unlisted leftovers of a run killed between a point
+    /// write and its manifest update — and adopts each one after verifying
+    /// that it decodes and that its content hashes back to the key in its
+    /// file name. Returns the number adopted; a file that fails
+    /// verification is an error (adopting it would poison every report
+    /// merged from the cache, recomputing over it would silently discard
+    /// data).
+    fn adopt_orphans(
+        dir: &Path,
+        entries: &mut std::collections::BTreeMap<String, ManifestEntry>,
+    ) -> Result<usize, String> {
+        let listing = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read cache directory {}: {e}", dir.display()))?;
+        let mut adopted = 0;
+        for file in listing.flatten() {
+            let name = file.file_name();
+            let name = name.to_string_lossy();
+            let Some(hex) = name
+                .strip_prefix("point-")
+                .and_then(|n| n.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            if entries.contains_key(hex) {
+                continue;
+            }
+            let path = file.path();
+            let verified = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot be read ({e})"))
+                .and_then(|text| {
+                    serde_json::from_str::<PointFile>(&text)
+                        .map_err(|e| format!("does not decode ({e})"))
+                })
+                .and_then(|point| {
+                    if point.key == hex && point.point.hex() == hex {
+                        Ok(point)
+                    } else {
+                        Err(format!(
+                            "content hashes to {} but the file name claims {hex}",
+                            point.point.hex()
+                        ))
+                    }
+                });
+            let point = verified.map_err(|e| {
+                format!(
+                    "cache point {} is not listed in the manifest and fails \
+                     verification: {e}; the cache is corrupt — delete the file \
+                     (or the whole directory) to recover",
+                    path.display()
+                )
+            })?;
+            entries.insert(
+                hex.to_owned(),
+                ManifestEntry {
+                    key: hex.to_owned(),
+                    label: point.label,
+                    workloads: point.results.len() as u64,
+                },
+            );
+            adopted += 1;
+        }
+        Ok(adopted)
     }
 
     fn stray_point_files(dir: &Path) -> Result<Option<String>, String> {
@@ -423,6 +504,75 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         let err = ResultStore::open(&dir, true).unwrap_err();
         assert!(err.contains("missing"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Simulates a run killed between a point write and its manifest
+    /// update by delisting one inserted point from the manifest: the next
+    /// open verifies the orphan, adopts it, and makes the adoption durable
+    /// — the interrupted computation is never silently redone.
+    #[test]
+    fn valid_orphan_is_adopted_on_resume_not_recomputed() {
+        let dir = tmp_dir("adopt");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(1), "kept", &[result()]).unwrap();
+        store.insert(&key(2), "orphaned", &[result()]).unwrap();
+        drop(store);
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let mut manifest: Manifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        manifest.points.retain(|p| p.key != key(2).hex());
+        std::fs::write(&manifest_path, serde_json::to_string(&manifest).unwrap()).unwrap();
+        // An orphan still counts as cached data: reuse demands --resume.
+        let err = ResultStore::open(&dir, false).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        let store = ResultStore::open(&dir, true).unwrap();
+        assert_eq!(store.len(), 2, "orphan adopted");
+        assert_eq!(store.lookup(&key(2)).unwrap(), Some(vec![result()]));
+        assert_eq!((store.hits(), store.misses()), (1, 0));
+        drop(store);
+        // The adoption was written back: the manifest lists both points.
+        let manifest: Manifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(manifest.points.len(), 2);
+        assert!(manifest
+            .points
+            .iter()
+            .any(|p| p.key == key(2).hex() && p.label == "orphaned"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_orphan_fails_the_open_naming_the_file() {
+        let dir = tmp_dir("badorphan");
+        drop(ResultStore::open(&dir, false).unwrap());
+        std::fs::write(dir.join("point-deadbeef.json"), "{not json").unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("point-deadbeef.json"), "{err}");
+        assert!(err.contains("fails verification"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_whose_content_mismatches_its_name_fails_the_open() {
+        let dir = tmp_dir("aliasorphan");
+        drop(ResultStore::open(&dir, false).unwrap());
+        // A well-formed point file planted under the wrong key's name.
+        let point = PointFile {
+            key: key(9).hex(),
+            label: "p".into(),
+            point: key(9),
+            results: vec![result()],
+        };
+        let wrong_name = format!("point-{}.json", key(8).hex());
+        std::fs::write(
+            dir.join(&wrong_name),
+            serde_json::to_string(&point).unwrap(),
+        )
+        .unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains(&wrong_name), "{err}");
+        assert!(err.contains("claims"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,109 @@
+//! Property tests pinning the batched-simulation exactness claim.
+//!
+//! Batched sweeps ([`elsq_sim::driver::run_suite_batched`]) capture each
+//! workload's correct-path stream once and fan it out read-only to every
+//! configuration in the batch. The whole optimization rests on one
+//! invariant: **how points are grouped into batches must never change a
+//! single byte of any result**. These tests partition random grids into
+//! arbitrary batch shapes (singletons, pairs, fours — including the
+//! degenerate all-singleton partition) and require the assembled results
+//! to serialize identically to the point-at-a-time reference path.
+
+use elsq_cpu::config::CpuConfig;
+use elsq_cpu::result::SimResult;
+use elsq_sim::driver::{run_suite, run_suite_batched, ExperimentParams};
+use elsq_sim::scenario::{
+    apply_axis, named_config, run_plan, run_plan_each, SweepPlan, BASE_CONFIGS,
+};
+use elsq_workload::suite::WorkloadClass;
+use proptest::prelude::*;
+
+/// A randomized configuration: a named base with `rob` and `issue`
+/// mutations, mirroring what an ad-hoc `--axis` grid produces.
+fn random_config(base_pick: u64, rob: u64, issue: u64) -> CpuConfig {
+    let base = BASE_CONFIGS[(base_pick % BASE_CONFIGS.len() as u64) as usize];
+    let mut config = named_config(base).expect("named base resolves");
+    apply_axis(&mut config, "rob", &rob.to_string()).expect("rob axis applies");
+    apply_axis(&mut config, "issue", &issue.to_string()).expect("issue axis applies");
+    config
+}
+
+/// The byte-level identity used everywhere the claim matters: reports and
+/// cache point files are serialized JSON, so "identical results" means
+/// identical serialization, not just `PartialEq`.
+fn bytes(results: &[Vec<SimResult>]) -> String {
+    serde_json::to_string(&results.to_vec()).expect("results serialize")
+}
+
+proptest! {
+    /// Any partition of a point list into batch groups — sizes drawn from
+    /// {1, 2, 4}, in any order — produces results byte-identical to
+    /// running every point individually through [`run_suite`].
+    #[test]
+    fn any_batch_partition_matches_point_at_a_time(
+        shapes in proptest::collection::vec((0u64..64, 16u64..192, 1u64..5), 1..4),
+        chunk_picks in proptest::collection::vec(0usize..3, 1..6),
+        run in (40u64..90, 0u64..32, 0u64..2),
+    ) {
+        let (commits, seed, class_pick) = run;
+        let class = if class_pick == 0 { WorkloadClass::Fp } else { WorkloadClass::Int };
+        let params = ExperimentParams { commits, seed };
+        let points: Vec<(String, CpuConfig)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, rob, issue))| (format!("p{i}"), random_config(base, rob, issue)))
+            .collect();
+        let reference: Vec<Vec<SimResult>> = points
+            .iter()
+            .map(|(_, config)| run_suite(*config, class, &params))
+            .collect();
+        let mut batched: Vec<Vec<SimResult>> = Vec::new();
+        let mut start = 0usize;
+        let mut pick = 0usize;
+        while start < points.len() {
+            let size = [1, 2, 4][chunk_picks[pick % chunk_picks.len()]];
+            pick += 1;
+            let end = (start + size).min(points.len());
+            let chunk: Vec<(&str, CpuConfig)> = points[start..end]
+                .iter()
+                .map(|(label, config)| (label.as_str(), *config))
+                .collect();
+            batched.extend(run_suite_batched(&chunk, class, &params));
+            start = end;
+        }
+        prop_assert_eq!(
+            bytes(&batched),
+            bytes(&reference),
+            "partition {:?} changed results", chunk_picks
+        );
+    }
+
+    /// The plan-level wiring on top of the same invariant: [`run_plan`]
+    /// (class-grouped batching) and [`run_plan_each`] (the `--no-batch`
+    /// reference) agree byte-for-byte on mixed-class plans.
+    #[test]
+    fn run_plan_batching_matches_run_plan_each(
+        shapes in proptest::collection::vec((0u64..64, 16u64..192, 1u64..5), 1..3),
+        run in (40u64..90, 0u64..32),
+    ) {
+        let (commits, seed) = run;
+        let params = ExperimentParams { commits, seed };
+        let mut plan = SweepPlan::new("batch-prop");
+        for (i, &(base, rob, issue)) in shapes.iter().enumerate() {
+            let config = random_config(base, rob, issue);
+            plan.push(format!("p{i}"), config, WorkloadClass::Fp);
+            plan.push(format!("p{i}"), config, WorkloadClass::Int);
+        }
+        let batched = run_plan(&plan, &params);
+        let each = run_plan_each(&plan, &params);
+        for point in &plan.points {
+            prop_assert_eq!(
+                serde_json::to_string(&batched.suite(&point.label, point.class).to_vec())
+                    .expect("results serialize"),
+                serde_json::to_string(&each.suite(&point.label, point.class).to_vec())
+                    .expect("results serialize"),
+                "plan point {} ({}) diverged", point.label, point.class
+            );
+        }
+    }
+}

@@ -135,7 +135,7 @@ mod tests {
         for _ in 0..50_000 {
             let i = t.next_inst().unwrap();
             if i.is_load() {
-                lines.insert(i.mem.unwrap().addr / 64);
+                lines.insert(i.mem_access().addr / 64);
             }
         }
         assert!(

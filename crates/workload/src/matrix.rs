@@ -121,7 +121,7 @@ mod tests {
             let i = t.next_inst().unwrap();
             if i.is_load() {
                 loads += 1;
-                lines.insert(i.mem.unwrap().addr / 64);
+                lines.insert(i.mem_access().addr / 64);
             }
         }
         // Far fewer distinct lines than loads: the block is being reused.

@@ -251,7 +251,7 @@ mod tests {
             assert!(inst.validate().is_ok());
             if inst.is_load() {
                 saw_load = true;
-                let a = inst.mem.unwrap().addr;
+                let a = inst.mem_access().addr;
                 assert!(a >= 0x8000 && a < 0x8000 + 4096);
             }
         }

@@ -165,14 +165,14 @@ mod tests {
         let mut spills = 0usize;
         for _ in 0..50_000 {
             let i = t.next_inst().unwrap();
-            if i.is_store() && i.mem.unwrap().addr < 0x1200_0000 + (64 << 20) {
+            if i.is_store() && i.mem_access().addr < 0x1200_0000 + (64 << 20) {
                 // Stack stores live in the second allocated region; track the
                 // most recent one.
-                pending_store = Some(i.mem.unwrap().addr);
+                pending_store = Some(i.mem_access().addr);
                 spills += 1;
             } else if i.is_load() {
                 if let Some(a) = pending_store {
-                    if i.mem.unwrap().addr == a {
+                    if i.mem_access().addr == a {
                         reload_hits += 1;
                         pending_store = None;
                     }

@@ -113,7 +113,7 @@ mod tests {
         for _ in 0..10_000 {
             let i = t.next_inst().unwrap();
             if i.is_store() {
-                let a = i.mem.unwrap().addr;
+                let a = i.mem_access().addr;
                 if let Some(p) = prev {
                     if a > p {
                         monotone += 1;
