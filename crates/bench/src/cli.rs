@@ -16,11 +16,14 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use elsq_serve::client;
+use elsq_serve::protocol::Event;
+use elsq_serve::{ServeConfig, Server};
 use elsq_sim::driver::install_result_cache;
 use elsq_sim::experiments::{registry, run_experiments, Experiment};
-use elsq_sim::scenario::{run_plan, run_plan_each, Axis, ScenarioSpec, SweepPlan};
+use elsq_sim::scenario::{run_plan, run_plan_each, sweep_report, Axis, ScenarioSpec, SweepPlan};
 use elsq_sim::store::ResultStore;
-use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
+use elsq_stats::report::{ExperimentParams, Report};
 use elsq_workload::suite::WorkloadClass;
 use serde::Serialize;
 
@@ -48,6 +51,13 @@ USAGE:
                                   record workloads to .etrc trace files
     elsq-lab trace info FILE...   print trace provenance and block stats
     elsq-lab trace verify FILE... fully decode traces, checking every CRC
+    elsq-lab serve --store DIR [OPTS]
+                                  run the simulation service daemon
+    elsq-lab submit [GRID OPTS]   submit a sweep to a running daemon and
+                                  stream its progress
+    elsq-lab jobs [--connect A]   list a running daemon's job table
+    elsq-lab shutdown [--connect A]
+                                  stop a daemon gracefully
     elsq-lab help                 show this help
 
 RUN OPTIONS:
@@ -91,6 +101,32 @@ SWEEP OPTIONS:
                        (results and cache keys are identical either way)
     --commits/--seed, --cache DIR/--resume, --format, --out DIR, --jobs,
     --trace DIR        as for `run` (--out writes DIR/sweep-<name>.<ext>)
+
+SERVE OPTIONS:
+    --store DIR        shared result-store directory (required); holds the
+                       cached points and the `jobs/` journal, and is
+                       protected by an advisory writer lock
+    --addr A           listen address (default: 127.0.0.1:46170); port 0
+                       picks a free port, printed on startup
+    --resume           required to reopen a store that already holds
+                       cached points — i.e. on every daemon restart
+    --jobs N           worker-thread cap per fan-out level, as for `run`
+
+SUBMIT OPTIONS:
+    --connect A        daemon address (default: 127.0.0.1:46170)
+    --job ID           idempotency key (1-64 chars of [A-Za-z0-9_-]):
+                       resubmitting the same id with the same spec attaches
+                       to / replays that job; a different spec under a
+                       known id is an error. Without --job the server
+                       assigns an id.
+    --scenario/--axis/--base/--classes/--name/--quick/--commits/--seed,
+    --format, --out DIR
+                       as for `sweep` (--out writes DIR/sweep-<name>.<ext>,
+                       byte-identical to the offline sweep's file); the
+                       cache flags belong to the server, not to submit
+
+JOBS / SHUTDOWN OPTIONS:
+    --connect A        daemon address (default: 127.0.0.1:46170)
 
 TRACE DUMP OPTIONS:
     WORKLOADS          `both` (default), `fp`, `int`, or workload names
@@ -257,6 +293,39 @@ pub struct DiffArgs {
     pub tol: f64,
 }
 
+/// Parsed `elsq-lab serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address (`--addr`; default [`elsq_serve::protocol::DEFAULT_ADDR`]).
+    pub addr: String,
+    /// The shared result-store directory (required `--store`).
+    pub store: PathBuf,
+    /// Allow reopening a store that already holds cached points.
+    pub resume: bool,
+    /// Worker-thread cap (exported as `ELSQ_THREADS`) for the daemon's
+    /// lifetime.
+    pub jobs: Option<usize>,
+}
+
+/// Parsed `elsq-lab submit` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Daemon address (`--connect`).
+    pub connect: String,
+    /// Client-chosen job id (`--job`), validated at parse time.
+    pub job: Option<String>,
+    /// The grid + output flags, exactly as for `sweep` (the cache, jobs
+    /// and trace fields stay unset — they belong to the server).
+    pub grid: SweepArgs,
+}
+
+/// Parsed `elsq-lab jobs` / `elsq-lab shutdown` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectArgs {
+    /// Daemon address (`--connect`).
+    pub connect: String,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -274,6 +343,14 @@ pub enum Command {
     Diff(DiffArgs),
     /// `elsq-lab trace dump|info|verify ...`
     Trace(TraceCmd),
+    /// `elsq-lab serve ...`
+    Serve(ServeArgs),
+    /// `elsq-lab submit ...`
+    Submit(SubmitArgs),
+    /// `elsq-lab jobs`
+    Jobs(ConnectArgs),
+    /// `elsq-lab shutdown`
+    Shutdown(ConnectArgs),
     /// `elsq-lab help` / `--help`
     Help,
 }
@@ -340,6 +417,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some("bench") => parse_bench(it.as_slice()).map(Command::Bench),
         Some("diff") => parse_diff(it.as_slice()).map(Command::Diff),
         Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
+        Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
+        Some("submit") => parse_submit(it.as_slice()).map(Command::Submit),
+        Some("jobs") => parse_connect(it.as_slice(), "jobs").map(Command::Jobs),
+        Some("shutdown") => parse_connect(it.as_slice(), "shutdown").map(Command::Shutdown),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`; try `elsq-lab help`"
         ))),
@@ -597,6 +678,150 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
         return Err(CliError::usage("`--resume` requires `--cache DIR`"));
     }
     Ok(sweep)
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut addr = elsq_serve::protocol::DEFAULT_ADDR.to_owned();
+    let mut store = None;
+    let mut resume = false;
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value_of("--addr")?.clone(),
+            "--store" => store = Some(PathBuf::from(value_of("--store")?)),
+            "--resume" => resume = true,
+            "--jobs" => {
+                let n: u64 = parse_num(value_of("--jobs")?, "--jobs")?;
+                if n == 0 {
+                    return Err(CliError::usage("`--jobs` must be at least 1"));
+                }
+                jobs = Some(n as usize);
+            }
+            "--cache" => {
+                return Err(CliError::usage(
+                    "`serve` takes `--store DIR`, not `--cache`: the store \
+                     is the daemon's result cache",
+                ));
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{other}` for `serve`"
+                )));
+            }
+        }
+    }
+    let Some(store) = store else {
+        return Err(CliError::usage(
+            "`serve` requires `--store DIR` — the shared result-store (and \
+             job journal) directory clients will be answered from",
+        ));
+    };
+    Ok(ServeArgs {
+        addr,
+        store,
+        resume,
+        jobs,
+    })
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
+    let mut connect = elsq_serve::protocol::DEFAULT_ADDR.to_owned();
+    let mut job = None;
+    let mut grid = SweepArgs {
+        scenario: None,
+        axes: Vec::new(),
+        base: None,
+        classes: None,
+        name: None,
+        quick: false,
+        commits: None,
+        seed: None,
+        cache: None,
+        resume: false,
+        format: OutputFormat::Text,
+        out: None,
+        jobs: None,
+        trace: None,
+        no_batch: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--connect" => connect = value_of("--connect")?.clone(),
+            "--job" => job = Some(value_of("--job")?.clone()),
+            "--scenario" => grid.scenario = Some(PathBuf::from(value_of("--scenario")?)),
+            "--axis" => grid.axes.push(parse_axis_spec(value_of("--axis")?)?),
+            "--base" => grid.base = Some(value_of("--base")?.clone()),
+            "--classes" => grid.classes = Some(value_of("--classes")?.clone()),
+            "--name" => grid.name = Some(value_of("--name")?.clone()),
+            "--quick" => grid.quick = true,
+            "--commits" => grid.commits = Some(parse_num(value_of("--commits")?, "--commits")?),
+            "--seed" => grid.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+            "--format" => grid.format = OutputFormat::parse(value_of("--format")?)?,
+            "--out" => grid.out = Some(PathBuf::from(value_of("--out")?)),
+            flag @ ("--cache" | "--resume") => {
+                return Err(CliError::usage(format!(
+                    "`{flag}` is not a `submit` flag: the daemon owns the \
+                     result store (`elsq-lab serve --store DIR`)"
+                )));
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{other}` for `submit`"
+                )));
+            }
+        }
+    }
+    if grid.scenario.is_some() {
+        if !grid.axes.is_empty()
+            || grid.base.is_some()
+            || grid.classes.is_some()
+            || grid.name.is_some()
+        {
+            return Err(CliError::usage(
+                "`--scenario FILE` conflicts with the ad-hoc grid flags \
+                 (--axis/--base/--classes/--name); the file specifies them",
+            ));
+        }
+    } else if grid.axes.is_empty() {
+        return Err(CliError::usage(
+            "no grid selected; pass `--axis NAME=V1,V2,...` flags or `--scenario FILE`",
+        ));
+    }
+    if let Some(id) = &job {
+        elsq_serve::job::validate_job_id(id).map_err(CliError::usage)?;
+    }
+    Ok(SubmitArgs { connect, job, grid })
+}
+
+fn parse_connect(args: &[String], verb: &str) -> Result<ConnectArgs, CliError> {
+    let mut connect = elsq_serve::protocol::DEFAULT_ADDR.to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("`--connect` requires a value"))?
+                    .clone();
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{other}` for `{verb}`"
+                )));
+            }
+        }
+    }
+    Ok(ConnectArgs { connect })
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
@@ -943,46 +1168,147 @@ pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
     })
 }
 
-/// Assembles the merged sweep report: one row per `(grid point, class)`,
-/// with one column per axis plus the suite and its mean IPC.
-///
-/// Wall time is left at zero so a repeated (fully cached) sweep produces a
-/// byte-identical report — the CI smoke step diffs exactly that.
-fn sweep_report(
-    spec: &ScenarioSpec,
-    plan: &SweepPlan,
-    results: &elsq_sim::scenario::PlanResults,
-) -> Report {
-    let mut headers: Vec<&str> = plan.axes.iter().map(String::as_str).collect();
-    if headers.is_empty() {
-        headers.push("base");
+/// Executes `serve`: starts the daemon, prints the bound address (flushed
+/// eagerly, so wrappers can wait for readiness before connecting), and
+/// blocks until a client requests shutdown.
+pub fn execute_serve(serve: &ServeArgs) -> Result<String, CliError> {
+    let handle = Server::start(ServeConfig {
+        addr: serve.addr.clone(),
+        store_dir: serve.store.clone(),
+        resume: serve.resume,
+    })
+    .map_err(CliError::runtime)?;
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "elsq-serve listening on {} (store {})",
+            handle.local_addr(),
+            serve.store.display()
+        );
+        let _ = out.flush();
     }
-    headers.push("suite");
-    headers.push("mean IPC");
-    let mut table = Table::new(
-        format!("Scenario sweep: {} (base {})", spec.name, spec.base),
-        &headers,
-    );
-    for (point, suite) in results.iter() {
-        let mut cells: Vec<Cell> = if point.axes.is_empty() {
-            vec![Cell::text(spec.base.clone())]
-        } else {
-            point
-                .axes
-                .iter()
-                .map(|b| Cell::text(b.value.clone()))
-                .collect()
-        };
-        cells.push(Cell::text(point.class.to_string()));
-        cells.push(Cell::f(elsq_cpu::result::SimResult::mean_ipc(suite)));
-        table.row_cells(cells);
+    with_jobs(serve.jobs, || handle.join());
+    Ok("server stopped; queued jobs stay journaled in the store\n".to_owned())
+}
+
+/// Executes `submit`: builds the spec exactly like `sweep`, streams the
+/// job's progress, and renders the final report — byte-identical to the
+/// offline sweep of the same spec.
+pub fn execute_submit(submit: &SubmitArgs) -> Result<String, CliError> {
+    let spec = sweep_spec(&submit.grid)?;
+    // JSON-to-stdout stays pure JSON (`| jq` works); in every other mode
+    // progress streams to stdout as the daemon reports it.
+    let stream_progress = submit.grid.format != OutputFormat::Json || submit.grid.out.is_some();
+    let progress = |event: &Event| {
+        if !stream_progress {
+            return;
+        }
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        match event {
+            Event::Accepted {
+                job,
+                points,
+                attached,
+            } => {
+                let how = if *attached {
+                    "attached to"
+                } else {
+                    "accepted as"
+                };
+                let _ = writeln!(out, "{how} job {job}: {points} point(s)");
+            }
+            Event::Point {
+                done,
+                total,
+                label,
+                class,
+                cached,
+                ..
+            } => {
+                let src = if *cached { "cache" } else { "simulated" };
+                let _ = writeln!(out, "[{done}/{total}] {label} {class} ({src})");
+            }
+            _ => {}
+        }
+        let _ = out.flush();
+    };
+    let outcome = client::submit(&submit.connect, submit.job.as_deref(), &spec, progress)
+        .map_err(CliError::runtime)?;
+    let summary = submit_summary(&outcome);
+    let reports = [outcome.report];
+    match &submit.grid.out {
+        Some(dir) => {
+            let mut output = write_reports(&reports, dir, submit.grid.format)?;
+            output.push_str(&summary);
+            Ok(output)
+        }
+        None => {
+            let mut output = render_reports(&reports, submit.grid.format);
+            if submit.grid.format != OutputFormat::Json {
+                output.push('\n');
+                output.push_str(&summary);
+            }
+            Ok(output)
+        }
     }
-    Report::new(
-        format!("sweep-{}", spec.name),
-        format!("Scenario sweep: {}", spec.name),
-        spec.params,
+}
+
+/// The `job ...` summary line printed after a submit (the `100% cache
+/// hits` tag is what the CI smoke greps for).
+fn submit_summary(outcome: &client::SubmitOutcome) -> String {
+    let all_cached = if outcome.misses == 0 && outcome.hits > 0 {
+        " (100% cache hits)"
+    } else {
+        ""
+    };
+    format!(
+        "job {}: {} hit(s), {} miss(es){all_cached}; server store has {} point(s)\n",
+        outcome.job, outcome.hits, outcome.misses, outcome.store_points
     )
-    .with_table(table)
+}
+
+/// Executes `jobs`: the daemon's job table, one aligned line per job.
+pub fn execute_jobs(connect: &ConnectArgs) -> Result<String, CliError> {
+    let jobs = client::jobs(&connect.connect).map_err(CliError::runtime)?;
+    if jobs.is_empty() {
+        return Ok("no jobs\n".to_owned());
+    }
+    let id_width = jobs.iter().map(|j| j.id.len()).max().unwrap_or(0).max(2);
+    let name_width = jobs.iter().map(|j| j.name.len()).max().unwrap_or(0).max(4);
+    let mut out = format!(
+        "{:<id_width$}  {:<name_width$}  {:<7}  {:>9}  {:>5}  {:>6}\n",
+        "ID", "NAME", "STATE", "POINTS", "HITS", "MISSES"
+    );
+    for j in jobs {
+        out.push_str(&format!(
+            "{:<id_width$}  {:<name_width$}  {:<7}  {:>4}/{:<4}  {:>5}  {:>6}{}\n",
+            j.id,
+            j.name,
+            format!("{:?}", j.state),
+            j.completed,
+            j.total,
+            j.hits,
+            j.misses,
+            j.error
+                .as_deref()
+                .map(|e| format!("  {e}"))
+                .unwrap_or_default()
+        ));
+    }
+    Ok(out)
+}
+
+/// Executes `shutdown`: asks the daemon to stop gracefully.
+pub fn execute_shutdown(connect: &ConnectArgs) -> Result<String, CliError> {
+    client::shutdown(&connect.connect).map_err(CliError::runtime)?;
+    Ok(format!(
+        "server at {} is stopping (the running job finishes first; queued \
+         jobs stay journaled)\n",
+        connect.connect
+    ))
 }
 
 /// The `elsq-lab show <id>` payload: identification, the default
@@ -1216,6 +1542,10 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
         Command::Trace(TraceCmd::Dump(dump)) => crate::trace::execute_dump(&dump),
         Command::Trace(TraceCmd::Info(files)) => crate::trace::execute_info(&files),
         Command::Trace(TraceCmd::Verify(files)) => crate::trace::execute_verify(&files),
+        Command::Serve(serve) => execute_serve(&serve),
+        Command::Submit(submit) => execute_submit(&submit),
+        Command::Jobs(connect) => execute_jobs(&connect),
+        Command::Shutdown(connect) => execute_shutdown(&connect),
     }
 }
 
@@ -1621,6 +1951,142 @@ mod tests {
         let err = execute_sweep(&s).unwrap_err();
         assert_eq!(err.exit_code, 2);
         assert!(err.message.contains("declared twice"), "{}", err.message);
+    }
+
+    #[test]
+    fn parse_serve_flags_and_loud_usage_errors() {
+        let Command::Serve(s) = parse(&args(&[
+            "serve",
+            "--store",
+            "storedir",
+            "--addr",
+            "127.0.0.1:0",
+            "--resume",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(s.store, PathBuf::from("storedir"));
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert!(s.resume);
+        assert_eq!(s.jobs, Some(2));
+        // Missing --store is a loud usage error (exit 2), not a default.
+        let err = parse(&args(&["serve"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--store"), "{}", err.message);
+        let err = parse(&args(&["serve", "--resume"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--store"), "{}", err.message);
+        // `serve --cache` points at the right flag.
+        let err = parse(&args(&["serve", "--cache", "dir"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--store"), "{}", err.message);
+        assert!(parse(&args(&["serve", "--store"])).is_err());
+        assert!(parse(&args(&["serve", "--store", "d", "--jobs", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--store", "d", "stray"])).is_err());
+    }
+
+    #[test]
+    fn parse_submit_flags_and_loud_usage_errors() {
+        let Command::Submit(s) = parse(&args(&[
+            "submit",
+            "--connect",
+            "127.0.0.1:9",
+            "--job",
+            "night-1",
+            "--axis",
+            "rob=48,64",
+            "--base",
+            "fmc-hash",
+            "--classes",
+            "fp",
+            "--name",
+            "demo",
+            "--commits",
+            "400",
+            "--seed",
+            "5",
+            "--format",
+            "json",
+        ]))
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.connect, "127.0.0.1:9");
+        assert_eq!(s.job.as_deref(), Some("night-1"));
+        assert_eq!(s.grid.axes.len(), 1);
+        assert_eq!(s.grid.base.as_deref(), Some("fmc-hash"));
+        assert_eq!((s.grid.commits, s.grid.seed), (Some(400), Some(5)));
+        // The default address is the daemon default.
+        let Command::Submit(s) = parse(&args(&["submit", "--axis", "rob=48"])).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(s.connect, elsq_serve::protocol::DEFAULT_ADDR);
+        // No grid at all.
+        let err = parse(&args(&["submit"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("no grid selected"), "{}", err.message);
+        // The cache flags belong to the server.
+        for flag in ["--cache", "--resume"] {
+            let cmd = if flag == "--cache" {
+                args(&["submit", "--axis", "rob=48", flag, "dir"])
+            } else {
+                args(&["submit", "--axis", "rob=48", flag])
+            };
+            let err = parse(&cmd).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{flag}");
+            assert!(err.message.contains("daemon owns"), "{}", err.message);
+        }
+        // A bad job id fails at parse time, before connecting anywhere.
+        let err = parse(&args(&["submit", "--axis", "rob=48", "--job", "a.b"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("a.b"), "{}", err.message);
+        // --scenario conflicts with ad-hoc grid flags, exactly like sweep.
+        let err = parse(&args(&[
+            "submit",
+            "--scenario",
+            "s.json",
+            "--axis",
+            "rob=48",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("conflicts"), "{}", err.message);
+    }
+
+    #[test]
+    fn parse_jobs_and_shutdown() {
+        assert_eq!(
+            parse(&args(&["jobs"])).unwrap(),
+            Command::Jobs(ConnectArgs {
+                connect: elsq_serve::protocol::DEFAULT_ADDR.to_owned()
+            })
+        );
+        assert_eq!(
+            parse(&args(&["shutdown", "--connect", "127.0.0.1:7"])).unwrap(),
+            Command::Shutdown(ConnectArgs {
+                connect: "127.0.0.1:7".to_owned()
+            })
+        );
+        assert!(parse(&args(&["jobs", "stray"])).is_err());
+        assert!(parse(&args(&["shutdown", "--connect"])).is_err());
+    }
+
+    #[test]
+    fn submit_against_no_server_is_a_runtime_error() {
+        // Port 9 on localhost is reserved/discard and not listening here.
+        let err = main_with_args(&args(&[
+            "submit",
+            "--connect",
+            "127.0.0.1:9",
+            "--axis",
+            "rob=48",
+            "--quick",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("cannot connect"), "{}", err.message);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Crash/restart test of `elsq-lab serve`: kill the daemon mid-job, start
+//! a fresh one on the same store, and the journaled job resumes computing
+//! only the points the first process never finished — with a final report
+//! byte-identical to the offline sweep.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+
+use elsq_serve::client;
+use elsq_serve::Event;
+use elsq_sim::scenario::Axis;
+use elsq_sim::ScenarioSpec;
+use elsq_stats::report::ExperimentParams;
+use elsq_workload::suite::WorkloadClass;
+
+fn elsq_lab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elsq-lab"))
+}
+
+/// Starts the daemon and returns the child, the bound address, and the
+/// still-open stdout reader (kept alive so the daemon's final prints never
+/// hit a closed pipe).
+fn spawn_server(
+    store: &Path,
+    resume: bool,
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = elsq_lab();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--store"])
+        .arg(store)
+        .stdout(Stdio::piped());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd.spawn().expect("spawn elsq-lab serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in readiness line {line:?}"))
+        .to_owned();
+    (child, addr, reader)
+}
+
+fn count_point_files(store: &Path) -> u64 {
+    std::fs::read_dir(store)
+        .unwrap()
+        .flatten()
+        .filter(|f| {
+            let name = f.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("point-") && name.ends_with(".json")
+        })
+        .count() as u64
+}
+
+#[test]
+fn killed_server_resumes_job_computing_only_missing_points() {
+    let dir = std::env::temp_dir().join(format!("elsq-serve-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 8 configs x 2 classes = 16 points; the fp group completes (and
+    // journals its points) well before the int group, leaving a wide
+    // window to kill the server mid-job.
+    let spec = ScenarioSpec {
+        name: "crashgrid".into(),
+        base: "fmc-hash".into(),
+        axes: vec![
+            Axis {
+                name: "rob".into(),
+                values: vec!["48".into(), "64".into(), "96".into(), "128".into()],
+            },
+            Axis {
+                name: "issue".into(),
+                values: vec!["2".into(), "4".into()],
+            },
+        ],
+        classes: vec![WorkloadClass::Fp, WorkloadClass::Int],
+        params: ExperimentParams {
+            commits: 400,
+            seed: 5,
+        },
+    };
+    let total = 16u64;
+
+    // Offline byte-identity reference, produced by a separate process.
+    let ref_out = dir.join("ref");
+    let status = elsq_lab()
+        .args([
+            "sweep",
+            "--axis",
+            "rob=48,64,96,128",
+            "--axis",
+            "issue=2,4",
+            "--base",
+            "fmc-hash",
+            "--classes",
+            "both",
+            "--name",
+            "crashgrid",
+            "--commits",
+            "400",
+            "--seed",
+            "5",
+            "--format",
+            "json",
+            "--out",
+        ])
+        .arg(&ref_out)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let reference = std::fs::read(ref_out.join("sweep-crashgrid.json")).unwrap();
+
+    let store = dir.join("store");
+    let (mut server, addr, _server_out) = spawn_server(&store, false);
+
+    // Submit, then kill the server the moment the first progress event
+    // proves the job is mid-flight.
+    let (first_point_tx, first_point) = mpsc::channel();
+    let submit_spec = spec.clone();
+    let submit_addr = addr.clone();
+    let submitter = std::thread::spawn(move || {
+        client::submit(&submit_addr, Some("crash-1"), &submit_spec, |event| {
+            if matches!(event, Event::Point { .. }) {
+                let _ = first_point_tx.send(());
+            }
+        })
+    });
+    first_point
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("job produced progress before the timeout");
+    server.kill().unwrap();
+    server.wait().unwrap();
+    assert!(
+        submitter.join().unwrap().is_err(),
+        "the client must see the crash, not a result"
+    );
+
+    let finished_early = count_point_files(&store);
+    assert!(
+        finished_early > 0 && finished_early < total,
+        "the kill must land mid-job; {finished_early}/{total} points on disk"
+    );
+
+    // A fresh daemon on the same store: the journaled job re-queues at
+    // boot and resumes. Resubmitting the same id + spec attaches to it (or
+    // replays it, if the runner already finished) — either way the
+    // recorded hit/miss split proves only the missing points ran.
+    let (mut server, addr, _server_out2) = spawn_server(&store, true);
+    let outcome = client::submit(&addr, Some("crash-1"), &spec, |_| {}).unwrap();
+    assert!(outcome.attached, "resumed job, not a new one");
+    assert_eq!(
+        outcome.hits, finished_early,
+        "every point the dead server finished comes back as a cache hit"
+    );
+    assert_eq!(
+        outcome.misses,
+        total - finished_early,
+        "only the missing points were simulated"
+    );
+    assert_eq!(count_point_files(&store), total);
+    assert_eq!(
+        serde_json::to_string_pretty(&outcome.report)
+            .unwrap()
+            .into_bytes(),
+        reference,
+        "resumed report is byte-identical to the offline sweep"
+    );
+
+    client::shutdown(&addr).unwrap();
+    assert!(server.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,221 @@
+//! Service-level test of `elsq-lab serve`: two clients with overlapping
+//! grids share one store, overlapping points are simulated exactly once,
+//! and every server report is byte-identical to the offline `elsq-lab
+//! sweep` of the same spec.
+//!
+//! The daemon runs as a real subprocess of the `elsq-lab` binary (so the
+//! whole serve → store → worker-pool stack is exercised end to end); the
+//! concurrent clients use the in-process `elsq_serve::client` helpers, and
+//! one submission goes through the `elsq-lab submit` CLI for good measure.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use elsq_serve::client;
+use elsq_sim::scenario::Axis;
+use elsq_sim::ScenarioSpec;
+use elsq_stats::report::ExperimentParams;
+use elsq_workload::suite::WorkloadClass;
+
+fn elsq_lab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elsq-lab"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elsq-serve-svc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts `elsq-lab serve` on a free port and returns the child, the bound
+/// address (parsed from the eagerly-flushed readiness line), and the
+/// still-open stdout reader (kept alive so the daemon's final prints never
+/// hit a closed pipe).
+fn spawn_server(
+    store: &Path,
+    resume: bool,
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = elsq_lab();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--store"])
+        .arg(store)
+        .stdout(Stdio::piped());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd.spawn().expect("spawn elsq-lab serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in readiness line {line:?}"))
+        .to_owned();
+    (child, addr, reader)
+}
+
+fn spec(name: &str, rob: &[&str]) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        base: "fmc-hash".into(),
+        axes: vec![Axis {
+            name: "rob".into(),
+            values: rob.iter().map(|v| (*v).to_owned()).collect(),
+        }],
+        classes: vec![WorkloadClass::Fp, WorkloadClass::Int],
+        params: ExperimentParams {
+            commits: 400,
+            seed: 5,
+        },
+    }
+}
+
+/// Runs the offline `elsq-lab sweep` of `spec` (no cache) and returns the
+/// bytes of its `--out` report file — the byte-identity reference.
+fn offline_reference(dir: &Path, spec: &ScenarioSpec) -> Vec<u8> {
+    let out = dir.join(format!("ref-{}", spec.name));
+    let rob: Vec<String> = spec.axes[0].values.clone();
+    let status = elsq_lab()
+        .args([
+            "sweep",
+            "--axis",
+            &format!("rob={}", rob.join(",")),
+            "--base",
+            &spec.base,
+            "--classes",
+            "both",
+            "--name",
+            &spec.name,
+            "--commits",
+            &spec.params.commits.to_string(),
+            "--seed",
+            &spec.params.seed.to_string(),
+            "--format",
+            "json",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("run offline sweep");
+    assert!(status.success(), "offline sweep failed");
+    std::fs::read(out.join(format!("sweep-{}.json", spec.name))).unwrap()
+}
+
+fn count_point_files(store: &Path) -> usize {
+    std::fs::read_dir(store)
+        .unwrap()
+        .flatten()
+        .filter(|f| {
+            let name = f.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("point-") && name.ends_with(".json")
+        })
+        .count()
+}
+
+#[test]
+fn overlapping_grids_from_concurrent_clients_share_every_point() {
+    let dir = tmp_dir("overlap");
+    // Grid A covers rob {48, 64}, grid B rob {64, 96}: both classes, so 4
+    // points each with 2 shared (rob=64 x {fp, int}) — 6 distinct points.
+    let spec_a = spec("grid-a", &["48", "64"]);
+    let spec_b = spec("grid-b", &["64", "96"]);
+    let ref_a = offline_reference(&dir, &spec_a);
+    let ref_b = offline_reference(&dir, &spec_b);
+
+    let store = dir.join("store");
+    let (mut server, addr, _server_out) = spawn_server(&store, false);
+
+    // Two clients race their submissions; the server serializes the jobs,
+    // so whichever runs second gets its overlap from the store.
+    let (outcome_a, outcome_b) = std::thread::scope(|scope| {
+        let addr_a = addr.clone();
+        let spec_a = &spec_a;
+        let a = scope.spawn(move || client::submit(&addr_a, Some("job-a"), spec_a, |_| {}));
+        let addr_b = addr.clone();
+        let spec_b = &spec_b;
+        let b = scope.spawn(move || client::submit(&addr_b, Some("job-b"), spec_b, |_| {}));
+        (a.join().unwrap().unwrap(), b.join().unwrap().unwrap())
+    });
+
+    // Exactly-once: 6 distinct points simulated, 2 answered from the store
+    // — regardless of which job won the race.
+    assert_eq!(
+        outcome_a.misses + outcome_b.misses,
+        6,
+        "a: {outcome_a:?}, b: {outcome_b:?}"
+    );
+    assert_eq!(outcome_a.hits + outcome_b.hits, 2);
+    assert_eq!(outcome_a.hits.min(outcome_b.hits), 0, "first job all-miss");
+    assert_eq!(count_point_files(&store), 6, "store holds 6 point files");
+
+    // Byte-identity: each server report equals the offline sweep's file.
+    let pretty = |r| serde_json::to_string_pretty(r).unwrap().into_bytes();
+    assert_eq!(pretty(&outcome_a.report), ref_a);
+    assert_eq!(pretty(&outcome_b.report), ref_b);
+    // ... and so does the journaled report file on disk.
+    assert_eq!(
+        std::fs::read(store.join("jobs/job-job-a.report.json")).unwrap(),
+        ref_a
+    );
+
+    // A third submission of grid A through the CLI: 100% cache hits, and
+    // the --out file is byte-identical to the offline sweep's.
+    let cli_out = dir.join("cli-out");
+    let output = elsq_lab()
+        .args([
+            "submit",
+            "--connect",
+            &addr,
+            "--job",
+            "job-a-again",
+            "--axis",
+            "rob=48,64",
+            "--base",
+            "fmc-hash",
+            "--classes",
+            "both",
+            "--name",
+            "grid-a",
+            "--commits",
+            "400",
+            "--seed",
+            "5",
+            "--format",
+            "json",
+            "--out",
+        ])
+        .arg(&cli_out)
+        .output()
+        .expect("run elsq-lab submit");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("4 hit(s), 0 miss(es)"), "{stdout}");
+    assert!(stdout.contains("100% cache hits"), "{stdout}");
+    assert_eq!(
+        std::fs::read(cli_out.join("sweep-grid-a.json")).unwrap(),
+        ref_a
+    );
+    assert_eq!(count_point_files(&store), 6, "nothing recomputed");
+
+    // The job table knows all three, and the daemon stops cleanly.
+    let jobs = elsq_lab()
+        .args(["jobs", "--connect", &addr])
+        .output()
+        .unwrap();
+    let listing = String::from_utf8_lossy(&jobs.stdout);
+    for id in ["job-a", "job-b", "job-a-again"] {
+        assert!(listing.contains(id), "{listing}");
+    }
+    let down = elsq_lab()
+        .args(["shutdown", "--connect", &addr])
+        .status()
+        .unwrap();
+    assert!(down.success());
+    assert!(server.wait().unwrap().success(), "clean server exit");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,170 @@
+//! Blocking client helpers — what the `elsq-lab submit` / `jobs` /
+//! `shutdown` verbs (and the service tests) are built from.
+//!
+//! Each helper opens one TCP connection, writes one request line, and
+//! reads event lines until the exchange's terminal event, mirroring the
+//! one-request-per-connection protocol. Errors are plain strings: either a
+//! transport problem (`cannot connect ...`) or the server's own
+//! [`Event::Error`] / [`Event::Failed`] message, verbatim.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use elsq_sim::ScenarioSpec;
+use elsq_stats::report::Report;
+
+use crate::protocol::{self, Event, JobSummary, Request};
+
+/// What a finished [`submit`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// The job id (server-assigned when the request carried none).
+    pub job: String,
+    /// Whether the request attached to an already-known job instead of
+    /// creating one.
+    pub attached: bool,
+    /// The merged sweep report — byte-identical (as pretty JSON) to the
+    /// offline `elsq-lab sweep` of the same spec.
+    pub report: Report,
+    /// Points answered from the server's shared store.
+    pub hits: u64,
+    /// Points simulated fresh.
+    pub misses: u64,
+    /// Points in the shared store after the job.
+    pub store_points: u64,
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone connection to {addr}: {e}"))?;
+    Ok((stream, BufReader::new(read_half)))
+}
+
+fn send_request(
+    addr: &str,
+    request: &Request,
+) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let (mut writer, reader) = connect(addr)?;
+    writer
+        .write_all(protocol::encode_line(request).as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    Ok((writer, reader))
+}
+
+fn read_event(reader: &mut BufReader<TcpStream>, addr: &str) -> Result<Event, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("connection to {addr} broke: {e}"))?;
+    if n == 0 {
+        return Err(format!("{addr} closed the connection mid-exchange"));
+    }
+    protocol::decode_line(&line)
+}
+
+/// Submits `spec` (optionally under a client-chosen job id) and blocks
+/// until the job finishes, feeding every streamed event — `Accepted` and
+/// each `Point` — to `progress` along the way. Returns the terminal
+/// outcome, or the server's error message.
+pub fn submit(
+    addr: &str,
+    id: Option<&str>,
+    spec: &ScenarioSpec,
+    mut progress: impl FnMut(&Event),
+) -> Result<SubmitOutcome, String> {
+    let request = Request::Submit {
+        id: id.map(str::to_owned),
+        spec: spec.clone(),
+    };
+    let (_writer, mut reader) = send_request(addr, &request)?;
+    let mut job_id = String::new();
+    let mut was_attached = false;
+    loop {
+        let event = read_event(&mut reader, addr)?;
+        match event {
+            Event::Accepted {
+                ref job, attached, ..
+            } => {
+                job_id = job.clone();
+                was_attached = attached;
+                progress(&event);
+            }
+            Event::Point { .. } => progress(&event),
+            Event::Done {
+                job,
+                report,
+                hits,
+                misses,
+                store_points,
+            } => {
+                return Ok(SubmitOutcome {
+                    job,
+                    attached: was_attached,
+                    report,
+                    hits,
+                    misses,
+                    store_points,
+                });
+            }
+            Event::Failed { job, error } => {
+                return Err(format!("job `{job}` failed: {error}"));
+            }
+            Event::Error { message } => return Err(message),
+            Event::Stopping => {
+                return Err(format!(
+                    "server at {addr} stopped before job `{job_id}` finished; \
+                     it stays journaled — restart the server to resume it"
+                ));
+            }
+            other => {
+                return Err(format!("unexpected server message: {other:?}"));
+            }
+        }
+    }
+}
+
+/// Fetches the job table.
+pub fn jobs(addr: &str) -> Result<Vec<JobSummary>, String> {
+    let (_writer, mut reader) = send_request(addr, &Request::Jobs)?;
+    match read_event(&mut reader, addr)? {
+        Event::Jobs { jobs } => Ok(jobs),
+        Event::Error { message } => Err(message),
+        other => Err(format!("unexpected server message: {other:?}")),
+    }
+}
+
+/// Fetches the finished report of `job`.
+pub fn fetch_report(addr: &str, job: &str) -> Result<Report, String> {
+    let request = Request::Report {
+        job: job.to_owned(),
+    };
+    let (_writer, mut reader) = send_request(addr, &request)?;
+    match read_event(&mut reader, addr)? {
+        Event::Report { report, .. } => Ok(report),
+        Event::Error { message } => Err(message),
+        other => Err(format!("unexpected server message: {other:?}")),
+    }
+}
+
+/// Liveness probe; returns the server's protocol version.
+pub fn ping(addr: &str) -> Result<u32, String> {
+    let (_writer, mut reader) = send_request(addr, &Request::Ping)?;
+    match read_event(&mut reader, addr)? {
+        Event::Pong { version } => Ok(version),
+        Event::Error { message } => Err(message),
+        other => Err(format!("unexpected server message: {other:?}")),
+    }
+}
+
+/// Asks the server to stop gracefully (the running job finishes first).
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let (_writer, mut reader) = send_request(addr, &Request::Shutdown)?;
+    match read_event(&mut reader, addr)? {
+        Event::Stopping => Ok(()),
+        Event::Error { message } => Err(message),
+        other => Err(format!("unexpected server message: {other:?}")),
+    }
+}

@@ -1,0 +1,270 @@
+//! The on-disk job journal: one crash-safe record per submitted job.
+//!
+//! Jobs live under `<store>/jobs/` inside the server's result-store
+//! directory, so a store directory carries *everything* needed to resume:
+//! the cached points, the manifest, and the job table.
+//!
+//! * `job-<id>.json` — the [`JobRecord`]: spec, lifecycle state and
+//!   progress counters, rewritten (atomically, temp + rename) on every
+//!   state change, so the record on disk is never half-written.
+//! * `job-<id>.report.json` — the finished report, written before the
+//!   record flips to `Done`. Its bytes are exactly
+//!   `serde_json::to_string_pretty` of the [`elsq_stats::report::Report`] —
+//!   the same bytes `elsq-lab sweep --format json` writes — which is what
+//!   makes server and offline reports diffable with `cmp`.
+//!
+//! On boot the server loads every record ([`load_records`]), re-enqueues
+//! `Queued` and `Running` jobs (a `Running` record means the previous
+//! process died mid-job; its completed points are already in the store, so
+//! the re-run only simulates the missing ones) and leaves `Done`/`Failed`
+//! records as replayable history.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use elsq_sim::store::write_json_atomic;
+use elsq_sim::ScenarioSpec;
+
+use crate::protocol::{JobState, JobSummary};
+
+/// Version tag of the journal record layout; bumped on incompatible
+/// changes so an old journal fails loudly instead of mis-decoding.
+pub const JOB_RECORD_VERSION: u32 = 1;
+
+/// The durable form of one job, journaled under `<store>/jobs/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Journal layout version ([`JOB_RECORD_VERSION`]).
+    pub version: u32,
+    /// Monotonic submission sequence number; boot-time re-enqueue order.
+    pub seq: u64,
+    /// Job id (also the file name's `<id>`).
+    pub id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// The submitted scenario, verbatim — resubmissions under the same id
+    /// must match it, and a resumed job re-expands it.
+    pub spec: ScenarioSpec,
+    /// Total plan points of the expanded grid.
+    pub total: u64,
+    /// Points finished so far.
+    pub completed: u64,
+    /// Points answered from the shared store (this run of the job).
+    pub hits: u64,
+    /// Points simulated fresh (this run of the job).
+    pub misses: u64,
+    /// The failure message, for [`JobState::Failed`] jobs.
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// The wire-form summary of this record.
+    pub fn summary(&self) -> JobSummary {
+        JobSummary {
+            id: self.id.clone(),
+            name: self.spec.name.clone(),
+            state: self.state,
+            total: self.total,
+            completed: self.completed,
+            hits: self.hits,
+            misses: self.misses,
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// Validates a client-chosen job id: 1–64 chars of `[A-Za-z0-9_-]`. The id
+/// becomes part of two file names, so the alphabet is deliberately strict
+/// (no dots — `.report` must stay unambiguous, no separators, no spaces).
+pub fn validate_job_id(id: &str) -> Result<(), String> {
+    if id.is_empty() || id.len() > 64 {
+        return Err(format!(
+            "job id {id:?} must be 1..=64 characters, got {}",
+            id.len()
+        ));
+    }
+    if let Some(bad) = id
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return Err(format!(
+            "job id {id:?} contains {bad:?}; allowed: letters, digits, `_`, `-`"
+        ));
+    }
+    Ok(())
+}
+
+/// The journal directory inside a store directory.
+pub fn jobs_dir(store_dir: &Path) -> PathBuf {
+    store_dir.join("jobs")
+}
+
+/// The record path of job `id`.
+pub fn record_path(store_dir: &Path, id: &str) -> PathBuf {
+    jobs_dir(store_dir).join(format!("job-{id}.json"))
+}
+
+/// The finished-report path of job `id`.
+pub fn report_path(store_dir: &Path, id: &str) -> PathBuf {
+    jobs_dir(store_dir).join(format!("job-{id}.report.json"))
+}
+
+/// Journals `record` atomically (temp + rename). `unique` disambiguates
+/// temp names, exactly as for the store's point files.
+pub fn write_record(store_dir: &Path, record: &JobRecord, unique: u64) -> Result<(), String> {
+    let dir = jobs_dir(store_dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create job journal {}: {e}", dir.display()))?;
+    write_json_atomic(&record_path(store_dir, &record.id), record, unique)
+}
+
+/// Loads every journaled record, sorted by submission sequence. A missing
+/// journal directory is an empty table; a record that does not parse, has
+/// the wrong layout version, or disagrees with its file name is an error —
+/// resuming from a half-trusted journal would silently lose or duplicate
+/// jobs.
+pub fn load_records(store_dir: &Path) -> Result<Vec<JobRecord>, String> {
+    let dir = jobs_dir(store_dir);
+    let listing = match std::fs::read_dir(&dir) {
+        Ok(listing) => listing,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read job journal {}: {e}", dir.display())),
+    };
+    let mut records = Vec::new();
+    for file in listing.flatten() {
+        let name = file.file_name();
+        let name = name.to_string_lossy();
+        let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|n| n.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if id.ends_with(".report") {
+            continue;
+        }
+        let path = file.path();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read job record {}: {e}", path.display()))?;
+        let record: JobRecord = serde_json::from_str(&text).map_err(|e| {
+            format!(
+                "job record {} is corrupt ({e}); delete it (or the jobs/ \
+                 directory) to discard the job",
+                path.display()
+            )
+        })?;
+        if record.version != JOB_RECORD_VERSION {
+            return Err(format!(
+                "job record {} has layout version {} but this binary writes \
+                 version {JOB_RECORD_VERSION}",
+                path.display(),
+                record.version
+            ));
+        }
+        if record.id != id {
+            return Err(format!(
+                "job record {} claims id {:?} but its file name says {id:?}; \
+                 the journal is corrupt",
+                path.display(),
+                record.id
+            ));
+        }
+        records.push(record);
+    }
+    records.sort_by_key(|r| r.seq);
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsq_sim::scenario::Axis;
+    use elsq_stats::report::ExperimentParams;
+    use elsq_workload::suite::WorkloadClass;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "elsq-jobs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(id: &str, seq: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            version: JOB_RECORD_VERSION,
+            seq,
+            id: id.into(),
+            state,
+            spec: ScenarioSpec {
+                name: "demo".into(),
+                base: "fmc-hash".into(),
+                axes: vec![Axis {
+                    name: "rob".into(),
+                    values: vec!["48".into()],
+                }],
+                classes: vec![WorkloadClass::Fp],
+                params: ExperimentParams {
+                    commits: 500,
+                    seed: 7,
+                },
+            },
+            total: 1,
+            completed: 0,
+            hits: 0,
+            misses: 0,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn job_ids_are_validated() {
+        validate_job_id("night-sweep_01").unwrap();
+        assert!(validate_job_id("").is_err());
+        assert!(validate_job_id(&"x".repeat(65)).is_err());
+        for bad in ["a/b", "a.b", "a b", "a\nb", "../x"] {
+            assert!(validate_job_id(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_sorted_by_seq_skipping_reports() {
+        let dir = tmp_dir("rt");
+        write_record(&dir, &record("b", 2, JobState::Queued), 0).unwrap();
+        write_record(&dir, &record("a", 1, JobState::Done), 1).unwrap();
+        // A report file next to the records must not be read as a record.
+        std::fs::write(report_path(&dir, "a"), "{}").unwrap();
+        let records = load_records(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "a");
+        assert_eq!(records[1].id, "b");
+        assert_eq!(records[0].summary().state, JobState::Done);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_empty_and_corruption_is_loud() {
+        let dir = tmp_dir("corrupt");
+        assert!(load_records(&dir).unwrap().is_empty());
+        write_record(&dir, &record("ok", 1, JobState::Queued), 0).unwrap();
+        std::fs::write(record_path(&dir, "bad"), "{nope").unwrap();
+        let err = load_records(&dir).unwrap_err();
+        assert!(err.contains("job-bad.json"), "{err}");
+        std::fs::remove_file(record_path(&dir, "bad")).unwrap();
+        // A record whose file name disagrees with its id is corrupt.
+        let mut lying = record("truth", 3, JobState::Queued);
+        lying.id = "lie".into();
+        std::fs::write(
+            record_path(&dir, "truth"),
+            serde_json::to_string(&lying).unwrap(),
+        )
+        .unwrap();
+        let err = load_records(&dir).unwrap_err();
+        assert!(err.contains("file name"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,40 @@
+//! The `elsq-lab serve` daemon: scenario sweeps as a multi-client service.
+//!
+//! This crate turns the sweep + result-cache machinery of `elsq-sim` into a
+//! long-running TCP service (the ROADMAP's "heavy traffic from many users"
+//! layer):
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol: one
+//!   [`protocol::Request`] per connection, answered by a stream of
+//!   [`protocol::Event`]s. Everything rides the vendored-serde `Value`
+//!   model, so the messages are ordinary derived types.
+//! * [`job`] — the on-disk job journal under `<store>/jobs/`: one crash-safe
+//!   JSON record per submitted job, plus the finished report. The journal is
+//!   what lets a restarted server resume interrupted jobs.
+//! * [`server`] — the daemon: accepts [`elsq_sim::ScenarioSpec`]
+//!   submissions, expands them into plans, runs jobs one at a time on a
+//!   single runner thread that fans each plan's points across the persistent
+//!   worker pool, and consults one shared [`elsq_sim::ResultStore`] so
+//!   concurrent clients submitting overlapping grids never recompute a
+//!   point.
+//! * [`client`] — blocking client helpers the `elsq-lab
+//!   submit`/`jobs`/`shutdown` verbs are built from.
+//!
+//! The load-bearing guarantee, pinned by the service tests: a report
+//! produced by the server for a spec is **byte-identical** to `elsq-lab
+//! sweep` run offline on the same spec, whether the points were simulated
+//! fresh, answered from the shared cache, or recovered across a server
+//! crash. `docs/SERVE.md` documents the protocol and the restart/resume
+//! semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use client::{submit, SubmitOutcome};
+pub use protocol::{Event, JobState, JobSummary, Request, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server, ServerHandle};

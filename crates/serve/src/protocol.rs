@@ -1,0 +1,297 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! A connection carries exactly **one** [`Request`] line from the client,
+//! answered by one or more [`Event`] lines from the server; the server
+//! closes the connection after the terminal event. Every message is the
+//! compact JSON encoding of a derived type on one line — the same
+//! externally-tagged enum encoding the rest of the workspace uses, so a
+//! request reads like `{"Submit": {"id": null, "spec": {...}}}` and a
+//! unit message like `"Ping"` is a bare JSON string.
+//!
+//! `docs/SERVE.md` documents every message with examples; the
+//! encode/decode helpers here are shared by the server, the client and the
+//! tests so the two sides cannot drift.
+
+use serde::{Deserialize, Serialize};
+
+use elsq_sim::ScenarioSpec;
+use elsq_stats::report::Report;
+use elsq_workload::suite::WorkloadClass;
+
+/// Protocol version, reported by [`Event::Pong`]. Bumped on incompatible
+/// message changes so mismatched binaries fail loudly instead of
+/// mis-parsing.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default address the daemon listens on (and clients connect to) when
+/// `--addr`/`--connect` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:46170";
+
+/// A client request — the single first line of a connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a scenario for execution (or attach to an existing job with
+    /// the same id and spec). Answered by [`Event::Accepted`], a stream of
+    /// [`Event::Point`] progress lines, and a terminal [`Event::Done`] /
+    /// [`Event::Failed`].
+    Submit {
+        /// Client-chosen job id (1–64 chars of `[A-Za-z0-9_-]`), or `None`
+        /// to let the server assign one. Resubmitting an id with the same
+        /// spec attaches to that job; with a different spec it is an error.
+        id: Option<String>,
+        /// The scenario to expand and run — exactly the `elsq-lab sweep`
+        /// spec model.
+        spec: ScenarioSpec,
+    },
+    /// List the job table. Answered by one [`Event::Jobs`].
+    Jobs,
+    /// Fetch the finished report of a job. Answered by [`Event::Report`]
+    /// (or [`Event::Error`] if the job is not done).
+    Report {
+        /// Job id.
+        job: String,
+    },
+    /// Liveness/version probe. Answered by [`Event::Pong`].
+    Ping,
+    /// Ask the daemon to stop: the running job finishes, queued jobs stay
+    /// journaled for the next boot. Answered by [`Event::Stopping`].
+    Shutdown,
+}
+
+/// Lifecycle state of a job in the server's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted and journaled, waiting for the runner.
+    Queued,
+    /// Currently executing on the runner thread.
+    Running,
+    /// Finished; the report is on disk and replayable.
+    Done,
+    /// Aborted with an error (recorded in the journal).
+    Failed,
+}
+
+/// One row of the [`Event::Jobs`] listing — the wire form of a journal
+/// record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// Job id.
+    pub id: String,
+    /// Scenario name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total plan points.
+    pub total: u64,
+    /// Points finished so far.
+    pub completed: u64,
+    /// Points answered from the shared result store.
+    pub hits: u64,
+    /// Points simulated fresh.
+    pub misses: u64,
+    /// The failure message, for [`JobState::Failed`] jobs.
+    pub error: Option<String>,
+}
+
+/// A server message — one line each, streamed per connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The submission was accepted (or attached to an existing job).
+    Accepted {
+        /// The job id (server-assigned when the request carried none).
+        job: String,
+        /// Total plan points of the expanded grid.
+        points: u64,
+        /// `true` when the request attached to an already-known job
+        /// instead of creating one; progress events emitted before the
+        /// attach are not replayed.
+        attached: bool,
+    },
+    /// One plan point finished (batched points report as their class group
+    /// completes).
+    Point {
+        /// The job id.
+        job: String,
+        /// Points finished so far, including this one.
+        done: u64,
+        /// Total plan points.
+        total: u64,
+        /// The point's plan label (`axis=value,...`).
+        label: String,
+        /// The point's workload class.
+        class: WorkloadClass,
+        /// Whether the point was already in the shared store when the job
+        /// started (it cost no simulation).
+        cached: bool,
+    },
+    /// Terminal: the job finished and this is its merged report —
+    /// byte-identical to the offline `elsq-lab sweep` of the same spec.
+    Done {
+        /// The job id.
+        job: String,
+        /// The merged sweep report.
+        report: Report,
+        /// Points this job answered from the shared store.
+        hits: u64,
+        /// Points this job simulated fresh.
+        misses: u64,
+        /// Points in the shared store after the job.
+        store_points: u64,
+    },
+    /// Terminal: the job aborted.
+    Failed {
+        /// The job id.
+        job: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// The job table, newest last (answering [`Request::Jobs`]).
+    Jobs {
+        /// One summary per known job, in submission order.
+        jobs: Vec<JobSummary>,
+    },
+    /// A finished job's report (answering [`Request::Report`]).
+    Report {
+        /// The job id.
+        job: String,
+        /// The report, read back from the journal.
+        report: Report,
+    },
+    /// Liveness reply (answering [`Request::Ping`]).
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Terminal: the server is shutting down (sent to the shutdown
+    /// requester and to any connection still waiting on a job).
+    Stopping,
+    /// Terminal: the request was rejected (malformed, unknown job,
+    /// conflicting resubmission, ...).
+    Error {
+        /// What was wrong with the request.
+        message: String,
+    },
+}
+
+/// Encodes a message as one compact-JSON line (including the trailing
+/// newline).
+pub fn encode_line<T: Serialize>(message: &T) -> String {
+    let mut line = serde_json::to_string(message).expect("protocol messages always serialize");
+    line.push('\n');
+    line
+}
+
+/// Decodes one line into a message; the error names the offending payload.
+pub fn decode_line<T: serde::DeserializeOwned>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim_end())
+        .map_err(|e| format!("malformed protocol line {:?}: {e}", line.trim_end()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsq_sim::scenario::Axis;
+    use elsq_stats::report::ExperimentParams;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".into(),
+            base: "fmc-hash".into(),
+            axes: vec![Axis {
+                name: "rob".into(),
+                values: vec!["48".into(), "64".into()],
+            }],
+            classes: vec![WorkloadClass::Fp],
+            params: ExperimentParams {
+                commits: 500,
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_as_single_lines() {
+        let requests = vec![
+            Request::Submit {
+                id: Some("night-sweep".into()),
+                spec: demo_spec(),
+            },
+            Request::Submit {
+                id: None,
+                spec: demo_spec(),
+            },
+            Request::Jobs,
+            Request::Report { job: "j1".into() },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode_line(&request);
+            assert_eq!(line.matches('\n').count(), 1, "{line:?}");
+            assert!(line.ends_with('\n'));
+            let back: Request = decode_line(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_as_single_lines() {
+        let events = vec![
+            Event::Accepted {
+                job: "j1".into(),
+                points: 4,
+                attached: false,
+            },
+            Event::Point {
+                job: "j1".into(),
+                done: 1,
+                total: 4,
+                label: "rob=48".into(),
+                class: WorkloadClass::Fp,
+                cached: true,
+            },
+            Event::Done {
+                job: "j1".into(),
+                report: Report::new("sweep-demo", "Scenario sweep: demo", demo_spec().params),
+                hits: 1,
+                misses: 3,
+                store_points: 4,
+            },
+            Event::Failed {
+                job: "j1".into(),
+                error: "boom".into(),
+            },
+            Event::Jobs {
+                jobs: vec![JobSummary {
+                    id: "j1".into(),
+                    name: "demo".into(),
+                    state: JobState::Done,
+                    total: 4,
+                    completed: 4,
+                    hits: 1,
+                    misses: 3,
+                    error: None,
+                }],
+            },
+            Event::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Event::Stopping,
+            Event::Error {
+                message: "unknown job".into(),
+            },
+        ];
+        for event in events {
+            let line = encode_line(&event);
+            assert_eq!(line.matches('\n').count(), 1, "{line:?}");
+            let back: Event = decode_line(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_naming_the_payload() {
+        let err = decode_line::<Request>("{oops\n").unwrap_err();
+        assert!(err.contains("{oops"), "{err}");
+    }
+}

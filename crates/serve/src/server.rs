@@ -1,0 +1,681 @@
+//! The daemon: a TCP accept loop, a job table, and one runner thread over
+//! the shared result store.
+//!
+//! Architecture (one paragraph): [`Server::start`] opens the store (taking
+//! its advisory writer lock), replays the job journal — `Queued`/`Running`
+//! records from a previous process are reset and re-enqueued in submission
+//! order — binds the listener, and spawns two threads. The **accept
+//! thread** hands each connection to a short-lived handler thread that
+//! parses the single request line and answers it. The **runner thread**
+//! owns the process-global result cache for the server's lifetime and
+//! executes jobs strictly one at a time, which is what makes the shared
+//! store's hit/miss accounting per job exact and guarantees two clients
+//! submitting overlapping grids never simulate a shared point twice: the
+//! second job's overlapping points are answered from the store the first
+//! job populated. (Within one job, the plan's points still fan out across
+//! the persistent worker pool — serialization is per job, not per point.)
+//! Progress events fan out to per-job subscriber channels; a connection is
+//! a subscriber from `Accepted` until the terminal event.
+//!
+//! Shutdown is graceful: the running job finishes, queued jobs stay
+//! journaled (the next boot re-enqueues them), and waiting connections get
+//! [`Event::Stopping`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use elsq_sim::driver::install_result_cache;
+use elsq_sim::scenario::{run_plan_with, sweep_report, PointKey};
+use elsq_sim::store::{write_json_atomic, ResultStore};
+use elsq_sim::ScenarioSpec;
+use elsq_stats::report::Report;
+
+use crate::job::{self, validate_job_id, JobRecord, JOB_RECORD_VERSION};
+use crate::protocol::{self, Event, JobState, Request, PROTOCOL_VERSION};
+
+/// How the daemon is configured (the `elsq-lab serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to listen on; port 0 picks a free port (the bound address
+    /// is reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// The shared result-store directory (also holds the `jobs/` journal).
+    pub store_dir: PathBuf,
+    /// Reuse a store directory that already holds cached points — required
+    /// on every restart, exactly like `sweep --resume`.
+    pub resume: bool,
+}
+
+/// The daemon entry point; see [`Server::start`].
+pub struct Server;
+
+/// A running daemon: the bound address plus the accept and runner threads.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: std::thread::JoinHandle<()>,
+    runner: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful stop, exactly like a [`Request::Shutdown`] from
+    /// a client: the running job finishes, queued jobs stay journaled.
+    pub fn shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Waits for the accept and runner threads to exit (after a shutdown
+    /// request). The store lock is released when the last thread drops its
+    /// handle on the store.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        let _ = self.runner.join();
+    }
+}
+
+struct ServeState {
+    records: BTreeMap<String, JobRecord>,
+    queue: VecDeque<String>,
+    subscribers: HashMap<String, Vec<mpsc::Sender<Event>>>,
+}
+
+struct Inner {
+    store: Arc<ResultStore>,
+    store_dir: PathBuf,
+    state: Mutex<ServeState>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    next_seq: AtomicU64,
+    unique: AtomicU64,
+}
+
+impl Inner {
+    fn lock_state(&self) -> MutexGuard<'_, ServeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn journal(&self, record: &JobRecord) -> Result<(), String> {
+        job::write_record(
+            &self.store_dir,
+            record,
+            self.unique.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// Sets the shutdown flag and wakes the runner. The notify happens
+    /// under the state mutex so a runner between its flag check and its
+    /// condvar wait cannot miss the wakeup.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _state = self.lock_state();
+        self.work.notify_all();
+    }
+
+    /// Mutates the job's record under the lock and journals the result.
+    /// Returns the journal outcome (`Ok` for an unknown job: it can only
+    /// mean the record was pruned, never a half-journaled state).
+    fn update_record(&self, id: &str, mutate: impl FnOnce(&mut JobRecord)) -> Result<(), String> {
+        let record = {
+            let mut state = self.lock_state();
+            state.records.get_mut(id).map(|record| {
+                mutate(record);
+                record.clone()
+            })
+        };
+        match record {
+            Some(record) => self.journal(&record),
+            None => Ok(()),
+        }
+    }
+
+    /// Streams a non-terminal event to the job's subscribers, dropping
+    /// subscribers whose connection has gone away.
+    fn emit(&self, job: &str, event: &Event) {
+        let mut state = self.lock_state();
+        if let Some(subs) = state.subscribers.get_mut(job) {
+            subs.retain(|sub| sub.send(event.clone()).is_ok());
+        }
+    }
+
+    /// Streams the terminal event and deregisters the job's subscribers.
+    fn finish(&self, job: &str, event: &Event) {
+        let mut state = self.lock_state();
+        if let Some(subs) = state.subscribers.remove(job) {
+            for sub in subs {
+                let _ = sub.send(event.clone());
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Opens the store, replays the journal, binds the listener and spawns
+    /// the accept and runner threads. Fails loudly (returning the message)
+    /// on a locked or corrupt store, a corrupt journal, or an unbindable
+    /// address.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, String> {
+        let store = Arc::new(ResultStore::open(&config.store_dir, config.resume)?);
+        let records = job::load_records(&config.store_dir)?;
+        let mut table = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut max_seq = 0;
+        for mut record in records {
+            max_seq = max_seq.max(record.seq);
+            if matches!(record.state, JobState::Queued | JobState::Running) {
+                // A `Running` record means the previous process died
+                // mid-job; its finished points are already in the store, so
+                // the re-run only simulates the missing ones. Counters
+                // restart with the run.
+                record.state = JobState::Queued;
+                record.completed = 0;
+                record.hits = 0;
+                record.misses = 0;
+                record.error = None;
+                job::write_record(&config.store_dir, &record, 0)?;
+                queue.push_back(record.id.clone());
+            }
+            table.insert(record.id.clone(), record);
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot listen on {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let inner = Arc::new(Inner {
+            store,
+            store_dir: config.store_dir,
+            state: Mutex::new(ServeState {
+                records: table,
+                queue,
+                subscribers: HashMap::new(),
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_seq: AtomicU64::new(max_seq + 1),
+            unique: AtomicU64::new(1),
+        });
+        let runner = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("elsq-serve-runner".into())
+                .spawn(move || runner_loop(inner))
+                .map_err(|e| format!("cannot spawn runner thread: {e}"))?
+        };
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("elsq-serve-accept".into())
+                .spawn(move || accept_loop(inner, listener))
+                .map_err(|e| format!("cannot spawn accept thread: {e}"))?
+        };
+        Ok(ServerHandle {
+            local_addr,
+            inner,
+            accept,
+            runner,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner thread: jobs, one at a time, over the shared store.
+
+fn runner_loop(inner: Arc<Inner>) {
+    // The runner owns the process-global result cache for the server's
+    // lifetime: every suite lookup of every job goes through the one
+    // shared store. The guard restores the previous cache on exit.
+    let _cache = install_result_cache(Arc::clone(&inner.store));
+    loop {
+        let job_id = {
+            let mut state = inner.lock_state();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    break Some(id);
+                }
+                state = inner
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job_id) = job_id else { break };
+        run_job(&inner, &job_id);
+    }
+    // No more events are coming: release every connection still waiting on
+    // a job. Queued jobs stay journaled for the next boot.
+    let mut state = inner.lock_state();
+    for (_, subs) in state.subscribers.drain() {
+        for sub in subs {
+            let _ = sub.send(Event::Stopping);
+        }
+    }
+}
+
+fn run_job(inner: &Arc<Inner>, id: &str) {
+    let spec = {
+        let state = inner.lock_state();
+        match state.records.get(id) {
+            Some(record) => record.spec.clone(),
+            None => return,
+        }
+    };
+    if let Err(e) = inner.update_record(id, |r| r.state = JobState::Running) {
+        return fail_job(inner, id, format!("cannot journal job start: {e}"));
+    }
+    // Submission already validated expansion, but the journal may hold a
+    // job from an older binary whose spec no longer expands.
+    let plan = match spec.expand() {
+        Ok(plan) => plan,
+        Err(e) => return fail_job(inner, id, format!("scenario does not expand: {e}")),
+    };
+    let total = plan.len() as u64;
+    // Per-job hit/miss counts are deltas of the store's counters — exact
+    // because jobs are serialized on this thread.
+    let hits_before = inner.store.hits();
+    let misses_before = inner.store.misses();
+    // Pre-classify the points so progress events can say "cached" without
+    // touching the counters the deltas are computed from.
+    let cached: Vec<bool> = plan
+        .points
+        .iter()
+        .map(|p| {
+            inner
+                .store
+                .contains(&PointKey::current(p.config, p.class, &spec.params))
+        })
+        .collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut done = 0u64;
+        run_plan_with(&plan, &spec.params, |point, _suite| {
+            done += 1;
+            let hits = inner.store.hits() - hits_before;
+            let misses = inner.store.misses() - misses_before;
+            inner
+                .update_record(id, |r| {
+                    r.completed = done;
+                    r.hits = hits;
+                    r.misses = misses;
+                })
+                .unwrap_or_else(|e| panic!("job journal write failed: {e}"));
+            let index = plan
+                .points
+                .iter()
+                .position(|p| p.label == point.label && p.class == point.class)
+                .expect("observed point is in the plan");
+            inner.emit(
+                id,
+                &Event::Point {
+                    job: id.to_owned(),
+                    done,
+                    total,
+                    label: point.label.clone(),
+                    class: point.class,
+                    cached: cached[index],
+                },
+            );
+        })
+    }));
+    match outcome {
+        Ok(results) => {
+            let report = sweep_report(&spec, &plan, &results);
+            let unique = inner.unique.fetch_add(1, Ordering::Relaxed);
+            // Report before record: a record that says Done guarantees the
+            // report file exists (mirroring point-before-manifest in the
+            // store).
+            if let Err(e) =
+                write_json_atomic(&job::report_path(&inner.store_dir, id), &report, unique)
+            {
+                return fail_job(inner, id, format!("cannot write job report: {e}"));
+            }
+            let hits = inner.store.hits() - hits_before;
+            let misses = inner.store.misses() - misses_before;
+            if let Err(e) = inner.update_record(id, |r| {
+                r.state = JobState::Done;
+                r.completed = total;
+                r.hits = hits;
+                r.misses = misses;
+            }) {
+                return fail_job(inner, id, format!("cannot journal job completion: {e}"));
+            }
+            inner.finish(
+                id,
+                &Event::Done {
+                    job: id.to_owned(),
+                    report,
+                    hits,
+                    misses,
+                    store_points: inner.store.len() as u64,
+                },
+            );
+        }
+        Err(panic) => fail_job(inner, id, panic_message(panic)),
+    }
+}
+
+fn fail_job(inner: &Arc<Inner>, id: &str, error: String) {
+    // Best-effort journal: the failure must reach subscribers even if the
+    // disk is the thing that is broken.
+    let _ = inner.update_record(id, |r| {
+        r.state = JobState::Failed;
+        r.error = Some(error.clone());
+    });
+    inner.finish(
+        id,
+        &Event::Failed {
+            job: id.to_owned(),
+            error,
+        },
+    );
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept thread and per-connection handlers.
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = Arc::clone(&inner);
+                // One short-lived thread per connection: a connection is
+                // one request, answered by at most one job's event stream.
+                let _ = std::thread::Builder::new()
+                    .name("elsq-serve-conn".into())
+                    .spawn(move || handle_connection(inner, stream));
+            }
+            // Nonblocking accept: poll the shutdown flag between attempts.
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+fn send(writer: &mut TcpStream, event: &Event) -> std::io::Result<()> {
+    writer.write_all(protocol::encode_line(event).as_bytes())?;
+    writer.flush()
+}
+
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut line = String::new();
+    if BufReader::new(read_half).read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let request: Request = match protocol::decode_line(&line) {
+        Ok(request) => request,
+        Err(message) => {
+            let _ = send(&mut writer, &Event::Error { message });
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = send(
+                &mut writer,
+                &Event::Pong {
+                    version: PROTOCOL_VERSION,
+                },
+            );
+        }
+        Request::Jobs => {
+            let jobs = {
+                let state = inner.lock_state();
+                let mut records: Vec<&JobRecord> = state.records.values().collect();
+                records.sort_by_key(|r| r.seq);
+                records.iter().map(|r| r.summary()).collect()
+            };
+            let _ = send(&mut writer, &Event::Jobs { jobs });
+        }
+        Request::Report { job } => {
+            let state_of_job = {
+                let state = inner.lock_state();
+                state.records.get(&job).map(|r| r.state)
+            };
+            let event = match state_of_job {
+                None => Event::Error {
+                    message: format!("unknown job `{job}`"),
+                },
+                Some(JobState::Done) => match load_report(&inner.store_dir, &job) {
+                    Ok(report) => Event::Report { job, report },
+                    Err(message) => Event::Error { message },
+                },
+                Some(state) => Event::Error {
+                    message: format!("job `{job}` is {state:?}, not Done"),
+                },
+            };
+            let _ = send(&mut writer, &event);
+        }
+        Request::Shutdown => {
+            inner.request_shutdown();
+            let _ = send(&mut writer, &Event::Stopping);
+        }
+        Request::Submit { id, spec } => handle_submit(&inner, &mut writer, id, spec),
+    }
+}
+
+fn load_report(store_dir: &std::path::Path, id: &str) -> Result<Report, String> {
+    let path = job::report_path(store_dir, id);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read job report {}: {e}", path.display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("job report {} is corrupt: {e}", path.display()))
+}
+
+/// How a submit request resolved under the state lock.
+enum Admission {
+    /// Stream the job's events: either a fresh job was journaled and
+    /// enqueued, or the request attached to an in-flight job with the same
+    /// id and spec.
+    Stream {
+        /// The (possibly server-assigned) job id.
+        id: String,
+        /// The subscriber end.
+        rx: mpsc::Receiver<Event>,
+        /// `true` when attached to an existing job rather than creating it.
+        attached: bool,
+    },
+    /// Same id + same spec, job already terminal: replay the outcome from
+    /// the journal.
+    Replay(Box<JobRecord>),
+    /// The request was rejected.
+    Rejected(String),
+}
+
+fn handle_submit(
+    inner: &Arc<Inner>,
+    writer: &mut TcpStream,
+    id: Option<String>,
+    spec: ScenarioSpec,
+) {
+    // Expand up front: a spec that does not expand is a usage error the
+    // client should hear immediately, not a Failed job.
+    let plan = match spec.expand() {
+        Ok(plan) => plan,
+        Err(e) => {
+            let _ = send(
+                writer,
+                &Event::Error {
+                    message: format!("scenario does not expand: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    if let Some(id) = &id {
+        if let Err(message) = validate_job_id(id) {
+            let _ = send(writer, &Event::Error { message });
+            return;
+        }
+    }
+    let total = plan.len() as u64;
+
+    let admission = {
+        let mut state = inner.lock_state();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            Admission::Rejected("server is stopping; resubmit after restart".to_owned())
+        } else if let Some(existing) = id.as_ref().and_then(|id| state.records.get(id)) {
+            if existing.spec != spec {
+                Admission::Rejected(format!(
+                    "job `{}` already exists with a different spec; pick a new id",
+                    existing.id
+                ))
+            } else {
+                match existing.state {
+                    JobState::Done | JobState::Failed => {
+                        Admission::Replay(Box::new(existing.clone()))
+                    }
+                    JobState::Queued | JobState::Running => {
+                        let id = existing.id.clone();
+                        let (tx, rx) = mpsc::channel();
+                        state.subscribers.entry(id.clone()).or_default().push(tx);
+                        Admission::Stream {
+                            id,
+                            rx,
+                            attached: true,
+                        }
+                    }
+                }
+            }
+        } else {
+            // Fresh job. A server-assigned id is `j<seq>`; seqs only grow,
+            // so the loop terminates even if a client squatted on one.
+            let mut seq = inner.next_seq.fetch_add(1, Ordering::SeqCst);
+            let id = match id {
+                Some(id) => id,
+                None => loop {
+                    let candidate = format!("j{seq}");
+                    if !state.records.contains_key(&candidate) {
+                        break candidate;
+                    }
+                    seq = inner.next_seq.fetch_add(1, Ordering::SeqCst);
+                },
+            };
+            let record = JobRecord {
+                version: JOB_RECORD_VERSION,
+                seq,
+                id: id.clone(),
+                state: JobState::Queued,
+                spec,
+                total,
+                completed: 0,
+                hits: 0,
+                misses: 0,
+                error: None,
+            };
+            // Journal before admitting: an accepted job must survive a
+            // crash, or "resumes journaled incomplete jobs" is a lie.
+            match inner.journal(&record) {
+                Err(e) => Admission::Rejected(format!("cannot journal job `{id}`: {e}")),
+                Ok(()) => {
+                    state.records.insert(id.clone(), record);
+                    state.queue.push_back(id.clone());
+                    let (tx, rx) = mpsc::channel();
+                    state.subscribers.entry(id.clone()).or_default().push(tx);
+                    inner.work.notify_all();
+                    Admission::Stream {
+                        id,
+                        rx,
+                        attached: false,
+                    }
+                }
+            }
+        }
+    };
+
+    match admission {
+        Admission::Rejected(message) => {
+            let _ = send(writer, &Event::Error { message });
+        }
+        Admission::Replay(record) => {
+            let accepted = Event::Accepted {
+                job: record.id.clone(),
+                points: record.total,
+                attached: true,
+            };
+            if send(writer, &accepted).is_err() {
+                return;
+            }
+            let terminal = match record.state {
+                JobState::Failed => Event::Failed {
+                    job: record.id.clone(),
+                    error: record.error.clone().unwrap_or_default(),
+                },
+                _ => match load_report(&inner.store_dir, &record.id) {
+                    Ok(report) => Event::Done {
+                        job: record.id.clone(),
+                        report,
+                        hits: record.hits,
+                        misses: record.misses,
+                        store_points: inner.store.len() as u64,
+                    },
+                    Err(message) => Event::Error { message },
+                },
+            };
+            let _ = send(writer, &terminal);
+        }
+        Admission::Stream { id, rx, attached } => {
+            stream_job(writer, &id, total, attached, rx);
+        }
+    }
+}
+
+fn stream_job(
+    writer: &mut TcpStream,
+    id: &str,
+    points: u64,
+    attached: bool,
+    rx: mpsc::Receiver<Event>,
+) {
+    let accepted = Event::Accepted {
+        job: id.to_owned(),
+        points,
+        attached,
+    };
+    if send(writer, &accepted).is_err() {
+        return;
+    }
+    for event in rx {
+        let terminal = matches!(
+            event,
+            Event::Done { .. } | Event::Failed { .. } | Event::Stopping
+        );
+        // On a send error the client went away: dropping `rx` kills our
+        // sender, and the dead sender is pruned on the next emit.
+        if send(writer, &event).is_err() || terminal {
+            return;
+        }
+    }
+}

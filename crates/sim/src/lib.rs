@@ -56,6 +56,7 @@ pub use driver::{
 };
 pub use experiments::{find, registry, run_experiment, run_experiments, Experiment};
 pub use scenario::{
-    run_plan, run_plan_each, PlanPoint, PlanResults, PointKey, ScenarioSpec, SweepPlan,
+    run_plan, run_plan_each, run_plan_with, sweep_report, PlanPoint, PlanResults, PointKey,
+    ScenarioSpec, SweepPlan,
 };
 pub use store::ResultStore;

@@ -33,7 +33,7 @@ use elsq_core::config::{ElsqConfig, ErtKind};
 use elsq_cpu::config::{CpuConfig, LsqKind};
 use elsq_cpu::result::SimResult;
 use elsq_stats::canon::{canonical_hash_of, hash_hex};
-use elsq_stats::report::ExperimentParams;
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
 use crate::driver::{run_suite_batched, run_suite_labeled, trace_fingerprint};
@@ -526,6 +526,28 @@ impl PlanResults {
 ///
 /// Panics if two points share a `(label, class)` pair.
 pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
+    run_plan_with(plan, params, |_, _| {})
+}
+
+/// [`run_plan`] with a progress observer: `observe` is called once per plan
+/// point with its finished suite results, as soon as they exist.
+///
+/// Because batching completes a whole class group at once, the call order
+/// is group completion order — classes in order of first appearance, and
+/// within a group the members in plan order. Single-point groups (which
+/// bypass the capture) observe immediately after their point runs. The
+/// `elsq-lab serve` job runner streams its per-point progress events and
+/// journal updates from this hook; everything about the returned
+/// [`PlanResults`] is identical to [`run_plan`].
+///
+/// # Panics
+///
+/// Panics if two points share a `(label, class)` pair.
+pub fn run_plan_with(
+    plan: &SweepPlan,
+    params: &ExperimentParams,
+    mut observe: impl FnMut(&PlanPoint, &[SimResult]),
+) -> PlanResults {
     plan.assert_unique_labels();
     let mut results: Vec<Option<Vec<SimResult>>> = vec![None; plan.points.len()];
     // Group same-class points in order of first appearance.
@@ -546,7 +568,9 @@ pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
         if let [only] = members.as_slice() {
             // Nothing to share: skip the capture and run the point direct.
             let p = &plan.points[*only];
-            results[*only] = Some(run_suite_labeled(&p.label, p.config, p.class, params));
+            let suite_results = run_suite_labeled(&p.label, p.config, p.class, params);
+            observe(p, &suite_results);
+            results[*only] = Some(suite_results);
             continue;
         }
         let labeled: Vec<(&str, CpuConfig)> = members
@@ -557,6 +581,7 @@ pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
             .iter()
             .zip(run_suite_batched(&labeled, class, params))
         {
+            observe(&plan.points[*i], &suite_results);
             results[*i] = Some(suite_results);
         }
     }
@@ -596,6 +621,47 @@ pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults
         points: plan.points.clone(),
         results,
     }
+}
+
+/// Assembles the merged sweep report: one row per `(grid point, class)`,
+/// with one column per axis plus the suite and its mean IPC.
+///
+/// Wall time is left at zero so a repeated (fully cached) sweep produces a
+/// byte-identical report — the CI smoke step diffs exactly that. Shared by
+/// `elsq-lab sweep` and the `elsq-lab serve` job runner, which is what
+/// makes a server-produced report byte-identical to the offline sweep of
+/// the same spec.
+pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults) -> Report {
+    let mut headers: Vec<&str> = plan.axes.iter().map(String::as_str).collect();
+    if headers.is_empty() {
+        headers.push("base");
+    }
+    headers.push("suite");
+    headers.push("mean IPC");
+    let mut table = Table::new(
+        format!("Scenario sweep: {} (base {})", spec.name, spec.base),
+        &headers,
+    );
+    for (point, suite) in results.iter() {
+        let mut cells: Vec<Cell> = if point.axes.is_empty() {
+            vec![Cell::text(spec.base.clone())]
+        } else {
+            point
+                .axes
+                .iter()
+                .map(|b| Cell::text(b.value.clone()))
+                .collect()
+        };
+        cells.push(Cell::text(point.class.to_string()));
+        cells.push(Cell::f(SimResult::mean_ipc(suite)));
+        table.row_cells(cells);
+    }
+    Report::new(
+        format!("sweep-{}", spec.name),
+        format!("Scenario sweep: {}", spec.name),
+        spec.params,
+    )
+    .with_table(table)
 }
 
 #[cfg(test)]

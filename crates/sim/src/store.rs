@@ -23,6 +23,12 @@
 //!   to the key in its name) — the interrupted computation is kept, never
 //!   silently recomputed and overwritten. An orphan that fails verification
 //!   fails the open, naming the file.
+//! * **single writer** — opening a store takes an advisory `store.lock`
+//!   file (holding the owner's pid) for the lifetime of the
+//!   [`ResultStore`], so two processes writing one directory fail loudly
+//!   instead of racing the manifest's temp+rename updates. A lock whose
+//!   owning process is gone (a killed sweep or server) is reclaimed
+//!   automatically; a live owner is an error naming its pid.
 //!
 //! `docs/SCENARIOS.md` documents the directory layout and the key
 //! definition at the byte level.
@@ -43,6 +49,110 @@ pub const STORE_VERSION: u32 = 1;
 
 /// File name of the manifest index inside a cache directory.
 pub const MANIFEST_NAME: &str = "manifest.json";
+
+/// File name of the advisory writer lock inside a cache directory.
+pub const LOCK_NAME: &str = "store.lock";
+
+/// The advisory writer lock: created with `create_new` (so creation is the
+/// atomic acquisition), holding the owner's pid, removed on drop.
+///
+/// The lock is advisory in the classic sense — nothing stops a process
+/// from ignoring it — but every writer in this workspace (the CLI's
+/// `--cache` paths and the `elsq-lab serve` daemon) goes through
+/// [`ResultStore::open`], which takes it. Staleness is resolved by pid
+/// liveness: a lock whose owner is gone (checked via `/proc/<pid>` on
+/// Linux) is reclaimed; on platforms without `/proc` an existing lock is
+/// conservatively treated as live and must be deleted by hand.
+#[derive(Debug)]
+struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    fn acquire(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(LOCK_NAME);
+        // Bounded retry: reclaiming a stale lock races other would-be
+        // writers doing the same, and the loser of the re-acquisition
+        // must re-inspect (and then fail loudly on the live winner).
+        for _ in 0..8 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => {
+                    use std::io::Write;
+                    let mut file = file;
+                    // Best-effort: the pid is diagnostic; acquisition was
+                    // the atomic create_new above.
+                    let _ = writeln!(file, "{}", std::process::id());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && !process_alive(pid) => {
+                            // Stale: the owner is gone. Reclaim and retry
+                            // the atomic acquisition.
+                            std::fs::remove_file(&path).map_err(|e| {
+                                format!(
+                                    "cannot reclaim stale store lock {} (owner {pid} is \
+                                     gone): {e}",
+                                    path.display()
+                                )
+                            })?;
+                        }
+                        _ => {
+                            return Err(format!(
+                                "store {} is locked by {} ({}); a second writer on one \
+                                 store directory would race the manifest updates — wait \
+                                 for it to finish, point at a different directory, or \
+                                 delete {} if the owner is truly gone",
+                                dir.display(),
+                                match holder {
+                                    Some(pid) => format!("process {pid}"),
+                                    None => "another process".to_owned(),
+                                },
+                                if holder.is_some() {
+                                    "still running"
+                                } else {
+                                    "unreadable lock"
+                                },
+                                path.display()
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(format!("cannot create store lock {}: {e}", path.display()));
+                }
+            }
+        }
+        Err(format!(
+            "store lock {} keeps reappearing; another writer is racing this one",
+            path.display()
+        ))
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` names a live process. Linux answers via `/proc`; other
+/// platforms conservatively say yes, so a stale lock there needs a manual
+/// delete (the error message names the file).
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ManifestEntry {
@@ -78,6 +188,8 @@ pub struct ResultStore {
     hits: AtomicU64,
     misses: AtomicU64,
     tmp_counter: AtomicU64,
+    /// Held for the store's lifetime; dropping it releases `store.lock`.
+    _lock: StoreLock,
 }
 
 impl ResultStore {
@@ -95,9 +207,14 @@ impl ResultStore {
     /// * A manifest (or adopted orphan) holding cached points is only
     ///   reused when `resume` is set, so a sweep cannot accidentally mix
     ///   into a stale cache.
+    /// * The directory's advisory `store.lock` is taken for the store's
+    ///   lifetime; a directory locked by a *live* process is an error (two
+    ///   writers would race the manifest updates), while a lock left by a
+    ///   dead one is reclaimed.
     pub fn open(dir: &Path, resume: bool) -> Result<Self, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create cache directory {}: {e}", dir.display()))?;
+        let lock = StoreLock::acquire(dir)?;
         let manifest_path = dir.join(MANIFEST_NAME);
         let mut entries: std::collections::BTreeMap<String, ManifestEntry>;
         match std::fs::read_to_string(&manifest_path) {
@@ -153,7 +270,7 @@ impl ResultStore {
                         version: STORE_VERSION,
                         points: entries.values().cloned().collect(),
                     };
-                    write_json_atomically(&manifest_path, &manifest, 0)?;
+                    write_json_atomic(&manifest_path, &manifest, 0)?;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -170,7 +287,7 @@ impl ResultStore {
                     version: STORE_VERSION,
                     points: Vec::new(),
                 };
-                write_json_atomically(&manifest_path, &manifest, 0)?;
+                write_json_atomic(&manifest_path, &manifest, 0)?;
                 entries = std::collections::BTreeMap::new();
             }
             Err(e) => {
@@ -183,6 +300,7 @@ impl ResultStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
+            _lock: lock,
         })
     }
 
@@ -289,6 +407,17 @@ impl ResultStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Whether the store already holds `key`, without loading the point
+    /// file or touching the hit/miss counters — the server uses this to
+    /// pre-classify a job's points as cached/fresh for progress events
+    /// without skewing the per-job counter deltas.
+    pub fn contains(&self, key: &PointKey) -> bool {
+        self.entries
+            .lock()
+            .expect("store lock poisoned")
+            .contains_key(&key.hex())
+    }
+
     fn point_path(&self, hex: &str) -> PathBuf {
         self.dir.join(format!("point-{hex}.json"))
     }
@@ -348,7 +477,7 @@ impl ResultStore {
             results: results.to_vec(),
         };
         let unique = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
-        write_json_atomically(&self.point_path(&hex), &point, unique)?;
+        write_json_atomic(&self.point_path(&hex), &point, unique)?;
         // Serialize manifest rewrites; re-check under the lock so exactly
         // one writer appends each key.
         let mut entries = self.entries.lock().expect("store lock poisoned");
@@ -367,11 +496,16 @@ impl ResultStore {
             version: STORE_VERSION,
             points: entries.values().cloned().collect(),
         };
-        write_json_atomically(&self.dir.join(MANIFEST_NAME), &manifest, unique)
+        write_json_atomic(&self.dir.join(MANIFEST_NAME), &manifest, unique)
     }
 }
 
-fn write_json_atomically<T: Serialize>(path: &Path, value: &T, unique: u64) -> Result<(), String> {
+/// Writes `value` as pretty JSON to `path` via a temp file and rename, so a
+/// reader never observes a half-written file. `unique` disambiguates temp
+/// names when several writers in one process target sibling paths (pass any
+/// counter; the pid is already part of the temp name). Shared with the
+/// `elsq-serve` job journal, which needs the same crash-safe update rule.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T, unique: u64) -> Result<(), String> {
     let json = serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize: {e}"))?;
     let tmp = path.with_extension(format!("tmp.{}.{unique}", std::process::id()));
     std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
@@ -583,6 +717,54 @@ mod tests {
         std::fs::write(dir.join("point-00ff.json"), "{}").unwrap();
         let err = ResultStore::open(&dir, true).unwrap_err();
         assert!(err.contains("no manifest"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_writer_on_a_live_locked_store_fails_loudly() {
+        let dir = tmp_dir("lock");
+        let store = ResultStore::open(&dir, false).unwrap();
+        // This process holds the lock (and is alive), so a second open —
+        // even with --resume — must refuse, naming the holder.
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("locked by"), "{err}");
+        assert!(err.contains(&std::process::id().to_string()), "{err}");
+        drop(store);
+        // Dropping the store released the lock; reopening succeeds.
+        assert!(!dir.join(LOCK_NAME).exists());
+        drop(ResultStore::open(&dir, true).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = tmp_dir("stalelock");
+        drop(ResultStore::open(&dir, false).unwrap());
+        // Plant a lock owned by a pid that cannot be alive.
+        std::fs::write(dir.join(LOCK_NAME), format!("{}\n", u32::MAX)).unwrap();
+        let store = ResultStore::open(&dir, true).unwrap();
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_lock_is_treated_as_live() {
+        let dir = tmp_dir("garbagelock");
+        drop(ResultStore::open(&dir, false).unwrap());
+        std::fs::write(dir.join(LOCK_NAME), "not a pid\n").unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("unreadable lock"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn contains_does_not_touch_counters() {
+        let dir = tmp_dir("contains");
+        let store = ResultStore::open(&dir, false).unwrap();
+        assert!(!store.contains(&key(1)));
+        store.insert(&key(1), "p1", &[result()]).unwrap();
+        assert!(store.contains(&key(1)));
+        assert_eq!((store.hits(), store.misses()), (0, 0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

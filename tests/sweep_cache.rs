@@ -83,6 +83,8 @@ fn repeated_identical_sweep_performs_zero_simulations() {
         plan.len() as u64,
         "fresh cache misses all"
     );
+    // Release the store (and its advisory writer lock) before reopening.
+    drop(first_store);
 
     // Second identical sweep: zero simulations — every point is a hit.
     let second_store = Arc::new(ResultStore::open(&dir, true).unwrap());
@@ -126,6 +128,8 @@ fn interrupted_sweep_resumes_computing_only_the_missing_points() {
         k,
         "k points were cached before the interruption"
     );
+    // Release the store (and its advisory writer lock) before reopening.
+    drop(store);
 
     // Resume the full sweep: exactly n−k points simulate.
     let resumed_store = Arc::new(ResultStore::open(&dir, true).unwrap());
