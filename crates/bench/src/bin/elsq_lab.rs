@@ -4,19 +4,23 @@
 //! registered experiment (`elsq-lab list`) runnable by id with shared
 //! parameter, format and output flags (`elsq-lab run fig7 table2 --format
 //! json`). See `docs/EXPERIMENTS.md` for the id ↔ figure mapping.
+//!
+//! Exit codes: 0 success, 1 runtime error, 2 usage error or client
+//! timeout, 3 degraded success (a sweep/submit completed but some points
+//! failed — see `docs/ROBUSTNESS.md`).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match elsq_bench::cli::main_with_args(&args) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+    match elsq_bench::cli::run_cli(&args) {
+        Ok(run) => {
+            print!("{}", run.output);
+            ExitCode::from(run.exit_code as u8)
         }
         Err(err) => {
             eprintln!("elsq-lab: {err}");
-            if err.exit_code == 2 {
+            if err.show_usage {
                 eprintln!("\n{}", elsq_bench::cli::USAGE);
             }
             ExitCode::from(err.exit_code as u8)

@@ -16,11 +16,13 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use elsq_serve::client;
+use elsq_serve::client::{self, ClientConfig};
 use elsq_serve::protocol::Event;
 use elsq_serve::{ServeConfig, Server};
 use elsq_sim::driver::install_result_cache;
 use elsq_sim::experiments::{registry, run_experiments, Experiment};
+use elsq_sim::fault::FaultPlan;
+use elsq_sim::install_fault_plan;
 use elsq_sim::scenario::{run_plan, run_plan_each, sweep_report, Axis, ScenarioSpec, SweepPlan};
 use elsq_sim::store::ResultStore;
 use elsq_stats::report::{ExperimentParams, Report};
@@ -99,6 +101,10 @@ SWEEP OPTIONS:
     --no-batch         run grid points one at a time instead of batching
                        same-class points over a shared captured stream
                        (results and cache keys are identical either way)
+    --fault-plan FILE  install a fault-injection plan for the run (see
+                       docs/ROBUSTNESS.md; overrides the FAULT_PLAN env
+                       var); a sweep whose points fail completes with a
+                       degraded report and exit code 3
     --commits/--seed, --cache DIR/--resume, --format, --out DIR, --jobs,
     --trace DIR        as for `run` (--out writes DIR/sweep-<name>.<ext>)
 
@@ -111,14 +117,24 @@ SERVE OPTIONS:
     --resume           required to reopen a store that already holds
                        cached points — i.e. on every daemon restart
     --jobs N           worker-thread cap per fan-out level, as for `run`
+    --watchdog SECS    per-job progress watchdog (off by default): a job
+                       that completes no point for SECS seconds is marked
+                       Failed and its worker abandoned
+    --fault-plan FILE  install a fault-injection plan for the daemon's
+                       lifetime (docs/ROBUSTNESS.md; overrides FAULT_PLAN)
 
 SUBMIT OPTIONS:
     --connect A        daemon address (default: 127.0.0.1:46170)
     --job ID           idempotency key (1-64 chars of [A-Za-z0-9_-]):
                        resubmitting the same id with the same spec attaches
-                       to / replays that job; a different spec under a
-                       known id is an error. Without --job the server
-                       assigns an id.
+                       to / replays that job; resubmitting a *degraded* job
+                       re-runs only its failed/missing points; a different
+                       spec under a known id is an error. Without --job the
+                       server assigns an id.
+    --timeout SECS     connect/first-response timeout (default: 30; 0
+                       disables); expiry exits with code 2. A job whose
+                       points failed completes with a degraded report and
+                       exit code 3.
     --scenario/--axis/--base/--classes/--name/--quick/--commits/--seed,
     --format, --out DIR
                        as for `sweep` (--out writes DIR/sweep-<name>.<ext>,
@@ -127,6 +143,11 @@ SUBMIT OPTIONS:
 
 JOBS / SHUTDOWN OPTIONS:
     --connect A        daemon address (default: 127.0.0.1:46170)
+    --timeout SECS     connect/response timeout (default: 30; 0 disables);
+                       expiry exits with code 2
+    --now              (shutdown only) cancel the running job at its next
+                       class-group boundary instead of draining it; the
+                       job is re-queued and resumes on the next start
 
 TRACE DUMP OPTIONS:
     WORKLOADS          `both` (default), `fp`, `int`, or workload names
@@ -255,6 +276,9 @@ pub struct SweepArgs {
     /// Run points one at a time instead of batching same-class points over
     /// a shared captured stream.
     pub no_batch: bool,
+    /// Fault plan file to install for the run (`--fault-plan`; overrides
+    /// the `FAULT_PLAN` environment variable).
+    pub fault_plan: Option<PathBuf>,
 }
 
 /// Parsed `elsq-lab bench` arguments.
@@ -305,6 +329,13 @@ pub struct ServeArgs {
     /// Worker-thread cap (exported as `ELSQ_THREADS`) for the daemon's
     /// lifetime.
     pub jobs: Option<usize>,
+    /// Per-job progress watchdog in seconds (`--watchdog`; off by
+    /// default): a job that completes no point for this long is marked
+    /// Failed and its worker abandoned.
+    pub watchdog: Option<u64>,
+    /// Fault plan file to install for the daemon's lifetime
+    /// (`--fault-plan`; overrides the `FAULT_PLAN` environment variable).
+    pub fault_plan: Option<PathBuf>,
 }
 
 /// Parsed `elsq-lab submit` arguments.
@@ -317,6 +348,9 @@ pub struct SubmitArgs {
     /// The grid + output flags, exactly as for `sweep` (the cache, jobs
     /// and trace fields stay unset — they belong to the server).
     pub grid: SweepArgs,
+    /// Connect/first-response timeout in seconds (`--timeout`; default
+    /// 30; 0 disables).
+    pub timeout: u64,
 }
 
 /// Parsed `elsq-lab jobs` / `elsq-lab shutdown` arguments.
@@ -324,6 +358,23 @@ pub struct SubmitArgs {
 pub struct ConnectArgs {
     /// Daemon address (`--connect`).
     pub connect: String,
+    /// Connect/response timeout in seconds (`--timeout`; default 30; 0
+    /// disables).
+    pub timeout: u64,
+    /// `shutdown --now`: cancel the running job at its next class-group
+    /// boundary instead of draining it (always false for `jobs`).
+    pub now: bool,
+}
+
+/// Default `--timeout` for the client verbs, in seconds.
+pub const DEFAULT_CLIENT_TIMEOUT_SECS: u64 = 30;
+
+/// The [`ClientConfig`] a `--timeout SECS` value selects (0 = no timeout).
+fn client_config(timeout_secs: u64) -> ClientConfig {
+    ClientConfig {
+        timeout: (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs)),
+        ..ClientConfig::default()
+    }
 }
 
 /// A parsed command line.
@@ -360,8 +411,12 @@ pub enum Command {
 pub struct CliError {
     /// Human-readable description.
     pub message: String,
-    /// Process exit code (2 = usage error, 1 = runtime error).
+    /// Process exit code (2 = usage error or timeout, 1 = runtime error).
     pub exit_code: i32,
+    /// Whether the binary should print the usage text after the message
+    /// (true for argument mistakes; false for timeouts, which share exit
+    /// code 2 but are not helped by a usage dump).
+    pub show_usage: bool,
 }
 
 impl CliError {
@@ -369,6 +424,7 @@ impl CliError {
         Self {
             message: message.into(),
             exit_code: 2,
+            show_usage: true,
         }
     }
 
@@ -376,9 +432,52 @@ impl CliError {
         Self {
             message: message.into(),
             exit_code: 1,
+            show_usage: false,
+        }
+    }
+
+    pub(crate) fn timeout(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit_code: 2,
+            show_usage: false,
         }
     }
 }
+
+/// Maps a client-helper error: timeouts get the loud exit-2 treatment
+/// (without a usage dump), everything else is an ordinary runtime error.
+fn client_error(message: String) -> CliError {
+    if client::is_timeout(&message) {
+        CliError::timeout(message)
+    } else {
+        CliError::runtime(message)
+    }
+}
+
+/// A successful CLI invocation: what to print, and the exit code (0, or
+/// [`EXIT_DEGRADED`] when a sweep/submit finished with failed points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliRun {
+    /// What to print to stdout.
+    pub output: String,
+    /// Process exit code (0 or [`EXIT_DEGRADED`]).
+    pub exit_code: i32,
+}
+
+impl CliRun {
+    fn ok(output: String) -> Self {
+        Self {
+            output,
+            exit_code: 0,
+        }
+    }
+}
+
+/// Exit code of a sweep/submit that completed but with failed points: the
+/// report is real (every failed point is named in it), yet the run is
+/// *degraded*, and scripts must be able to tell.
+pub const EXIT_DEGRADED: i32 = 3;
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -622,6 +721,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
         jobs: None,
         trace: None,
         no_batch: false,
+        fault_plan: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -651,6 +751,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
             }
             "--trace" => sweep.trace = Some(PathBuf::from(value_of("--trace")?)),
             "--no-batch" => sweep.no_batch = true,
+            "--fault-plan" => sweep.fault_plan = Some(PathBuf::from(value_of("--fault-plan")?)),
             other => {
                 return Err(CliError::usage(format!(
                     "unexpected argument `{other}` for `sweep`"
@@ -685,6 +786,8 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
     let mut store = None;
     let mut resume = false;
     let mut jobs = None;
+    let mut watchdog = None;
+    let mut fault_plan = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| -> Result<&String, CliError> {
@@ -702,6 +805,17 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
                 }
                 jobs = Some(n as usize);
             }
+            "--watchdog" => {
+                let secs: u64 = parse_num(value_of("--watchdog")?, "--watchdog")?;
+                if secs == 0 {
+                    return Err(CliError::usage(
+                        "`--watchdog` must be at least 1 second (omit the flag \
+                         to disable the watchdog)",
+                    ));
+                }
+                watchdog = Some(secs);
+            }
+            "--fault-plan" => fault_plan = Some(PathBuf::from(value_of("--fault-plan")?)),
             "--cache" => {
                 return Err(CliError::usage(
                     "`serve` takes `--store DIR`, not `--cache`: the store \
@@ -726,12 +840,15 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
         store,
         resume,
         jobs,
+        watchdog,
+        fault_plan,
     })
 }
 
 fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
     let mut connect = elsq_serve::protocol::DEFAULT_ADDR.to_owned();
     let mut job = None;
+    let mut timeout = DEFAULT_CLIENT_TIMEOUT_SECS;
     let mut grid = SweepArgs {
         scenario: None,
         axes: Vec::new(),
@@ -748,6 +865,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
         jobs: None,
         trace: None,
         no_batch: false,
+        fault_plan: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -758,6 +876,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
         match arg.as_str() {
             "--connect" => connect = value_of("--connect")?.clone(),
             "--job" => job = Some(value_of("--job")?.clone()),
+            "--timeout" => timeout = parse_num(value_of("--timeout")?, "--timeout")?,
             "--scenario" => grid.scenario = Some(PathBuf::from(value_of("--scenario")?)),
             "--axis" => grid.axes.push(parse_axis_spec(value_of("--axis")?)?),
             "--base" => grid.base = Some(value_of("--base")?.clone()),
@@ -800,20 +919,28 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
     if let Some(id) = &job {
         elsq_serve::job::validate_job_id(id).map_err(CliError::usage)?;
     }
-    Ok(SubmitArgs { connect, job, grid })
+    Ok(SubmitArgs {
+        connect,
+        job,
+        grid,
+        timeout,
+    })
 }
 
 fn parse_connect(args: &[String], verb: &str) -> Result<ConnectArgs, CliError> {
     let mut connect = elsq_serve::protocol::DEFAULT_ADDR.to_owned();
+    let mut timeout = DEFAULT_CLIENT_TIMEOUT_SECS;
+    let mut now = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
         match arg.as_str() {
-            "--connect" => {
-                connect = it
-                    .next()
-                    .ok_or_else(|| CliError::usage("`--connect` requires a value"))?
-                    .clone();
-            }
+            "--connect" => connect = value_of("--connect")?.clone(),
+            "--timeout" => timeout = parse_num(value_of("--timeout")?, "--timeout")?,
+            "--now" if verb == "shutdown" => now = true,
             other => {
                 return Err(CliError::usage(format!(
                     "unexpected argument `{other}` for `{verb}`"
@@ -821,7 +948,11 @@ fn parse_connect(args: &[String], verb: &str) -> Result<ConnectArgs, CliError> {
             }
         }
     }
-    Ok(ConnectArgs { connect })
+    Ok(ConnectArgs {
+        connect,
+        timeout,
+        now,
+    })
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
@@ -1129,6 +1260,9 @@ pub struct SweepOutcome {
     pub cache: Option<(u64, u64)>,
     /// The `cache ...` summary line, if a cache was installed.
     pub cache_line: Option<String>,
+    /// One line per failed point (empty when the sweep is healthy); a
+    /// non-empty list makes the run exit [`EXIT_DEGRADED`].
+    pub failed: Vec<String>,
 }
 
 /// Executes a sweep: expands the grid, runs it (consulting the cache when
@@ -1154,6 +1288,16 @@ pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
         }
     });
     let report = sweep_report(&spec, &plan, &results);
+    let failed = results
+        .failed()
+        .iter()
+        .map(|(point, site, msg)| {
+            format!(
+                "FAILED point `{}` ({}) at {site}: {msg}\n",
+                point.label, point.class
+            )
+        })
+        .collect();
     let (cache_stats, cache_line) = match &cache {
         Some((store, _guard)) => (
             Some((store.hits(), store.misses())),
@@ -1165,6 +1309,7 @@ pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
         report,
         cache: cache_stats,
         cache_line,
+        failed,
     })
 }
 
@@ -1172,10 +1317,14 @@ pub fn execute_sweep(sweep: &SweepArgs) -> Result<SweepOutcome, CliError> {
 /// eagerly, so wrappers can wait for readiness before connecting), and
 /// blocks until a client requests shutdown.
 pub fn execute_serve(serve: &ServeArgs) -> Result<String, CliError> {
+    // SIGTERM behaves like `shutdown --now`: stop accepting, cancel the
+    // running job at its next group boundary, journal, exit cleanly.
+    elsq_serve::signal::install_sigterm().map_err(CliError::runtime)?;
     let handle = Server::start(ServeConfig {
         addr: serve.addr.clone(),
         store_dir: serve.store.clone(),
         resume: serve.resume,
+        watchdog: serve.watchdog.map(std::time::Duration::from_secs),
     })
     .map_err(CliError::runtime)?;
     {
@@ -1195,13 +1344,29 @@ pub fn execute_serve(serve: &ServeArgs) -> Result<String, CliError> {
 
 /// Executes `submit`: builds the spec exactly like `sweep`, streams the
 /// job's progress, and renders the final report — byte-identical to the
-/// offline sweep of the same spec.
-pub fn execute_submit(submit: &SubmitArgs) -> Result<String, CliError> {
+/// offline sweep of the same spec. A job that finished with failed points
+/// returns the (degraded) report with exit code [`EXIT_DEGRADED`].
+pub fn execute_submit(submit: &SubmitArgs) -> Result<CliRun, CliError> {
     let spec = sweep_spec(&submit.grid)?;
     // JSON-to-stdout stays pure JSON (`| jq` works); in every other mode
     // progress streams to stdout as the daemon reports it.
     let stream_progress = submit.grid.format != OutputFormat::Json || submit.grid.out.is_some();
+    // Collected across the stream so the degraded summary can *name* every
+    // failed point even in JSON mode (where nothing streams to stdout).
+    let failed_lines = std::cell::RefCell::new(Vec::<String>::new());
     let progress = |event: &Event| {
+        if let Event::PointFailed {
+            label,
+            class,
+            site,
+            error,
+            ..
+        } = event
+        {
+            failed_lines.borrow_mut().push(format!(
+                "FAILED point `{label}` ({class}) at {site}: {error}\n"
+            ));
+        }
         if !stream_progress {
             return;
         }
@@ -1231,19 +1396,49 @@ pub fn execute_submit(submit: &SubmitArgs) -> Result<String, CliError> {
                 let src = if *cached { "cache" } else { "simulated" };
                 let _ = writeln!(out, "[{done}/{total}] {label} {class} ({src})");
             }
+            Event::PointFailed {
+                done,
+                total,
+                label,
+                class,
+                site,
+                error,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "[{done}/{total}] {label} {class} FAILED at {site}: {error}"
+                );
+            }
             _ => {}
         }
         let _ = out.flush();
     };
-    let outcome = client::submit(&submit.connect, submit.job.as_deref(), &spec, progress)
-        .map_err(CliError::runtime)?;
-    let summary = submit_summary(&outcome);
+    let outcome = client::submit_with(
+        &submit.connect,
+        submit.job.as_deref(),
+        &spec,
+        &client_config(submit.timeout),
+        progress,
+    )
+    .map_err(client_error)?;
+    let mut summary = submit_summary(&outcome);
+    if outcome.failed > 0 {
+        for line in failed_lines.borrow().iter() {
+            summary.push_str(line);
+        }
+        summary.push_str(&format!(
+            "degraded: {} point(s) failed; resubmit job {} to re-run them\n",
+            outcome.failed, outcome.job
+        ));
+    }
+    let exit_code = if outcome.failed > 0 { EXIT_DEGRADED } else { 0 };
     let reports = [outcome.report];
-    match &submit.grid.out {
+    let output = match &submit.grid.out {
         Some(dir) => {
             let mut output = write_reports(&reports, dir, submit.grid.format)?;
             output.push_str(&summary);
-            Ok(output)
+            output
         }
         None => {
             let mut output = render_reports(&reports, submit.grid.format);
@@ -1251,40 +1446,49 @@ pub fn execute_submit(submit: &SubmitArgs) -> Result<String, CliError> {
                 output.push('\n');
                 output.push_str(&summary);
             }
-            Ok(output)
+            output
         }
-    }
+    };
+    Ok(CliRun { output, exit_code })
 }
 
 /// The `job ...` summary line printed after a submit (the `100% cache
-/// hits` tag is what the CI smoke greps for).
+/// hits` tag is what the CI smoke greps for). A degraded job's line counts
+/// its failed points; a healthy job's line is byte-identical to what
+/// earlier releases printed.
 fn submit_summary(outcome: &client::SubmitOutcome) -> String {
-    let all_cached = if outcome.misses == 0 && outcome.hits > 0 {
+    let all_cached = if outcome.misses == 0 && outcome.hits > 0 && outcome.failed == 0 {
         " (100% cache hits)"
     } else {
         ""
     };
+    let failed = if outcome.failed > 0 {
+        format!(", {} failed", outcome.failed)
+    } else {
+        String::new()
+    };
     format!(
-        "job {}: {} hit(s), {} miss(es){all_cached}; server store has {} point(s)\n",
+        "job {}: {} hit(s), {} miss(es){failed}{all_cached}; server store has {} point(s)\n",
         outcome.job, outcome.hits, outcome.misses, outcome.store_points
     )
 }
 
 /// Executes `jobs`: the daemon's job table, one aligned line per job.
 pub fn execute_jobs(connect: &ConnectArgs) -> Result<String, CliError> {
-    let jobs = client::jobs(&connect.connect).map_err(CliError::runtime)?;
+    let jobs = client::jobs_with(&connect.connect, &client_config(connect.timeout))
+        .map_err(client_error)?;
     if jobs.is_empty() {
         return Ok("no jobs\n".to_owned());
     }
     let id_width = jobs.iter().map(|j| j.id.len()).max().unwrap_or(0).max(2);
     let name_width = jobs.iter().map(|j| j.name.len()).max().unwrap_or(0).max(4);
     let mut out = format!(
-        "{:<id_width$}  {:<name_width$}  {:<7}  {:>9}  {:>5}  {:>6}\n",
-        "ID", "NAME", "STATE", "POINTS", "HITS", "MISSES"
+        "{:<id_width$}  {:<name_width$}  {:<7}  {:>9}  {:>5}  {:>6}  {:>6}\n",
+        "ID", "NAME", "STATE", "POINTS", "HITS", "MISSES", "FAILED"
     );
     for j in jobs {
         out.push_str(&format!(
-            "{:<id_width$}  {:<name_width$}  {:<7}  {:>4}/{:<4}  {:>5}  {:>6}{}\n",
+            "{:<id_width$}  {:<name_width$}  {:<7}  {:>4}/{:<4}  {:>5}  {:>6}  {:>6}{}\n",
             j.id,
             j.name,
             format!("{:?}", j.state),
@@ -1292,6 +1496,7 @@ pub fn execute_jobs(connect: &ConnectArgs) -> Result<String, CliError> {
             j.total,
             j.hits,
             j.misses,
+            j.failed,
             j.error
                 .as_deref()
                 .map(|e| format!("  {e}"))
@@ -1301,12 +1506,22 @@ pub fn execute_jobs(connect: &ConnectArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Executes `shutdown`: asks the daemon to stop gracefully.
+/// Executes `shutdown`: asks the daemon to stop — draining by default,
+/// cancelling the running job at its next group boundary with `--now`.
 pub fn execute_shutdown(connect: &ConnectArgs) -> Result<String, CliError> {
-    client::shutdown(&connect.connect).map_err(CliError::runtime)?;
+    client::shutdown_with(
+        &connect.connect,
+        !connect.now,
+        &client_config(connect.timeout),
+    )
+    .map_err(client_error)?;
+    let how = if connect.now {
+        "the running job is cancelled at its next group boundary and re-queued"
+    } else {
+        "the running job finishes first"
+    };
     Ok(format!(
-        "server at {} is stopping (the running job finishes first; queued \
-         jobs stay journaled)\n",
+        "server at {} is stopping ({how}; queued jobs stay journaled)\n",
         connect.connect
     ))
 }
@@ -1498,30 +1713,54 @@ pub fn execute_diff(diff: &DiffArgs) -> Result<String, CliError> {
     }
 }
 
+/// Resolves and installs the fault plan of an invocation: the verb's
+/// `--fault-plan FILE` when given, the `FAULT_PLAN` environment variable
+/// otherwise. Returns the keep-alive guard (`None` when no plan applies).
+fn install_faults(flag: Option<&PathBuf>) -> Result<Option<elsq_sim::FaultPlanGuard>, CliError> {
+    let plan = match flag {
+        Some(path) => Some(FaultPlan::load(path).map_err(CliError::usage)?),
+        None => FaultPlan::from_env().map_err(CliError::usage)?,
+    };
+    plan.map(|plan| install_fault_plan(plan).map_err(CliError::usage))
+        .transpose()
+}
+
 /// Full CLI entry point: parses `args` (without the binary name), executes,
-/// and returns what should be printed to stdout.
-pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
-    match parse(args)? {
-        Command::Help => Ok(format!("{USAGE}\n")),
-        Command::List => Ok(list_output()),
-        Command::Show(id) => execute_show(&id),
+/// and returns what should be printed to stdout plus the exit code
+/// (0, or [`EXIT_DEGRADED`] for a sweep/submit with failed points).
+pub fn run_cli(args: &[String]) -> Result<CliRun, CliError> {
+    let command = parse(args)?;
+    // The fault plan lives for the whole invocation: `--fault-plan` on the
+    // verbs that run simulations locally, the environment everywhere.
+    let flag = match &command {
+        Command::Sweep(sweep) => sweep.fault_plan.as_ref(),
+        Command::Serve(serve) => serve.fault_plan.as_ref(),
+        _ => None,
+    };
+    let _faults = install_faults(flag)?;
+    match command {
+        Command::Help => Ok(CliRun::ok(format!("{USAGE}\n"))),
+        Command::List => Ok(CliRun::ok(list_output())),
+        Command::Show(id) => execute_show(&id).map(CliRun::ok),
         Command::Run(run) => {
             let reports = execute_run(&run)?;
             match &run.out {
                 Some(dir) => write_reports(&reports, dir, run.format),
                 None => Ok(render_reports(&reports, run.format)),
             }
+            .map(CliRun::ok)
         }
         Command::Sweep(sweep) => {
             let outcome = execute_sweep(&sweep)?;
+            let degraded = !outcome.failed.is_empty();
             let reports = [outcome.report];
-            match &sweep.out {
+            let mut output = match &sweep.out {
                 Some(dir) => {
                     let mut summary = write_reports(&reports, dir, sweep.format)?;
                     if let Some(line) = &outcome.cache_line {
                         summary.push_str(line);
                     }
-                    Ok(summary)
+                    summary
                 }
                 None => {
                     let mut output = render_reports(&reports, sweep.format);
@@ -1533,20 +1772,41 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                             output.push_str(line);
                         }
                     }
-                    Ok(output)
+                    output
                 }
+            };
+            if degraded {
+                for line in &outcome.failed {
+                    output.push_str(line);
+                }
+                output.push_str(&format!(
+                    "degraded: {} point(s) failed; re-run to retry them\n",
+                    outcome.failed.len()
+                ));
             }
+            Ok(CliRun {
+                output,
+                exit_code: if degraded { EXIT_DEGRADED } else { 0 },
+            })
         }
-        Command::Bench(bench) => execute_bench(&bench),
-        Command::Diff(diff) => execute_diff(&diff),
-        Command::Trace(TraceCmd::Dump(dump)) => crate::trace::execute_dump(&dump),
-        Command::Trace(TraceCmd::Info(files)) => crate::trace::execute_info(&files),
-        Command::Trace(TraceCmd::Verify(files)) => crate::trace::execute_verify(&files),
-        Command::Serve(serve) => execute_serve(&serve),
+        Command::Bench(bench) => execute_bench(&bench).map(CliRun::ok),
+        Command::Diff(diff) => execute_diff(&diff).map(CliRun::ok),
+        Command::Trace(TraceCmd::Dump(dump)) => crate::trace::execute_dump(&dump).map(CliRun::ok),
+        Command::Trace(TraceCmd::Info(files)) => crate::trace::execute_info(&files).map(CliRun::ok),
+        Command::Trace(TraceCmd::Verify(files)) => {
+            crate::trace::execute_verify(&files).map(CliRun::ok)
+        }
+        Command::Serve(serve) => execute_serve(&serve).map(CliRun::ok),
         Command::Submit(submit) => execute_submit(&submit),
-        Command::Jobs(connect) => execute_jobs(&connect),
-        Command::Shutdown(connect) => execute_shutdown(&connect),
+        Command::Jobs(connect) => execute_jobs(&connect).map(CliRun::ok),
+        Command::Shutdown(connect) => execute_shutdown(&connect).map(CliRun::ok),
     }
+}
+
+/// [`run_cli`] reduced to its stdout payload — kept for callers (and
+/// tests) that do not care about the degraded exit code.
+pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
+    run_cli(args).map(|run| run.output)
 }
 
 #[cfg(test)]
@@ -2060,17 +2320,28 @@ mod tests {
         assert_eq!(
             parse(&args(&["jobs"])).unwrap(),
             Command::Jobs(ConnectArgs {
-                connect: elsq_serve::protocol::DEFAULT_ADDR.to_owned()
+                connect: elsq_serve::protocol::DEFAULT_ADDR.to_owned(),
+                timeout: DEFAULT_CLIENT_TIMEOUT_SECS,
+                now: false,
             })
         );
         assert_eq!(
-            parse(&args(&["shutdown", "--connect", "127.0.0.1:7"])).unwrap(),
+            parse(&args(&["shutdown", "--connect", "127.0.0.1:7", "--now"])).unwrap(),
             Command::Shutdown(ConnectArgs {
-                connect: "127.0.0.1:7".to_owned()
+                connect: "127.0.0.1:7".to_owned(),
+                timeout: DEFAULT_CLIENT_TIMEOUT_SECS,
+                now: true,
             })
         );
+        // --timeout is parsed (0 = disabled); --now belongs to shutdown only.
+        let Command::Jobs(j) = parse(&args(&["jobs", "--timeout", "5"])).unwrap() else {
+            panic!("expected jobs");
+        };
+        assert_eq!(j.timeout, 5);
+        assert!(parse(&args(&["jobs", "--now"])).is_err());
         assert!(parse(&args(&["jobs", "stray"])).is_err());
         assert!(parse(&args(&["shutdown", "--connect"])).is_err());
+        assert!(parse(&args(&["shutdown", "--timeout", "abc"])).is_err());
     }
 
     #[test]
@@ -2136,6 +2407,7 @@ mod tests {
             jobs: None,
             trace: None,
             no_batch: false,
+            fault_plan: None,
         };
         let err = execute_sweep(&sweep).unwrap_err();
         assert_eq!(err.exit_code, 1);
@@ -2170,6 +2442,7 @@ mod tests {
             jobs: None,
             trace: None,
             no_batch: false,
+            fault_plan: None,
         };
         let first = execute_sweep(&sweep).unwrap();
         assert_eq!(first.cache, Some((0, 2)), "fresh cache misses everything");
@@ -2217,6 +2490,7 @@ mod tests {
             jobs: None,
             trace: None,
             no_batch: false,
+            fault_plan: None,
         };
         let batched = execute_sweep(&sweep).unwrap();
         let each = execute_sweep(&SweepArgs {
@@ -2265,6 +2539,7 @@ mod tests {
             jobs: None,
             trace: None,
             no_batch: false,
+            fault_plan: None,
         })
         .unwrap();
         assert_eq!(from_file.report.id, "sweep-filecase");
@@ -2290,6 +2565,7 @@ mod tests {
             jobs: None,
             trace: None,
             no_batch: false,
+            fault_plan: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code, 1);

@@ -4,16 +4,75 @@
 //! Each helper opens one TCP connection, writes one request line, and
 //! reads event lines until the exchange's terminal event, mirroring the
 //! one-request-per-connection protocol. Errors are plain strings: either a
-//! transport problem (`cannot connect ...`) or the server's own
-//! [`Event::Error`] / [`Event::Failed`] message, verbatim.
+//! transport problem (`cannot connect ...`), a timeout (`timed out ...`,
+//! detectable with [`is_timeout`]), or the server's own [`Event::Error`] /
+//! [`Event::Failed`] message, verbatim.
+//!
+//! **Resilience** (all tunable through [`ClientConfig`]): connects and
+//! single-response exchanges run under a timeout; [`submit`] survives a
+//! connection dropped mid-stream by reconnecting with
+//! [`Request::Resume`] — a deterministic capped exponential backoff
+//! between attempts, the consecutive-failure counter reset by progress —
+//! and the per-event sequence numbers make the replayed and live streams
+//! stitch together without gaps or duplicates.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use elsq_sim::ScenarioSpec;
 use elsq_stats::report::Report;
 
-use crate::protocol::{self, Event, JobSummary, Request};
+use crate::protocol::{self, Event, JobSummary, Request, PROTOCOL_VERSION};
+
+/// Client-side resilience knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Connect timeout, and the read timeout for single-response
+    /// exchanges and for a stream's *first* event. `None` leaves the OS
+    /// defaults (block indefinitely). Streams clear the read timeout after
+    /// the first event: a slow simulation between points is not a fault —
+    /// wedged *jobs* are the server watchdog's department.
+    pub timeout: Option<Duration>,
+    /// Maximum *consecutive* reconnect attempts after a stream breaks
+    /// mid-job; any received event resets the counter.
+    pub reconnect_attempts: u32,
+    /// Base backoff delay; attempt `n` (0-based) waits
+    /// `min(backoff_base << n, backoff_cap)` — deterministic, no jitter,
+    /// so retry schedules are reproducible.
+    pub backoff_base: Duration,
+    /// Upper bound of the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: Some(Duration::from_secs(30)),
+            reconnect_attempts: 5,
+            backoff_base: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(4),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The (deterministic) delay before reconnect attempt `attempt`
+    /// (0-based): capped exponential.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Whether a client error string reports a timeout (the CLI maps these to
+/// exit code 2).
+pub fn is_timeout(err: &str) -> bool {
+    err.contains("timed out")
+}
 
 /// What a finished [`submit`] produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,18 +83,67 @@ pub struct SubmitOutcome {
     /// creating one.
     pub attached: bool,
     /// The merged sweep report — byte-identical (as pretty JSON) to the
-    /// offline `elsq-lab sweep` of the same spec.
+    /// offline `elsq-lab sweep` of the same spec when no point failed.
     pub report: Report,
     /// Points answered from the server's shared store.
     pub hits: u64,
     /// Points simulated fresh.
     pub misses: u64,
+    /// Points that failed; `> 0` means the job finished *degraded* (the
+    /// report names each failed point, and resubmitting the job id
+    /// re-runs only the failed/missing points).
+    pub failed: u64,
     /// Points in the shared store after the job.
     pub store_points: u64,
 }
 
-fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+/// Maps an I/O error to a message, tagging timeouts so [`is_timeout`]
+/// recognises them.
+fn io_error(addr: &str, what: &str, e: &std::io::Error) -> String {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            format!("timed out {what} {addr}")
+        }
+        _ => format!("cannot {what} {addr}: {e}"),
+    }
+}
+
+fn connect(
+    addr: &str,
+    timeout: Option<Duration>,
+) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = match timeout {
+        None => TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?,
+        Some(limit) => {
+            use std::net::ToSocketAddrs;
+            let candidates: Vec<_> = addr
+                .to_socket_addrs()
+                .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+                .collect();
+            let mut last: Option<std::io::Error> = None;
+            let mut connected = None;
+            for candidate in candidates {
+                match TcpStream::connect_timeout(&candidate, limit) {
+                    Ok(stream) => {
+                        connected = Some(stream);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            match connected {
+                Some(stream) => stream,
+                None => {
+                    let e = last.unwrap_or_else(|| std::io::Error::other("no addresses to try"));
+                    return Err(io_error(addr, "connect to", &e));
+                }
+            }
+        }
+    };
+    stream
+        .set_read_timeout(timeout)
+        .and_then(|()| stream.set_write_timeout(timeout))
+        .map_err(|e| format!("cannot configure connection to {addr}: {e}"))?;
     let read_half = stream
         .try_clone()
         .map_err(|e| format!("cannot clone connection to {addr}: {e}"))?;
@@ -45,12 +153,13 @@ fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
 fn send_request(
     addr: &str,
     request: &Request,
+    timeout: Option<Duration>,
 ) -> Result<(TcpStream, BufReader<TcpStream>), String> {
-    let (mut writer, reader) = connect(addr)?;
+    let (mut writer, reader) = connect(addr, timeout)?;
     writer
         .write_all(protocol::encode_line(request).as_bytes())
         .and_then(|()| writer.flush())
-        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+        .map_err(|e| io_error(addr, "send request to", &e))?;
     Ok((writer, reader))
 }
 
@@ -58,77 +167,199 @@ fn read_event(reader: &mut BufReader<TcpStream>, addr: &str) -> Result<Event, St
     let mut line = String::new();
     let n = reader
         .read_line(&mut line)
-        .map_err(|e| format!("connection to {addr} broke: {e}"))?;
+        .map_err(|e| io_error(addr, "waiting for", &e))?;
     if n == 0 {
         return Err(format!("{addr} closed the connection mid-exchange"));
     }
     protocol::decode_line(&line)
 }
 
-/// Submits `spec` (optionally under a client-chosen job id) and blocks
-/// until the job finishes, feeding every streamed event — `Accepted` and
-/// each `Point` — to `progress` along the way. Returns the terminal
-/// outcome, or the server's error message.
-pub fn submit(
+/// How one streaming attempt ended, for the reconnect loop.
+enum StreamBreak {
+    /// Transport trouble (connect/read/write failure, premature close):
+    /// worth a Resume retry when the job id is known.
+    Lost(String),
+    /// A definitive answer (server error, job failure, shutdown): retrying
+    /// would not change it.
+    Fatal(String),
+}
+
+/// [`submit`] with explicit resilience knobs.
+pub fn submit_with(
     addr: &str,
     id: Option<&str>,
     spec: &ScenarioSpec,
+    config: &ClientConfig,
     mut progress: impl FnMut(&Event),
 ) -> Result<SubmitOutcome, String> {
-    let request = Request::Submit {
+    let submit_request = Request::Submit {
+        version: PROTOCOL_VERSION,
         id: id.map(str::to_owned),
         spec: spec.clone(),
     };
-    let (_writer, mut reader) = send_request(addr, &request)?;
-    let mut job_id = String::new();
+    let mut request = submit_request.clone();
+    // Stream cursor, shared across reconnects: the job id once Accepted
+    // arrives, the highest per-point seq seen, and whether the *first*
+    // Accepted said attached.
+    let mut job_id: Option<String> = None;
+    let mut last_seq = 0u64;
     let mut was_attached = false;
+    let mut attempts = 0u32;
     loop {
-        let event = read_event(&mut reader, addr)?;
+        let broke = match stream_attempt(
+            addr,
+            &request,
+            config,
+            &mut job_id,
+            &mut last_seq,
+            &mut was_attached,
+            &mut attempts,
+            &mut progress,
+        ) {
+            Ok(outcome) => return Ok(outcome),
+            Err(broke) => broke,
+        };
+        let message = match broke {
+            StreamBreak::Fatal(message) => return Err(message),
+            StreamBreak::Lost(message) => message,
+        };
+        // A lost stream is only recoverable when the job is addressable:
+        // by Resume once Accepted named it, or by re-submitting a
+        // client-chosen id (Submit is idempotent under the same id+spec).
+        request = match (&job_id, id) {
+            (Some(job), _) => Request::Resume {
+                version: PROTOCOL_VERSION,
+                job: job.clone(),
+                after_seq: last_seq,
+            },
+            (None, Some(_)) => submit_request.clone(),
+            (None, None) => return Err(message),
+        };
+        if attempts >= config.reconnect_attempts {
+            return Err(format!(
+                "{message}; gave up after {} consecutive reconnect attempts",
+                config.reconnect_attempts
+            ));
+        }
+        std::thread::sleep(config.backoff_delay(attempts));
+        attempts += 1;
+    }
+}
+
+/// One connection's worth of [`submit_with`]: send `request`, stream
+/// events (skipping per-point events at or below the cursor) until the
+/// terminal one.
+#[allow(clippy::too_many_arguments)]
+fn stream_attempt(
+    addr: &str,
+    request: &Request,
+    config: &ClientConfig,
+    job_id: &mut Option<String>,
+    last_seq: &mut u64,
+    was_attached: &mut bool,
+    attempts: &mut u32,
+    progress: &mut impl FnMut(&Event),
+) -> Result<SubmitOutcome, StreamBreak> {
+    let (writer, mut reader) =
+        send_request(addr, request, config.timeout).map_err(StreamBreak::Lost)?;
+    let mut first = true;
+    loop {
+        let event = match read_event(&mut reader, addr) {
+            Ok(event) => event,
+            Err(message) => {
+                return Err(if message.starts_with("malformed protocol line") {
+                    StreamBreak::Fatal(message)
+                } else {
+                    StreamBreak::Lost(message)
+                });
+            }
+        };
+        if first {
+            // The exchange is live; later events may legitimately be
+            // minutes apart (simulation time), so only the first one runs
+            // under the timeout.
+            first = false;
+            let _ = writer.set_read_timeout(None);
+        }
         match event {
             Event::Accepted {
                 ref job, attached, ..
             } => {
-                job_id = job.clone();
-                was_attached = attached;
+                if job_id.is_none() {
+                    *was_attached = attached;
+                }
+                *job_id = Some(job.clone());
                 progress(&event);
             }
-            Event::Point { .. } => progress(&event),
+            Event::Point { seq, .. } | Event::PointFailed { seq, .. } => {
+                if seq <= *last_seq {
+                    continue; // replay overlap after a Resume
+                }
+                *last_seq = seq;
+                *attempts = 0; // progress: the line is healthy again
+                progress(&event);
+            }
             Event::Done {
                 job,
                 report,
                 hits,
                 misses,
+                failed,
                 store_points,
             } => {
                 return Ok(SubmitOutcome {
                     job,
-                    attached: was_attached,
+                    attached: *was_attached,
                     report,
                     hits,
                     misses,
+                    failed,
                     store_points,
                 });
             }
             Event::Failed { job, error } => {
-                return Err(format!("job `{job}` failed: {error}"));
+                return Err(StreamBreak::Fatal(format!("job `{job}` failed: {error}")));
             }
-            Event::Error { message } => return Err(message),
+            Event::Error { message } => return Err(StreamBreak::Fatal(message)),
             Event::Stopping => {
-                return Err(format!(
-                    "server at {addr} stopped before job `{job_id}` finished; \
+                let job = job_id.clone().unwrap_or_default();
+                return Err(StreamBreak::Fatal(format!(
+                    "server at {addr} stopped before job `{job}` finished; \
                      it stays journaled — restart the server to resume it"
-                ));
+                )));
             }
             other => {
-                return Err(format!("unexpected server message: {other:?}"));
+                return Err(StreamBreak::Fatal(format!(
+                    "unexpected server message: {other:?}"
+                )));
             }
         }
     }
 }
 
+/// Submits `spec` (optionally under a client-chosen job id) and blocks
+/// until the job finishes, feeding every streamed event — `Accepted`, each
+/// `Point`/`PointFailed` — to `progress` along the way, transparently
+/// reconnecting (with `Resume`) if the stream drops. Returns the terminal
+/// outcome, or the server's error message. Uses [`ClientConfig::default`];
+/// see [`submit_with`] for explicit knobs.
+pub fn submit(
+    addr: &str,
+    id: Option<&str>,
+    spec: &ScenarioSpec,
+    progress: impl FnMut(&Event),
+) -> Result<SubmitOutcome, String> {
+    submit_with(addr, id, spec, &ClientConfig::default(), progress)
+}
+
 /// Fetches the job table.
 pub fn jobs(addr: &str) -> Result<Vec<JobSummary>, String> {
-    let (_writer, mut reader) = send_request(addr, &Request::Jobs)?;
+    jobs_with(addr, &ClientConfig::default())
+}
+
+/// [`jobs`] with explicit resilience knobs.
+pub fn jobs_with(addr: &str, config: &ClientConfig) -> Result<Vec<JobSummary>, String> {
+    let (_writer, mut reader) = send_request(addr, &Request::Jobs, config.timeout)?;
     match read_event(&mut reader, addr)? {
         Event::Jobs { jobs } => Ok(jobs),
         Event::Error { message } => Err(message),
@@ -141,7 +372,7 @@ pub fn fetch_report(addr: &str, job: &str) -> Result<Report, String> {
     let request = Request::Report {
         job: job.to_owned(),
     };
-    let (_writer, mut reader) = send_request(addr, &request)?;
+    let (_writer, mut reader) = send_request(addr, &request, ClientConfig::default().timeout)?;
     match read_event(&mut reader, addr)? {
         Event::Report { report, .. } => Ok(report),
         Event::Error { message } => Err(message),
@@ -151,7 +382,8 @@ pub fn fetch_report(addr: &str, job: &str) -> Result<Report, String> {
 
 /// Liveness probe; returns the server's protocol version.
 pub fn ping(addr: &str) -> Result<u32, String> {
-    let (_writer, mut reader) = send_request(addr, &Request::Ping)?;
+    let (_writer, mut reader) =
+        send_request(addr, &Request::Ping, ClientConfig::default().timeout)?;
     match read_event(&mut reader, addr)? {
         Event::Pong { version } => Ok(version),
         Event::Error { message } => Err(message),
@@ -159,12 +391,46 @@ pub fn ping(addr: &str) -> Result<u32, String> {
     }
 }
 
-/// Asks the server to stop gracefully (the running job finishes first).
+/// Asks the server to stop gracefully (drain: the running job finishes
+/// first).
 pub fn shutdown(addr: &str) -> Result<(), String> {
-    let (_writer, mut reader) = send_request(addr, &Request::Shutdown)?;
+    shutdown_with(addr, true, &ClientConfig::default())
+}
+
+/// [`shutdown`] with explicit drain mode and resilience knobs: `drain:
+/// false` cancels the running job at its next class-group boundary instead
+/// of finishing it.
+pub fn shutdown_with(addr: &str, drain: bool, config: &ClientConfig) -> Result<(), String> {
+    let (_writer, mut reader) = send_request(addr, &Request::Shutdown { drain }, config.timeout)?;
     match read_event(&mut reader, addr)? {
         Event::Stopping => Ok(()),
         Event::Error { message } => Err(message),
         other => Err(format!("unexpected server message: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let config = ClientConfig::default();
+        assert_eq!(config.backoff_delay(0), Duration::from_millis(250));
+        assert_eq!(config.backoff_delay(1), Duration::from_millis(500));
+        assert_eq!(config.backoff_delay(2), Duration::from_millis(1000));
+        assert_eq!(config.backoff_delay(4), Duration::from_secs(4));
+        assert_eq!(config.backoff_delay(10), Duration::from_secs(4));
+        assert_eq!(config.backoff_delay(40), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn timeout_errors_are_recognisable() {
+        assert!(is_timeout("timed out waiting for 127.0.0.1:1"));
+        assert!(!is_timeout("cannot connect to 127.0.0.1:1: refused"));
+        let e = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow");
+        assert!(is_timeout(&io_error("127.0.0.1:1", "waiting for", &e)));
+        let e = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no");
+        assert!(!is_timeout(&io_error("127.0.0.1:1", "connect to", &e)));
     }
 }

@@ -23,14 +23,68 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use elsq_sim::store::write_json_atomic;
+use elsq_sim::store::write_json_atomic_site;
 use elsq_sim::ScenarioSpec;
+use elsq_stats::canon::canonical_hash_of;
+use elsq_workload::suite::WorkloadClass;
 
-use crate::protocol::{JobState, JobSummary};
+use crate::protocol::{Event, JobState, JobSummary};
 
 /// Version tag of the journal record layout; bumped on incompatible
 /// changes so an old journal fails loudly instead of mis-decoding.
-pub const JOB_RECORD_VERSION: u32 = 1;
+/// v2: per-point event log (the `Resume` replay source), `failed` count,
+/// and a whole-record checksum.
+pub const JOB_RECORD_VERSION: u32 = 2;
+
+/// The fault-injection site name of journal writes.
+const RECORD_WRITE_SITE: &str = "job.record.write";
+
+/// One journaled per-point event — the durable source for replaying a
+/// job's progress stream to a [`crate::protocol::Request::Resume`] client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointEvent {
+    /// Per-job event sequence number (1-based).
+    pub seq: u64,
+    /// Points finished when this event fired, including this one.
+    pub done: u64,
+    /// The point's plan label.
+    pub label: String,
+    /// The point's workload class.
+    pub class: WorkloadClass,
+    /// Whether the point was cached when the job started.
+    pub cached: bool,
+    /// For a failed point: where it failed. `None` means success.
+    pub site: Option<String>,
+    /// For a failed point: why.
+    pub error: Option<String>,
+}
+
+impl PointEvent {
+    /// The wire event this journal entry replays as.
+    pub fn to_event(&self, job: &str, total: u64) -> Event {
+        match &self.site {
+            None => Event::Point {
+                job: job.to_owned(),
+                seq: self.seq,
+                done: self.done,
+                total,
+                label: self.label.clone(),
+                class: self.class,
+                cached: self.cached,
+            },
+            Some(site) => Event::PointFailed {
+                job: job.to_owned(),
+                seq: self.seq,
+                done: self.done,
+                total,
+                label: self.label.clone(),
+                class: self.class,
+                site: site.clone(),
+                error: self.error.clone().unwrap_or_default(),
+            },
+        }
+    }
+}
 
 /// The durable form of one job, journaled under `<store>/jobs/`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,8 +108,18 @@ pub struct JobRecord {
     pub hits: u64,
     /// Points simulated fresh (this run of the job).
     pub misses: u64,
+    /// Points that failed (this run of the job); a `Done` record with
+    /// `failed > 0` finished *degraded*.
+    pub failed: u64,
+    /// Per-point events of this run, in emission order — replayed to
+    /// `Resume` clients.
+    pub events: Vec<PointEvent>,
     /// The failure message, for [`JobState::Failed`] jobs.
     pub error: Option<String>,
+    /// Whole-record checksum: the canonical hash of this record with
+    /// `checksum` itself zeroed. [`write_record`] (re)seals it; any bit
+    /// flip of the journaled file fails [`load_records`] loudly.
+    pub checksum: u64,
 }
 
 impl JobRecord {
@@ -69,8 +133,31 @@ impl JobRecord {
             completed: self.completed,
             hits: self.hits,
             misses: self.misses,
+            failed: self.failed,
             error: self.error.clone(),
         }
+    }
+
+    /// A copy with a freshly computed whole-record checksum.
+    fn sealed(&self) -> JobRecord {
+        let mut sealed = self.clone();
+        sealed.checksum = 0;
+        sealed.checksum = canonical_hash_of(&sealed);
+        sealed
+    }
+
+    /// Verifies the stored checksum against the record's content.
+    pub fn verify_checksum(&self) -> Result<(), String> {
+        let mut unsealed = self.clone();
+        unsealed.checksum = 0;
+        let expected = canonical_hash_of(&unsealed);
+        if self.checksum != expected {
+            return Err(format!(
+                "stored checksum {:016x} but content hashes to {expected:016x}",
+                self.checksum
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -110,13 +197,19 @@ pub fn report_path(store_dir: &Path, id: &str) -> PathBuf {
     jobs_dir(store_dir).join(format!("job-{id}.report.json"))
 }
 
-/// Journals `record` atomically (temp + rename). `unique` disambiguates
-/// temp names, exactly as for the store's point files.
+/// Journals `record` atomically (temp + rename + fsync), (re)sealing its
+/// whole-record checksum first. `unique` disambiguates temp names, exactly
+/// as for the store's point files. Fault-injectable at `job.record.write`.
 pub fn write_record(store_dir: &Path, record: &JobRecord, unique: u64) -> Result<(), String> {
     let dir = jobs_dir(store_dir);
     std::fs::create_dir_all(&dir)
         .map_err(|e| format!("cannot create job journal {}: {e}", dir.display()))?;
-    write_json_atomic(&record_path(store_dir, &record.id), record, unique)
+    write_json_atomic_site(
+        &record_path(store_dir, &record.id),
+        &record.sealed(),
+        unique,
+        Some(RECORD_WRITE_SITE),
+    )
 }
 
 /// Loads every journaled record, sorted by submission sequence. A missing
@@ -170,6 +263,13 @@ pub fn load_records(store_dir: &Path) -> Result<Vec<JobRecord>, String> {
                 record.id
             ));
         }
+        if let Err(e) = record.verify_checksum() {
+            return Err(format!(
+                "job record {} fails its checksum ({e}); delete it (or the \
+                 jobs/ directory) to discard the job",
+                path.display()
+            ));
+        }
         records.push(record);
     }
     records.sort_by_key(|r| r.seq);
@@ -217,7 +317,10 @@ mod tests {
             completed: 0,
             hits: 0,
             misses: 0,
+            failed: 0,
+            events: Vec::new(),
             error: None,
+            checksum: 0,
         }
     }
 
@@ -266,5 +369,54 @@ mod tests {
         let err = load_records(&dir).unwrap_err();
         assert!(err.contains("file name"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_record_content_fails_the_checksum() {
+        let dir = tmp_dir("cksum");
+        write_record(&dir, &record("a", 1, JobState::Done), 0).unwrap();
+        let path = record_path(&dir, "a");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a content field without recomputing the checksum.
+        let tampered = text.replace("\"completed\": 0", "\"completed\": 1");
+        assert_ne!(tampered, text);
+        std::fs::write(&path, tampered).unwrap();
+        let err = load_records(&dir).unwrap_err();
+        assert!(err.contains("fails its checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn point_events_replay_as_wire_events() {
+        let ok = PointEvent {
+            seq: 1,
+            done: 1,
+            label: "rob=48".into(),
+            class: WorkloadClass::Fp,
+            cached: true,
+            site: None,
+            error: None,
+        };
+        assert!(matches!(
+            ok.to_event("j1", 4),
+            Event::Point {
+                seq: 1,
+                done: 1,
+                total: 4,
+                ..
+            }
+        ));
+        let failed = PointEvent {
+            site: Some("point.sim".into()),
+            error: Some("injected".into()),
+            ..ok
+        };
+        match failed.to_event("j1", 4) {
+            Event::PointFailed { site, error, .. } => {
+                assert_eq!(site, "point.sim");
+                assert_eq!(error, "injected");
+            }
+            other => panic!("expected PointFailed, got {other:?}"),
+        }
     }
 }

@@ -18,10 +18,16 @@ use elsq_sim::ScenarioSpec;
 use elsq_stats::report::Report;
 use elsq_workload::suite::WorkloadClass;
 
-/// Protocol version, reported by [`Event::Pong`]. Bumped on incompatible
-/// message changes so mismatched binaries fail loudly instead of
-/// mis-parsing.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version, reported by [`Event::Pong`] and carried by
+/// [`Request::Submit`]/[`Request::Resume`]. Bumped on incompatible message
+/// changes so mismatched binaries fail loudly instead of mis-parsing.
+///
+/// v2 (this version): `Submit` carries `version`, `Shutdown` gained
+/// `drain`, `Point` events carry a per-job `seq`, `PointFailed`/`Resume`
+/// exist, and `Done`/`JobSummary` count `failed` points. A v1 client's
+/// `Submit` is missing the `version` field and a v1 server chokes on a v2
+/// `Submit`'s — either direction fails loudly at decode, never silently.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default address the daemon listens on (and clients connect to) when
 /// `--addr`/`--connect` is not given.
@@ -35,13 +41,32 @@ pub enum Request {
     /// [`Event::Point`] progress lines, and a terminal [`Event::Done`] /
     /// [`Event::Failed`].
     Submit {
+        /// The client's [`PROTOCOL_VERSION`]; the server rejects a
+        /// mismatch with [`Event::Error`] naming both versions.
+        version: u32,
         /// Client-chosen job id (1–64 chars of `[A-Za-z0-9_-]`), or `None`
         /// to let the server assign one. Resubmitting an id with the same
         /// spec attaches to that job; with a different spec it is an error.
+        /// Resubmitting a *degraded-done* job (some points failed)
+        /// re-enqueues it: already-cached points replay as hits and only
+        /// the failed/missing points are re-run.
         id: Option<String>,
         /// The scenario to expand and run — exactly the `elsq-lab sweep`
         /// spec model.
         spec: ScenarioSpec,
+    },
+    /// Re-attach to a job's event stream after a dropped connection. The
+    /// server replays the journaled per-point events with `seq >
+    /// after_seq`, then streams live ones; a terminal job replays its
+    /// terminal event. Answered like [`Request::Submit`].
+    Resume {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Job id to re-attach to.
+        job: String,
+        /// The highest event [`Event::Point`]/[`Event::PointFailed`] `seq`
+        /// the client has already seen (0 for none).
+        after_seq: u64,
     },
     /// List the job table. Answered by one [`Event::Jobs`].
     Jobs,
@@ -53,9 +78,14 @@ pub enum Request {
     },
     /// Liveness/version probe. Answered by [`Event::Pong`].
     Ping,
-    /// Ask the daemon to stop: the running job finishes, queued jobs stay
-    /// journaled for the next boot. Answered by [`Event::Stopping`].
-    Shutdown,
+    /// Ask the daemon to stop. Answered by [`Event::Stopping`].
+    Shutdown {
+        /// `true`: finish the running job first (queued jobs stay
+        /// journaled for the next boot). `false`: cancel the running job
+        /// at its next class-group boundary; its finished points are in
+        /// the store, so a resubmission resumes from them.
+        drain: bool,
+    },
 }
 
 /// Lifecycle state of a job in the server's table.
@@ -89,6 +119,9 @@ pub struct JobSummary {
     pub hits: u64,
     /// Points simulated fresh.
     pub misses: u64,
+    /// Points that failed (a [`JobState::Done`] job with `failed > 0`
+    /// finished *degraded*).
+    pub failed: u64,
     /// The failure message, for [`JobState::Failed`] jobs.
     pub error: Option<String>,
 }
@@ -112,6 +145,10 @@ pub enum Event {
     Point {
         /// The job id.
         job: String,
+        /// Per-job event sequence number (1-based, shared with
+        /// [`Event::PointFailed`]) — the resume cursor for
+        /// [`Request::Resume`]'s `after_seq`.
+        seq: u64,
         /// Points finished so far, including this one.
         done: u64,
         /// Total plan points.
@@ -124,8 +161,32 @@ pub enum Event {
         /// started (it cost no simulation).
         cached: bool,
     },
+    /// One plan point *failed* (a contained simulation panic or a failed
+    /// cache write-back); the job keeps running and finishes degraded.
+    PointFailed {
+        /// The job id.
+        job: String,
+        /// Per-job event sequence number (shared with [`Event::Point`]).
+        seq: u64,
+        /// Points finished so far, including this one.
+        done: u64,
+        /// Total plan points.
+        total: u64,
+        /// The point's plan label (`axis=value,...`).
+        label: String,
+        /// The point's workload class.
+        class: WorkloadClass,
+        /// Where it failed (a fault-injection site name, `"sim"`, or
+        /// `"store.write"`).
+        site: String,
+        /// Why it failed.
+        error: String,
+    },
     /// Terminal: the job finished and this is its merged report —
-    /// byte-identical to the offline `elsq-lab sweep` of the same spec.
+    /// byte-identical to the offline `elsq-lab sweep` of the same spec
+    /// when `failed == 0`. A `failed > 0` job is *degraded*: the report
+    /// names each failed point, and resubmitting the job id re-runs only
+    /// the failed/missing points.
     Done {
         /// The job id.
         job: String,
@@ -135,6 +196,8 @@ pub enum Event {
         hits: u64,
         /// Points this job simulated fresh.
         misses: u64,
+        /// Points that failed.
+        failed: u64,
         /// Points in the shared store after the job.
         store_points: u64,
     },
@@ -213,17 +276,25 @@ mod tests {
     fn requests_round_trip_as_single_lines() {
         let requests = vec![
             Request::Submit {
+                version: PROTOCOL_VERSION,
                 id: Some("night-sweep".into()),
                 spec: demo_spec(),
             },
             Request::Submit {
+                version: PROTOCOL_VERSION,
                 id: None,
                 spec: demo_spec(),
+            },
+            Request::Resume {
+                version: PROTOCOL_VERSION,
+                job: "j1".into(),
+                after_seq: 3,
             },
             Request::Jobs,
             Request::Report { job: "j1".into() },
             Request::Ping,
-            Request::Shutdown,
+            Request::Shutdown { drain: true },
+            Request::Shutdown { drain: false },
         ];
         for request in requests {
             let line = encode_line(&request);
@@ -244,17 +315,29 @@ mod tests {
             },
             Event::Point {
                 job: "j1".into(),
+                seq: 1,
                 done: 1,
                 total: 4,
                 label: "rob=48".into(),
                 class: WorkloadClass::Fp,
                 cached: true,
             },
+            Event::PointFailed {
+                job: "j1".into(),
+                seq: 2,
+                done: 2,
+                total: 4,
+                label: "rob=64".into(),
+                class: WorkloadClass::Fp,
+                site: "point.sim".into(),
+                error: "injected panic".into(),
+            },
             Event::Done {
                 job: "j1".into(),
                 report: Report::new("sweep-demo", "Scenario sweep: demo", demo_spec().params),
                 hits: 1,
                 misses: 3,
+                failed: 1,
                 store_points: 4,
             },
             Event::Failed {
@@ -270,6 +353,7 @@ mod tests {
                     completed: 4,
                     hits: 1,
                     misses: 3,
+                    failed: 0,
                     error: None,
                 }],
             },
@@ -293,5 +377,22 @@ mod tests {
     fn decode_rejects_garbage_naming_the_payload() {
         let err = decode_line::<Request>("{oops\n").unwrap_err();
         assert!(err.contains("{oops"), "{err}");
+    }
+
+    #[test]
+    fn v1_messages_fail_loudly_not_silently() {
+        // A v1 Submit has no `version` field: missing-field is a loud
+        // decode error with this workspace's serde.
+        let v2 = encode_line(&Request::Submit {
+            version: PROTOCOL_VERSION,
+            id: None,
+            spec: demo_spec(),
+        });
+        let v1 = v2.replace(&format!("\"version\":{PROTOCOL_VERSION},"), "");
+        assert_ne!(v1, v2, "the version field must be present to strip");
+        decode_line::<Request>(&v1).unwrap_err();
+        // A v1 Shutdown was a unit variant (a bare JSON string); v2's
+        // struct variant cannot decode it.
+        decode_line::<Request>("\"Shutdown\"\n").unwrap_err();
     }
 }

@@ -17,9 +17,21 @@
 //! Progress events fan out to per-job subscriber channels; a connection is
 //! a subscriber from `Accepted` until the terminal event.
 //!
-//! Shutdown is graceful: the running job finishes, queued jobs stay
-//! journaled (the next boot re-enqueues them), and waiting connections get
-//! [`Event::Stopping`].
+//! Shutdown is graceful: a *drain* shutdown lets the running job finish, a
+//! plain one cancels it at its next class-group boundary (finished points
+//! are in the store, so a resubmission resumes from them); queued jobs stay
+//! journaled either way (the next boot re-enqueues them), and waiting
+//! connections get [`Event::Stopping`]. SIGTERM (when the CLI installed the
+//! trap) behaves like a plain shutdown.
+//!
+//! **Robustness**: the plan runs on a dedicated worker thread whose points
+//! are panic-isolated — a point that panics (or whose cache write-back
+//! fails) becomes an [`Event::PointFailed`] and the job finishes *degraded*
+//! (`Done` with `failed > 0`); resubmitting a degraded job re-runs only the
+//! failed/missing points. A configurable watchdog
+//! ([`ServeConfig::watchdog`]) marks a wedged job `Failed` when no point
+//! completes within the window, and the abandoned worker is poisoned so it
+//! cannot journal stale progress if it ever revives.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -30,12 +42,13 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use elsq_sim::driver::install_result_cache;
-use elsq_sim::scenario::{run_plan_with, sweep_report, PointKey};
+use elsq_sim::pool::panic_message;
+use elsq_sim::scenario::{run_plan_ctrl, sweep_report, PointKey, PointOutcome, SweepPlan};
 use elsq_sim::store::{write_json_atomic, ResultStore};
 use elsq_sim::ScenarioSpec;
 use elsq_stats::report::Report;
 
-use crate::job::{self, validate_job_id, JobRecord, JOB_RECORD_VERSION};
+use crate::job::{self, validate_job_id, JobRecord, PointEvent, JOB_RECORD_VERSION};
 use crate::protocol::{self, Event, JobState, Request, PROTOCOL_VERSION};
 
 /// How the daemon is configured (the `elsq-lab serve` flags).
@@ -49,6 +62,10 @@ pub struct ServeConfig {
     /// Reuse a store directory that already holds cached points — required
     /// on every restart, exactly like `sweep --resume`.
     pub resume: bool,
+    /// Per-job progress watchdog: when set, a job that completes no point
+    /// for this long is marked `Failed` (naming the watchdog) and the
+    /// runner moves on. `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 /// The daemon entry point; see [`Server::start`].
@@ -68,10 +85,18 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Requests a graceful stop, exactly like a [`Request::Shutdown`] from
-    /// a client: the running job finishes, queued jobs stay journaled.
+    /// Requests a graceful *drain* stop, exactly like a
+    /// [`Request::Shutdown`] with `drain: true` from a client: the running
+    /// job finishes, queued jobs stay journaled.
     pub fn shutdown(&self) {
-        self.inner.request_shutdown();
+        self.inner.request_shutdown(true);
+    }
+
+    /// Requests a fast stop, like [`Request::Shutdown`] with
+    /// `drain: false`: the running job is cancelled at its next class-group
+    /// boundary and re-queued; its finished points are in the store.
+    pub fn shutdown_now(&self) {
+        self.inner.request_shutdown(false);
     }
 
     /// Waits for the accept and runner threads to exit (after a shutdown
@@ -95,6 +120,10 @@ struct Inner {
     state: Mutex<ServeState>,
     work: Condvar,
     shutdown: AtomicBool,
+    /// Set by a non-drain shutdown: the running plan stops at its next
+    /// class-group boundary.
+    cancel: AtomicBool,
+    watchdog: Option<Duration>,
     next_seq: AtomicU64,
     unique: AtomicU64,
 }
@@ -112,11 +141,15 @@ impl Inner {
         )
     }
 
-    /// Sets the shutdown flag and wakes the runner. The notify happens
-    /// under the state mutex so a runner between its flag check and its
-    /// condvar wait cannot miss the wakeup.
-    fn request_shutdown(&self) {
+    /// Sets the shutdown flag and wakes the runner; a non-drain shutdown
+    /// additionally asks the running plan to stop at its next class-group
+    /// boundary. The notify happens under the state mutex so a runner
+    /// between its flag check and its condvar wait cannot miss the wakeup.
+    fn request_shutdown(&self, drain: bool) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if !drain {
+            self.cancel.store(true, Ordering::SeqCst);
+        }
         let _state = self.lock_state();
         self.work.notify_all();
     }
@@ -180,6 +213,8 @@ impl Server {
                 record.completed = 0;
                 record.hits = 0;
                 record.misses = 0;
+                record.failed = 0;
+                record.events.clear();
                 record.error = None;
                 job::write_record(&config.store_dir, &record, 0)?;
                 queue.push_back(record.id.clone());
@@ -204,6 +239,8 @@ impl Server {
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            watchdog: config.watchdog,
             next_seq: AtomicU64::new(max_seq + 1),
             unique: AtomicU64::new(1),
         });
@@ -267,6 +304,24 @@ fn runner_loop(inner: Arc<Inner>) {
     }
 }
 
+/// How a job's worker thread ended.
+enum WorkerEnd {
+    /// Every point resolved (some possibly [`PointOutcome::Failed`]).
+    Finished(elsq_sim::scenario::PlanResults),
+    /// The plan was cancelled at a group boundary (non-drain shutdown).
+    Cancelled(String),
+    /// The plan run itself panicked (e.g. a corrupt cache lookup or a
+    /// failed journal write) — a whole-job failure, not a point failure.
+    Panicked(String),
+}
+
+/// What the worker sends the runner: a heartbeat per finished point (the
+/// watchdog food) or the terminal outcome.
+enum WorkerMsg {
+    Progress,
+    End(WorkerEnd),
+}
+
 fn run_job(inner: &Arc<Inner>, id: &str) {
     let spec = {
         let state = inner.lock_state();
@@ -281,7 +336,7 @@ fn run_job(inner: &Arc<Inner>, id: &str) {
     // Submission already validated expansion, but the journal may hold a
     // job from an older binary whose spec no longer expands.
     let plan = match spec.expand() {
-        Ok(plan) => plan,
+        Ok(plan) => Arc::new(plan),
         Err(e) => return fail_job(inner, id, format!("scenario does not expand: {e}")),
     };
     let total = plan.len() as u64;
@@ -291,48 +346,75 @@ fn run_job(inner: &Arc<Inner>, id: &str) {
     let misses_before = inner.store.misses();
     // Pre-classify the points so progress events can say "cached" without
     // touching the counters the deltas are computed from.
-    let cached: Vec<bool> = plan
-        .points
-        .iter()
-        .map(|p| {
-            inner
-                .store
-                .contains(&PointKey::current(p.config, p.class, &spec.params))
-        })
-        .collect();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut done = 0u64;
-        run_plan_with(&plan, &spec.params, |point, _suite| {
-            done += 1;
-            let hits = inner.store.hits() - hits_before;
-            let misses = inner.store.misses() - misses_before;
-            inner
-                .update_record(id, |r| {
-                    r.completed = done;
-                    r.hits = hits;
-                    r.misses = misses;
-                })
-                .unwrap_or_else(|e| panic!("job journal write failed: {e}"));
-            let index = plan
-                .points
-                .iter()
-                .position(|p| p.label == point.label && p.class == point.class)
-                .expect("observed point is in the plan");
-            inner.emit(
-                id,
-                &Event::Point {
-                    job: id.to_owned(),
-                    done,
-                    total,
-                    label: point.label.clone(),
-                    class: point.class,
-                    cached: cached[index],
-                },
-            );
-        })
-    }));
-    match outcome {
-        Ok(results) => {
+    let cached: Arc<Vec<bool>> = Arc::new(
+        plan.points
+            .iter()
+            .map(|p| {
+                inner
+                    .store
+                    .contains(&PointKey::current(p.config, p.class, &spec.params))
+            })
+            .collect(),
+    );
+    // The plan runs on a dedicated worker thread so the runner can watchdog
+    // it; a wedged worker is *abandoned* (not joined — threads cannot be
+    // killed) and the flag below makes it panic out at its next progress
+    // point instead of journaling stale state.
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+    let spawned = {
+        let inner = Arc::clone(inner);
+        let id = id.to_owned();
+        let plan = Arc::clone(&plan);
+        let cached = Arc::clone(&cached);
+        let abandoned = Arc::clone(&abandoned);
+        let spec = spec.clone();
+        let tx_end = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("elsq-serve-job-{id}"))
+            .spawn(move || {
+                let end = job_worker(&inner, &id, &spec, &plan, &cached, total, &abandoned, &tx);
+                let _ = tx_end.send(WorkerMsg::End(end));
+            })
+    };
+    if let Err(e) = spawned {
+        return fail_job(inner, id, format!("cannot spawn job worker: {e}"));
+    }
+    let end = loop {
+        let msg = match inner.watchdog {
+            Some(window) => match rx.recv_timeout(window) {
+                Ok(msg) => msg,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    abandoned.store(true, Ordering::SeqCst);
+                    return fail_job(
+                        inner,
+                        id,
+                        format!(
+                            "watchdog: no point completed in {}s; the job is wedged",
+                            window.as_secs()
+                        ),
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    break WorkerEnd::Panicked("job worker died without reporting".to_owned())
+                }
+            },
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => {
+                    break WorkerEnd::Panicked("job worker died without reporting".to_owned())
+                }
+            },
+        };
+        match msg {
+            WorkerMsg::Progress => continue,
+            WorkerMsg::End(end) => break end,
+        }
+    };
+    match end {
+        WorkerEnd::Finished(results) => {
+            let failed = results.failed();
+            let failed_count = failed.len() as u64;
             let report = sweep_report(&spec, &plan, &results);
             let unique = inner.unique.fetch_add(1, Ordering::Relaxed);
             // Report before record: a record that says Done guarantees the
@@ -350,6 +432,7 @@ fn run_job(inner: &Arc<Inner>, id: &str) {
                 r.completed = total;
                 r.hits = hits;
                 r.misses = misses;
+                r.failed = failed_count;
             }) {
                 return fail_job(inner, id, format!("cannot journal job completion: {e}"));
             }
@@ -360,11 +443,103 @@ fn run_job(inner: &Arc<Inner>, id: &str) {
                     report,
                     hits,
                     misses,
+                    failed: failed_count,
                     store_points: inner.store.len() as u64,
                 },
             );
         }
-        Err(panic) => fail_job(inner, id, panic_message(panic)),
+        WorkerEnd::Cancelled(_why) => {
+            // Put the job back in line for the next boot (the shutdown flag
+            // is already set, so this runner will not pick it up again);
+            // its finished points are in the store.
+            let _ = inner.update_record(id, |r| {
+                r.state = JobState::Queued;
+                r.completed = 0;
+                r.hits = 0;
+                r.misses = 0;
+                r.failed = 0;
+                r.events.clear();
+                r.error = None;
+            });
+            inner.finish(id, &Event::Stopping);
+        }
+        WorkerEnd::Panicked(message) => fail_job(inner, id, message),
+    }
+}
+
+/// The body of one job's worker thread: runs the plan with per-point
+/// journaling + event emission, under panic isolation.
+#[allow(clippy::too_many_arguments)]
+fn job_worker(
+    inner: &Arc<Inner>,
+    id: &str,
+    spec: &ScenarioSpec,
+    plan: &SweepPlan,
+    cached: &[bool],
+    total: u64,
+    abandoned: &AtomicBool,
+    heartbeat: &mpsc::Sender<WorkerMsg>,
+) -> WorkerEnd {
+    let hits_base = inner.store.hits();
+    let misses_base = inner.store.misses();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut done = 0u64;
+        let mut failed_so_far = 0u64;
+        run_plan_ctrl(
+            plan,
+            &spec.params,
+            |point, outcome| {
+                if abandoned.load(Ordering::SeqCst) {
+                    // The watchdog already declared this job dead; a stale
+                    // journal write here would corrupt the successor run.
+                    panic!("job `{id}` was abandoned by the watchdog");
+                }
+                done += 1;
+                let seq = done;
+                if outcome.is_failed() {
+                    failed_so_far += 1;
+                }
+                let index = plan
+                    .points
+                    .iter()
+                    .position(|p| p.label == point.label && p.class == point.class)
+                    .expect("observed point is in the plan");
+                let (site, error) = match outcome {
+                    PointOutcome::Ok(_) => (None, None),
+                    PointOutcome::Failed { site, msg } => (Some(site.clone()), Some(msg.clone())),
+                };
+                let entry = PointEvent {
+                    seq,
+                    done,
+                    label: point.label.clone(),
+                    class: point.class,
+                    cached: cached[index],
+                    site,
+                    error,
+                };
+                let hits = inner.store.hits() - hits_base;
+                let misses = inner.store.misses() - misses_base;
+                // Journal before emit: a Resume replay from the record is
+                // then guaranteed to cover everything ever emitted.
+                inner
+                    .update_record(id, |r| {
+                        r.completed = done;
+                        r.hits = hits;
+                        r.misses = misses;
+                        r.failed = failed_so_far;
+                        r.events.push(entry.clone());
+                    })
+                    .unwrap_or_else(|e| panic!("job journal write failed: {e}"));
+                inner.emit(id, &entry.to_event(id, total));
+                let _ = heartbeat.send(WorkerMsg::Progress);
+            },
+            || inner.cancel.load(Ordering::SeqCst),
+        )
+    }));
+    match outcome {
+        Ok(Ok(results)) => WorkerEnd::Finished(results),
+        Ok(Err(why)) => WorkerEnd::Cancelled(why),
+        Err(panic) => WorkerEnd::Panicked(panic_message(panic.as_ref())),
     }
 }
 
@@ -384,21 +559,17 @@ fn fail_job(inner: &Arc<Inner>, id: &str, error: String) {
     );
 }
 
-fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "job panicked".to_owned()
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Accept thread and per-connection handlers.
 
 fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
     loop {
+        // SIGTERM (when the CLI installed the trap) is a fast shutdown:
+        // cancel the running job at its next group boundary and exit; the
+        // journal and store make the next boot resume cleanly.
+        if crate::signal::sigterm_pending() {
+            inner.request_shutdown(false);
+        }
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -417,7 +588,27 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
     }
 }
 
+/// The fault-injection site name of per-connection event sends.
+const SERVE_EVENT_SITE: &str = "serve.event";
+
 fn send(writer: &mut TcpStream, event: &Event) -> std::io::Result<()> {
+    if let Some(injected) = elsq_sim::fault::fire(SERVE_EVENT_SITE) {
+        match injected.action {
+            elsq_sim::FaultAction::Drop => {
+                // Simulate the connection dying mid-stream: the caller
+                // sees a send error and closes, exactly like a real peer
+                // reset. The client's Resume path recovers from here.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "injected connection drop",
+                ));
+            }
+            elsq_sim::FaultAction::Stall { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+    }
     writer.write_all(protocol::encode_line(event).as_bytes())?;
     writer.flush()
 }
@@ -478,11 +669,120 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
             };
             let _ = send(&mut writer, &event);
         }
-        Request::Shutdown => {
-            inner.request_shutdown();
+        Request::Shutdown { drain } => {
+            inner.request_shutdown(drain);
             let _ = send(&mut writer, &Event::Stopping);
         }
-        Request::Submit { id, spec } => handle_submit(&inner, &mut writer, id, spec),
+        Request::Submit { version, id, spec } => {
+            if let Some(error) = version_mismatch(version) {
+                let _ = send(&mut writer, &error);
+                return;
+            }
+            handle_submit(&inner, &mut writer, id, spec);
+        }
+        Request::Resume {
+            version,
+            job,
+            after_seq,
+        } => {
+            if let Some(error) = version_mismatch(version) {
+                let _ = send(&mut writer, &error);
+                return;
+            }
+            handle_resume(&inner, &mut writer, &job, after_seq);
+        }
+    }
+}
+
+/// The rejection for a client speaking a different protocol version.
+fn version_mismatch(client: u32) -> Option<Event> {
+    (client != PROTOCOL_VERSION).then(|| Event::Error {
+        message: format!(
+            "client speaks protocol v{client} but this server speaks \
+             v{PROTOCOL_VERSION}; upgrade the older side"
+        ),
+    })
+}
+
+/// Handles a [`Request::Resume`]: re-attach to `job`'s stream, replaying
+/// the journaled events with `seq > after_seq` first. Subscribing and
+/// snapshotting the record happen under one lock, and the worker journals
+/// every event *before* emitting it — so the snapshot plus the live stream
+/// (filtered to `seq >` what the replay covered) is exactly the full
+/// sequence, no gaps and no duplicates.
+fn handle_resume(inner: &Arc<Inner>, writer: &mut TcpStream, job: &str, after_seq: u64) {
+    let (record, rx) = {
+        let mut state = inner.lock_state();
+        let Some(record) = state.records.get(job).cloned() else {
+            let _ = send(
+                writer,
+                &Event::Error {
+                    message: format!("unknown job `{job}`"),
+                },
+            );
+            return;
+        };
+        let rx = match record.state {
+            JobState::Queued | JobState::Running => {
+                let (tx, rx) = mpsc::channel();
+                state
+                    .subscribers
+                    .entry(job.to_owned())
+                    .or_default()
+                    .push(tx);
+                Some(rx)
+            }
+            JobState::Done | JobState::Failed => None,
+        };
+        (record, rx)
+    };
+    let accepted = Event::Accepted {
+        job: record.id.clone(),
+        points: record.total,
+        attached: true,
+    };
+    if send(writer, &accepted).is_err() {
+        return;
+    }
+    let mut replayed_to = after_seq;
+    for entry in &record.events {
+        if entry.seq <= after_seq {
+            continue;
+        }
+        replayed_to = replayed_to.max(entry.seq);
+        if send(writer, &entry.to_event(&record.id, record.total)).is_err() {
+            return;
+        }
+    }
+    match rx {
+        // Terminal job: replay its terminal event and close.
+        None => {
+            let terminal = terminal_event(inner, &record);
+            let _ = send(writer, &terminal);
+        }
+        Some(rx) => stream_events(writer, replayed_to, rx),
+    }
+}
+
+/// The terminal event a finished job replays: `Failed` with its journaled
+/// error, or `Done` with the report read back from disk.
+fn terminal_event(inner: &Arc<Inner>, record: &JobRecord) -> Event {
+    match record.state {
+        JobState::Failed => Event::Failed {
+            job: record.id.clone(),
+            error: record.error.clone().unwrap_or_default(),
+        },
+        _ => match load_report(&inner.store_dir, &record.id) {
+            Ok(report) => Event::Done {
+                job: record.id.clone(),
+                report,
+                hits: record.hits,
+                misses: record.misses,
+                failed: record.failed,
+                store_points: inner.store.len() as u64,
+            },
+            Err(message) => Event::Error { message },
+        },
     }
 }
 
@@ -554,6 +854,37 @@ fn handle_submit(
                 ))
             } else {
                 match existing.state {
+                    // A degraded job (Done with failures) re-enqueues on
+                    // resubmit: its successful points are in the store and
+                    // replay as hits; only the failed/missing points run.
+                    JobState::Done if existing.failed > 0 => {
+                        let id = existing.id.clone();
+                        let mut record = existing.clone();
+                        record.state = JobState::Queued;
+                        record.completed = 0;
+                        record.hits = 0;
+                        record.misses = 0;
+                        record.failed = 0;
+                        record.events.clear();
+                        record.error = None;
+                        match inner.journal(&record) {
+                            Err(e) => Admission::Rejected(format!(
+                                "cannot re-journal degraded job `{id}`: {e}"
+                            )),
+                            Ok(()) => {
+                                state.records.insert(id.clone(), record);
+                                state.queue.push_back(id.clone());
+                                let (tx, rx) = mpsc::channel();
+                                state.subscribers.entry(id.clone()).or_default().push(tx);
+                                inner.work.notify_all();
+                                Admission::Stream {
+                                    id,
+                                    rx,
+                                    attached: true,
+                                }
+                            }
+                        }
+                    }
                     JobState::Done | JobState::Failed => {
                         Admission::Replay(Box::new(existing.clone()))
                     }
@@ -593,7 +924,10 @@ fn handle_submit(
                 completed: 0,
                 hits: 0,
                 misses: 0,
+                failed: 0,
+                events: Vec::new(),
                 error: None,
+                checksum: 0,
             };
             // Journal before admitting: an accepted job must survive a
             // crash, or "resumes journaled incomplete jobs" is a lie.
@@ -628,46 +962,39 @@ fn handle_submit(
             if send(writer, &accepted).is_err() {
                 return;
             }
-            let terminal = match record.state {
-                JobState::Failed => Event::Failed {
-                    job: record.id.clone(),
-                    error: record.error.clone().unwrap_or_default(),
-                },
-                _ => match load_report(&inner.store_dir, &record.id) {
-                    Ok(report) => Event::Done {
-                        job: record.id.clone(),
-                        report,
-                        hits: record.hits,
-                        misses: record.misses,
-                        store_points: inner.store.len() as u64,
-                    },
-                    Err(message) => Event::Error { message },
-                },
-            };
+            let terminal = terminal_event(inner, &record);
             let _ = send(writer, &terminal);
         }
         Admission::Stream { id, rx, attached } => {
-            stream_job(writer, &id, total, attached, rx);
+            let accepted = Event::Accepted {
+                job: id.clone(),
+                points: total,
+                attached,
+            };
+            if send(writer, &accepted).is_err() {
+                return;
+            }
+            stream_events(writer, 0, rx);
         }
     }
 }
 
-fn stream_job(
-    writer: &mut TcpStream,
-    id: &str,
-    points: u64,
-    attached: bool,
-    rx: mpsc::Receiver<Event>,
-) {
-    let accepted = Event::Accepted {
-        job: id.to_owned(),
-        points,
-        attached,
-    };
-    if send(writer, &accepted).is_err() {
-        return;
+/// The per-point sequence number of an event, for resume-cursor filtering.
+fn event_seq(event: &Event) -> Option<u64> {
+    match event {
+        Event::Point { seq, .. } | Event::PointFailed { seq, .. } => Some(*seq),
+        _ => None,
     }
+}
+
+/// Streams live events to the client, skipping per-point events with
+/// `seq <= already_seen` (a Resume replay may race the live stream; the
+/// filter makes the overlap harmless).
+fn stream_events(writer: &mut TcpStream, already_seen: u64, rx: mpsc::Receiver<Event>) {
     for event in rx {
+        if event_seq(&event).is_some_and(|seq| seq <= already_seen) {
+            continue;
+        }
         let terminal = matches!(
             event,
             Event::Done { .. } | Event::Failed { .. } | Event::Stopping

@@ -37,6 +37,7 @@ fn daemon_answers_clients_over_tcp() {
         addr: "127.0.0.1:0".into(),
         store_dir: store_dir.clone(),
         resume: false,
+        watchdog: None,
     })
     .unwrap();
     let addr = handle.local_addr().to_string();

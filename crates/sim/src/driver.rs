@@ -42,9 +42,64 @@ use elsq_workload::suite::{suite, TraceRoster, WorkloadClass};
 
 pub use elsq_stats::report::ExperimentParams;
 
-use crate::pool::{parallel_map, parallel_map_with};
+use crate::fault;
+use crate::pool::{parallel_map, parallel_map_with, try_parallel_map};
 use crate::scenario::PointKey;
 use crate::store::ResultStore;
+
+/// Fault site name of the "panic at point N" / "stall at point N" hook:
+/// fired once per *fresh* (cache-miss) point, in plan order.
+const POINT_SIM_SITE: &str = "point.sim";
+
+/// A point-level failure: where it failed and why. Produced by the
+/// fallible `try_run_suite*` entry points when a simulation job panics or
+/// a cache write-back fails; [`crate::scenario::run_plan`] turns it into a
+/// [`crate::scenario::PointOutcome::Failed`] so one bad point degrades the
+/// sweep instead of aborting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteFailure {
+    /// The failure site: a fault-injection site name for injected
+    /// failures (recovered from the panic payload), `"sim"` for ordinary
+    /// simulation panics, `"store.write"` for failed write-backs.
+    pub site: String,
+    /// The failure message.
+    pub msg: String,
+}
+
+impl SiteFailure {
+    /// Classifies a caught panic message: injected faults carry their site
+    /// in the payload (see [`fault::panic_payload`]); anything else is an
+    /// ordinary simulation panic.
+    fn from_panic(payload: &str) -> Self {
+        match fault::split_panic_site(payload) {
+            Some((site, msg)) => SiteFailure {
+                site: site.to_owned(),
+                msg: msg.to_owned(),
+            },
+            None => SiteFailure {
+                site: "sim".to_owned(),
+                msg: payload.to_owned(),
+            },
+        }
+    }
+}
+
+/// Performs the armed `point.sim` fault inside a pool worker, so the
+/// pool's `catch_unwind` isolation is what contains it.
+fn trigger_point_fault(injected: &Option<fault::Injected>) {
+    if let Some(injected) = injected {
+        match &injected.action {
+            fault::FaultAction::Panic { msg } => {
+                panic!("{}", fault::panic_payload(POINT_SIM_SITE, msg))
+            }
+            fault::FaultAction::Stall { ms } => {
+                std::thread::sleep(std::time::Duration::from_millis(*ms))
+            }
+            // Validation restricts point.sim to Panic/Stall.
+            _ => {}
+        }
+    }
+}
 
 fn override_slot() -> &'static RwLock<Option<Arc<TraceRoster>>> {
     static SLOT: OnceLock<RwLock<Option<Arc<TraceRoster>>>> = OnceLock::new();
@@ -257,26 +312,60 @@ pub fn run_suite_labeled(
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<SimResult> {
+    match try_run_suite_labeled(label, config, class, params) {
+        Ok(results) => results,
+        Err(f) => panic!("point {label:?} failed at {}: {}", f.site, f.msg),
+    }
+}
+
+/// Fallible [`run_suite_labeled`]: a panicking simulation job (contained
+/// by the pool's `catch_unwind`) or a failed cache write-back becomes an
+/// `Err(SiteFailure)` naming the site, instead of unwinding the caller.
+/// A corrupt cache *lookup* still panics — that is global store damage,
+/// not a per-point failure, and degrading it would mask it.
+pub fn try_run_suite_labeled(
+    label: &str,
+    config: CpuConfig,
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Result<Vec<SimResult>, SiteFailure> {
     let cache = result_cache();
     let key = cache
         .as_ref()
         .map(|_| PointKey::current(config, class, params));
     if let (Some(store), Some(key)) = (&cache, &key) {
         match store.lookup(key) {
-            Ok(Some(results)) => return results,
+            Ok(Some(results)) => return Ok(results),
             Ok(None) => {}
             Err(e) => panic!("result cache lookup failed: {e}"),
         }
     }
-    let results = parallel_map(build_suite(class, params), |mut workload| {
+    let doomed = fault::fire(POINT_SIM_SITE);
+    let doomed = &doomed;
+    let jobs: Vec<(usize, Box<dyn TraceSource>)> =
+        build_suite(class, params).into_iter().enumerate().collect();
+    let attempts = try_parallel_map(jobs, move |(i, mut workload)| {
+        if i == 0 {
+            trigger_point_fault(doomed);
+        }
         Processor::new(config).run(workload.as_mut(), params.commits)
     });
-    if let (Some(store), Some(key)) = (&cache, &key) {
-        if let Err(e) = store.insert(key, label, &results) {
-            panic!("result cache write-back failed: {e}");
+    let mut results = Vec::with_capacity(attempts.len());
+    for attempt in attempts {
+        match attempt {
+            Ok(r) => results.push(r),
+            Err(msg) => return Err(SiteFailure::from_panic(&msg)),
         }
     }
-    results
+    if let (Some(store), Some(key)) = (&cache, &key) {
+        if let Err(e) = store.insert(key, label, &results) {
+            return Err(SiteFailure {
+                site: "store.write".to_owned(),
+                msg: format!("result cache write-back failed: {e}"),
+            });
+        }
+    }
+    Ok(results)
 }
 
 /// Runs many configurations over one workload class as a *batch*: the
@@ -305,6 +394,26 @@ pub fn run_suite_batched(
     class: WorkloadClass,
     params: &ExperimentParams,
 ) -> Vec<Vec<SimResult>> {
+    try_run_suite_batched(points, class, params)
+        .into_iter()
+        .zip(points)
+        .map(|(outcome, (label, _))| match outcome {
+            Ok(results) => results,
+            Err(f) => panic!("point {label:?} failed at {}: {}", f.site, f.msg),
+        })
+        .collect()
+}
+
+/// Fallible [`run_suite_batched`]: returns one outcome per input point, in
+/// input order. A point whose simulation jobs panic (contained per-job by
+/// the pool) or whose write-back fails yields `Err(SiteFailure)` in its
+/// slot; every other point of the batch still completes and caches. A
+/// corrupt cache lookup panics, as in [`try_run_suite_labeled`].
+pub fn try_run_suite_batched(
+    points: &[(&str, CpuConfig)],
+    class: WorkloadClass,
+    params: &ExperimentParams,
+) -> Vec<Result<Vec<SimResult>, SiteFailure>> {
     let cache = result_cache();
     let keys: Vec<Option<PointKey>> = points
         .iter()
@@ -314,12 +423,12 @@ pub fn run_suite_batched(
                 .map(|_| PointKey::current(*config, class, params))
         })
         .collect();
-    let mut out: Vec<Option<Vec<SimResult>>> = vec![None; points.len()];
+    let mut out: Vec<Option<Result<Vec<SimResult>, SiteFailure>>> = vec![None; points.len()];
     let mut misses: Vec<usize> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
         match (&cache, key) {
             (Some(store), Some(key)) => match store.lookup(key) {
-                Ok(Some(results)) => out[i] = Some(results),
+                Ok(Some(results)) => out[i] = Some(Ok(results)),
                 Ok(None) => misses.push(i),
                 Err(e) => panic!("result cache lookup failed: {e}"),
             },
@@ -331,24 +440,56 @@ pub fn run_suite_batched(
         // independently), then fan every (miss, workload) pair out as its
         // own job so wide grids keep all workers busy.
         let streams = capture_class_suite(class, params);
-        let jobs: Vec<(CpuConfig, Arc<SharedStream>)> = misses
+        // The point.sim fault site counts fresh points here, on the
+        // calling thread in plan order — deterministic regardless of how
+        // the jobs interleave across workers.
+        let dooms: Vec<Option<fault::Injected>> =
+            misses.iter().map(|_| fault::fire(POINT_SIM_SITE)).collect();
+        let dooms = &dooms;
+        let jobs: Vec<(usize, usize, CpuConfig, Arc<SharedStream>)> = misses
             .iter()
-            .flat_map(|&i| {
+            .enumerate()
+            .flat_map(|(mi, &i)| {
                 let config = points[i].1;
-                streams.iter().map(move |s| (config, Arc::clone(s)))
+                streams
+                    .iter()
+                    .enumerate()
+                    .map(move |(si, s)| (mi, si, config, Arc::clone(s)))
             })
             .collect();
         let commits = params.commits;
-        let results = parallel_map(jobs, move |(config, stream)| {
+        let results = try_parallel_map(jobs, move |(mi, si, config, stream)| {
+            if si == 0 {
+                trigger_point_fault(&dooms[mi]);
+            }
             Processor::new(config).run(&mut stream.cursor(), commits)
         });
-        for (&i, suite_results) in misses.iter().zip(results.chunks(streams.len())) {
-            if let (Some(store), Some(key)) = (&cache, &keys[i]) {
-                if let Err(e) = store.insert(key, points[i].0, suite_results) {
-                    panic!("result cache write-back failed: {e}");
+        for (&i, attempts) in misses.iter().zip(results.chunks(streams.len())) {
+            let mut suite_results = Vec::with_capacity(attempts.len());
+            let mut failure: Option<SiteFailure> = None;
+            for attempt in attempts {
+                match attempt {
+                    Ok(r) => suite_results.push(r.clone()),
+                    Err(msg) => {
+                        failure = Some(SiteFailure::from_panic(msg));
+                        break;
+                    }
                 }
             }
-            out[i] = Some(suite_results.to_vec());
+            if failure.is_none() {
+                if let (Some(store), Some(key)) = (&cache, &keys[i]) {
+                    if let Err(e) = store.insert(key, points[i].0, &suite_results) {
+                        failure = Some(SiteFailure {
+                            site: "store.write".to_owned(),
+                            msg: format!("result cache write-back failed: {e}"),
+                        });
+                    }
+                }
+            }
+            out[i] = Some(match failure {
+                Some(f) => Err(f),
+                None => Ok(suite_results),
+            });
         }
     }
     out.into_iter()

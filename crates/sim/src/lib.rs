@@ -46,6 +46,7 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod fault;
 pub mod pool;
 pub mod scenario;
 pub mod store;
@@ -55,8 +56,9 @@ pub use driver::{
     run_suite_with_threads, ExperimentParams,
 };
 pub use experiments::{find, registry, run_experiment, run_experiments, Experiment};
+pub use fault::{install_fault_plan, FaultAction, FaultPlan, FaultPlanGuard, FaultSpec};
 pub use scenario::{
     run_plan, run_plan_each, run_plan_with, sweep_report, PlanPoint, PlanResults, PointKey,
-    ScenarioSpec, SweepPlan,
+    PointOutcome, ScenarioSpec, SweepPlan,
 };
 pub use store::ResultStore;

@@ -21,6 +21,7 @@
 //! every deque is empty — so nesting cannot deadlock.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -57,17 +58,83 @@ where
 /// [`parallel_map`] with an explicit worker count — used by tests to
 /// exercise the work-stealing path even on single-core machines, and by
 /// callers that manage their own thread budget.
+///
+/// A panicking job re-raises its (stringified) payload here on the calling
+/// thread once every job has finished; use [`try_parallel_map_with`] to
+/// observe per-job panics instead.
 pub fn parallel_map_with<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    try_parallel_map_with(items, f, workers)
+        .into_iter()
+        .map(|r| match r {
+            Ok(value) => value,
+            Err(msg) => panic!("{msg}"),
+        })
+        .collect()
+}
+
+/// Panic-isolating [`parallel_map`]: every job runs under `catch_unwind`,
+/// and a job that panics yields `Err(panic message)` in its slot instead
+/// of unwinding the whole pool. The other jobs always run to completion.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = max_threads();
+    try_parallel_map_with(items, f, workers)
+}
+
+/// [`try_parallel_map`] with an explicit worker count.
+pub fn try_parallel_map_with<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let f = &f;
+    let caught = move |item: T| -> Result<R, String> {
+        // `payload.as_ref()`, not `&payload`: a `&Box<dyn Any + Send>`
+        // would itself coerce to `&dyn Any` (the Box is `'static + Send`),
+        // and then the `String` downcast inside `panic_message` could
+        // never succeed.
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    };
     let n = items.len();
     let workers = workers.min(n);
     if n <= 1 || workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(caught).collect();
     }
+    raw_parallel_map(items, caught, workers)
+}
+
+/// Renders a caught panic payload as a message string (`&str` and `String`
+/// payloads pass through verbatim).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+/// The work-stealing core: `f` must not panic (callers wrap jobs in
+/// `catch_unwind` first).
+fn raw_parallel_map<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
 
     // Per-worker deques, seeded round-robin so every worker starts busy.
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =

@@ -36,7 +36,7 @@ use elsq_stats::canon::{canonical_hash_of, hash_hex};
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
 use elsq_workload::suite::WorkloadClass;
 
-use crate::driver::{run_suite_batched, run_suite_labeled, trace_fingerprint};
+use crate::driver::{trace_fingerprint, try_run_suite_batched, try_run_suite_labeled, SiteFailure};
 
 /// One axis of a scenario grid: a name and the values it sweeps, both kept
 /// as strings so scenario files stay readable and diffable.
@@ -469,11 +469,57 @@ impl ScenarioSpec {
     }
 }
 
+/// What happened to one plan point: its suite results, or a first-class
+/// failure (a simulation panic contained by the pool, or a failed cache
+/// write-back) that degrades the sweep instead of aborting it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point ran (or was answered from the cache): per-workload
+    /// results, in suite order.
+    Ok(Vec<SimResult>),
+    /// The point failed; the rest of the plan still ran.
+    Failed {
+        /// Where it failed: a fault-injection site name for injected
+        /// failures, `"sim"` for ordinary simulation panics,
+        /// `"store.write"` for failed write-backs.
+        site: String,
+        /// Why it failed.
+        msg: String,
+    },
+}
+
+impl PointOutcome {
+    fn from_try(attempt: Result<Vec<SimResult>, SiteFailure>) -> Self {
+        match attempt {
+            Ok(results) => PointOutcome::Ok(results),
+            Err(f) => PointOutcome::Failed {
+                site: f.site,
+                msg: f.msg,
+            },
+        }
+    }
+
+    /// The suite results, `None` for a failed point.
+    pub fn results(&self) -> Option<&[SimResult]> {
+        match self {
+            PointOutcome::Ok(results) => Some(results),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the point failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointOutcome::Failed { .. })
+    }
+}
+
 /// The results of running a [`SweepPlan`], addressable by point label and
-/// class.
+/// class. Holds one [`PointOutcome`] per plan point; a run where every
+/// point succeeded behaves exactly as before, while a *degraded* run (some
+/// points [`PointOutcome::Failed`]) still exposes every successful result.
 pub struct PlanResults {
     points: Vec<PlanPoint>,
-    results: Vec<Vec<SimResult>>,
+    outcomes: Vec<PointOutcome>,
 }
 
 impl PlanResults {
@@ -483,12 +529,28 @@ impl PlanResults {
     ///
     /// Panics if the plan declared no such point — a label/assembly
     /// mismatch is a programming error in the experiment, not a runtime
-    /// condition.
+    /// condition — and on a failed point, naming the site (experiments
+    /// never run under fault injection; degraded-aware callers use
+    /// [`PlanResults::outcome`]).
     pub fn suite(&self, label: &str, class: WorkloadClass) -> &[SimResult] {
+        match self.outcome(label, class) {
+            PointOutcome::Ok(results) => results,
+            PointOutcome::Failed { site, msg } => {
+                panic!("plan point `{label}` ({class}) failed at {site}: {msg}")
+            }
+        }
+    }
+
+    /// The outcome of one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan declared no such point.
+    pub fn outcome(&self, label: &str, class: WorkloadClass) -> &PointOutcome {
         self.points
             .iter()
             .position(|p| p.label == label && p.class == class)
-            .map(|i| self.results[i].as_slice())
+            .map(|i| &self.outcomes[i])
             .unwrap_or_else(|| panic!("plan has no point `{label}` ({class})"))
     }
 
@@ -498,10 +560,39 @@ impl PlanResults {
     }
 
     /// The plan points, in order, paired with their results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when iteration reaches a failed point; degraded-aware
+    /// callers use [`PlanResults::iter_outcomes`].
     pub fn iter(&self) -> impl Iterator<Item = (&PlanPoint, &[SimResult])> {
-        self.points
-            .iter()
-            .zip(self.results.iter().map(Vec::as_slice))
+        self.iter_outcomes().map(|(p, o)| match o {
+            PointOutcome::Ok(results) => (p, results.as_slice()),
+            PointOutcome::Failed { site, msg } => panic!(
+                "plan point `{}` ({}) failed at {site}: {msg}",
+                p.label, p.class
+            ),
+        })
+    }
+
+    /// The plan points, in order, paired with their outcomes.
+    pub fn iter_outcomes(&self) -> impl Iterator<Item = (&PlanPoint, &PointOutcome)> {
+        self.points.iter().zip(self.outcomes.iter())
+    }
+
+    /// The failed points, in plan order, as `(point, site, msg)`.
+    pub fn failed(&self) -> Vec<(&PlanPoint, &str, &str)> {
+        self.iter_outcomes()
+            .filter_map(|(p, o)| match o {
+                PointOutcome::Failed { site, msg } => Some((p, site.as_str(), msg.as_str())),
+                PointOutcome::Ok(_) => None,
+            })
+            .collect()
+    }
+
+    /// Whether any point failed.
+    pub fn is_degraded(&self) -> bool {
+        self.outcomes.iter().any(PointOutcome::is_failed)
     }
 }
 
@@ -530,7 +621,7 @@ pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
 }
 
 /// [`run_plan`] with a progress observer: `observe` is called once per plan
-/// point with its finished suite results, as soon as they exist.
+/// point with its finished outcome, as soon as it exists.
 ///
 /// Because batching completes a whole class group at once, the call order
 /// is group completion order — classes in order of first appearance, and
@@ -546,10 +637,33 @@ pub fn run_plan(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
 pub fn run_plan_with(
     plan: &SweepPlan,
     params: &ExperimentParams,
-    mut observe: impl FnMut(&PlanPoint, &[SimResult]),
+    observe: impl FnMut(&PlanPoint, &PointOutcome),
 ) -> PlanResults {
+    run_plan_ctrl(plan, params, observe, || false)
+        .expect("a plan run without a cancel signal cannot be cancelled")
+}
+
+/// [`run_plan_with`] with a cooperative cancel signal, for the serve
+/// drain path: `cancel` is polled at every class-group boundary (before
+/// any of the group's points run), and a `true` stops the plan with an
+/// `Err` naming the group it skipped. Points already run are abandoned —
+/// their results live in the result cache, so a resubmission picks them
+/// back up as hits.
+///
+/// Cancellation is only checked *between* groups: a group in flight always
+/// runs to completion, which keeps every cache write a whole-point write.
+///
+/// # Panics
+///
+/// Panics if two points share a `(label, class)` pair.
+pub fn run_plan_ctrl(
+    plan: &SweepPlan,
+    params: &ExperimentParams,
+    mut observe: impl FnMut(&PlanPoint, &PointOutcome),
+    mut cancel: impl FnMut() -> bool,
+) -> Result<PlanResults, String> {
     plan.assert_unique_labels();
-    let mut results: Vec<Option<Vec<SimResult>>> = vec![None; plan.points.len()];
+    let mut outcomes: Vec<Option<PointOutcome>> = vec![None; plan.points.len()];
     // Group same-class points in order of first appearance.
     let mut classes_in_order: Vec<WorkloadClass> = Vec::new();
     for p in &plan.points {
@@ -558,6 +672,9 @@ pub fn run_plan_with(
         }
     }
     for class in classes_in_order {
+        if cancel() {
+            return Err(format!("cancelled before the {class} group"));
+        }
         let members: Vec<usize> = plan
             .points
             .iter()
@@ -568,30 +685,32 @@ pub fn run_plan_with(
         if let [only] = members.as_slice() {
             // Nothing to share: skip the capture and run the point direct.
             let p = &plan.points[*only];
-            let suite_results = run_suite_labeled(&p.label, p.config, p.class, params);
-            observe(p, &suite_results);
-            results[*only] = Some(suite_results);
+            let outcome =
+                PointOutcome::from_try(try_run_suite_labeled(&p.label, p.config, p.class, params));
+            observe(p, &outcome);
+            outcomes[*only] = Some(outcome);
             continue;
         }
         let labeled: Vec<(&str, CpuConfig)> = members
             .iter()
             .map(|&i| (plan.points[i].label.as_str(), plan.points[i].config))
             .collect();
-        for (i, suite_results) in members
+        for (i, attempt) in members
             .iter()
-            .zip(run_suite_batched(&labeled, class, params))
+            .zip(try_run_suite_batched(&labeled, class, params))
         {
-            observe(&plan.points[*i], &suite_results);
-            results[*i] = Some(suite_results);
+            let outcome = PointOutcome::from_try(attempt);
+            observe(&plan.points[*i], &outcome);
+            outcomes[*i] = Some(outcome);
         }
     }
-    PlanResults {
+    Ok(PlanResults {
         points: plan.points.clone(),
-        results: results
+        outcomes: outcomes
             .into_iter()
             .map(|r| r.expect("every plan point resolved"))
             .collect(),
-    }
+    })
 }
 
 /// Runs every point of a plan one at a time, in plan order — the
@@ -612,14 +731,14 @@ pub fn run_plan_with(
 /// Panics if two points share a `(label, class)` pair.
 pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults {
     plan.assert_unique_labels();
-    let results = plan
+    let outcomes = plan
         .points
         .iter()
-        .map(|p| run_suite_labeled(&p.label, p.config, p.class, params))
+        .map(|p| PointOutcome::from_try(try_run_suite_labeled(&p.label, p.config, p.class, params)))
         .collect();
     PlanResults {
         points: plan.points.clone(),
-        results,
+        outcomes,
     }
 }
 
@@ -631,6 +750,10 @@ pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults
 /// `elsq-lab sweep` and the `elsq-lab serve` job runner, which is what
 /// makes a server-produced report byte-identical to the offline sweep of
 /// the same spec.
+///
+/// A *degraded* run renders its failed points as `FAILED (<site>)` in the
+/// mean-IPC column instead of a number; runs where every point succeeded
+/// produce byte-identical reports to before failure-awareness existed.
 pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults) -> Report {
     let mut headers: Vec<&str> = plan.axes.iter().map(String::as_str).collect();
     if headers.is_empty() {
@@ -642,7 +765,7 @@ pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults
         format!("Scenario sweep: {} (base {})", spec.name, spec.base),
         &headers,
     );
-    for (point, suite) in results.iter() {
+    for (point, outcome) in results.iter_outcomes() {
         let mut cells: Vec<Cell> = if point.axes.is_empty() {
             vec![Cell::text(spec.base.clone())]
         } else {
@@ -653,7 +776,10 @@ pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults
                 .collect()
         };
         cells.push(Cell::text(point.class.to_string()));
-        cells.push(Cell::f(SimResult::mean_ipc(suite)));
+        cells.push(match outcome {
+            PointOutcome::Ok(suite) => Cell::f(SimResult::mean_ipc(suite)),
+            PointOutcome::Failed { site, .. } => Cell::text(format!("FAILED ({site})")),
+        });
         table.row_cells(cells);
     }
     Report::new(

@@ -40,12 +40,16 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use elsq_cpu::result::SimResult;
+use elsq_stats::canon::canonical_hash_of;
 
+use crate::fault;
 use crate::scenario::PointKey;
 
 /// Version tag of the store layout; bumped on incompatible changes so an
-/// old cache fails loudly instead of mis-decoding.
-pub const STORE_VERSION: u32 = 1;
+/// old cache fails loudly instead of mis-decoding. Version 2 added the
+/// whole-file `checksum` field to the manifest and every point file, so
+/// *any* on-disk corruption (not just key mismatches) is caught loudly.
+pub const STORE_VERSION: u32 = 2;
 
 /// File name of the manifest index inside a cache directory.
 pub const MANIFEST_NAME: &str = "manifest.json";
@@ -168,6 +172,35 @@ struct ManifestEntry {
 struct Manifest {
     version: u32,
     points: Vec<ManifestEntry>,
+    /// Canonical hash of the manifest with this field zeroed; verified on
+    /// open so a flipped bit anywhere in the file is loud.
+    checksum: u64,
+}
+
+impl Manifest {
+    fn sealed(version: u32, points: Vec<ManifestEntry>) -> Self {
+        let mut manifest = Manifest {
+            version,
+            points,
+            checksum: 0,
+        };
+        manifest.checksum = canonical_hash_of(&manifest);
+        manifest
+    }
+
+    fn verify_checksum(&self) -> Result<(), String> {
+        let mut unsealed = self.clone();
+        unsealed.checksum = 0;
+        let actual = canonical_hash_of(&unsealed);
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(format!(
+                "stored checksum {:016x} but content hashes to {actual:016x}",
+                self.checksum
+            ))
+        }
+    }
 }
 
 /// One cached point on disk: the full key (for auditability and a
@@ -178,6 +211,38 @@ struct PointFile {
     label: String,
     point: PointKey,
     results: Vec<SimResult>,
+    /// Canonical hash of the point file with this field zeroed; verified on
+    /// every load so corrupted *results* (which the key cannot see) are as
+    /// loud as a corrupted key.
+    checksum: u64,
+}
+
+impl PointFile {
+    fn sealed(key: String, label: String, point: PointKey, results: Vec<SimResult>) -> Self {
+        let mut file = PointFile {
+            key,
+            label,
+            point,
+            results,
+            checksum: 0,
+        };
+        file.checksum = canonical_hash_of(&file);
+        file
+    }
+
+    fn verify_checksum(&self) -> Result<(), String> {
+        let mut unsealed = self.clone();
+        unsealed.checksum = 0;
+        let actual = canonical_hash_of(&unsealed);
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(format!(
+                "stored checksum {:016x} but content hashes to {actual:016x}",
+                self.checksum
+            ))
+        }
+    }
 }
 
 /// A directory-backed cache of suite results, keyed by [`PointKey`] hashes.
@@ -235,6 +300,13 @@ impl ResultStore {
                         manifest.version
                     ));
                 }
+                manifest.verify_checksum().map_err(|e| {
+                    format!(
+                        "cache manifest {} fails its checksum ({e}); the cache is \
+                         corrupt — delete the cache directory to start fresh",
+                        manifest_path.display()
+                    )
+                })?;
                 entries = manifest
                     .points
                     .into_iter()
@@ -266,11 +338,14 @@ impl ResultStore {
                 }
                 // Make any adoptions durable only after every check passed.
                 if adopted > 0 {
-                    let manifest = Manifest {
-                        version: STORE_VERSION,
-                        points: entries.values().cloned().collect(),
-                    };
-                    write_json_atomic(&manifest_path, &manifest, 0)?;
+                    let manifest =
+                        Manifest::sealed(STORE_VERSION, entries.values().cloned().collect());
+                    write_json_atomic_site(
+                        &manifest_path,
+                        &manifest,
+                        0,
+                        Some(MANIFEST_WRITE_SITE),
+                    )?;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -283,11 +358,8 @@ impl ResultStore {
                         stray
                     ));
                 }
-                let manifest = Manifest {
-                    version: STORE_VERSION,
-                    points: Vec::new(),
-                };
-                write_json_atomic(&manifest_path, &manifest, 0)?;
+                let manifest = Manifest::sealed(STORE_VERSION, Vec::new());
+                write_json_atomic_site(&manifest_path, &manifest, 0, Some(MANIFEST_WRITE_SITE))?;
                 entries = std::collections::BTreeMap::new();
             }
             Err(e) => {
@@ -337,6 +409,12 @@ impl ResultStore {
                 .and_then(|text| {
                     serde_json::from_str::<PointFile>(&text)
                         .map_err(|e| format!("does not decode ({e})"))
+                })
+                .and_then(|point| {
+                    point
+                        .verify_checksum()
+                        .map_err(|e| format!("fails its checksum ({e})"))
+                        .map(|()| point)
                 })
                 .and_then(|point| {
                     if point.key == hex && point.point.hex() == hex {
@@ -437,15 +515,42 @@ impl ResultStore {
             return Ok(None);
         }
         let path = self.point_path(&hex);
-        let text = std::fs::read_to_string(&path).map_err(|e| {
+        let mut bytes = std::fs::read(&path).map_err(|e| {
             format!(
                 "cache point {} is listed in the manifest but cannot be read ({e}); \
                  the cache is corrupt — delete the directory to start fresh",
                 path.display()
             )
         })?;
+        if let Some(injected) = fault::fire(POINT_READ_SITE) {
+            match injected.action {
+                fault::FaultAction::ShortRead => {
+                    bytes.truncate(fault::torn_len(bytes.len(), injected.seed));
+                }
+                fault::FaultAction::BitFlip => fault::flip_bit(&mut bytes, injected.seed),
+                other => {
+                    return Err(format!(
+                        "fault action {other:?} is not a read fault (site {POINT_READ_SITE})"
+                    ))
+                }
+            }
+        }
+        let text = String::from_utf8(bytes).map_err(|e| {
+            format!(
+                "cache point {} is corrupt (not valid UTF-8: {e}); the cache is \
+                 corrupt — delete the directory to start fresh",
+                path.display()
+            )
+        })?;
         let point: PointFile = serde_json::from_str(&text)
             .map_err(|e| format!("cache point {} is corrupt: {e}", path.display()))?;
+        point.verify_checksum().map_err(|e| {
+            format!(
+                "cache point {} fails its checksum ({e}); the cache is corrupt — \
+                 delete the directory to start fresh",
+                path.display()
+            )
+        })?;
         if point.key != hex || point.point.hex() != hex {
             return Err(format!(
                 "cache point {} does not match its key (file claims {}, content \
@@ -470,14 +575,14 @@ impl ResultStore {
                 return Ok(());
             }
         }
-        let point = PointFile {
-            key: hex.clone(),
-            label: label.to_owned(),
-            point: key.clone(),
-            results: results.to_vec(),
-        };
+        let point = PointFile::sealed(hex.clone(), label.to_owned(), key.clone(), results.to_vec());
         let unique = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
-        write_json_atomic(&self.point_path(&hex), &point, unique)?;
+        write_json_atomic_site(
+            &self.point_path(&hex),
+            &point,
+            unique,
+            Some(POINT_WRITE_SITE),
+        )?;
         // Serialize manifest rewrites; re-check under the lock so exactly
         // one writer appends each key.
         let mut entries = self.entries.lock().expect("store lock poisoned");
@@ -492,25 +597,121 @@ impl ResultStore {
                 workloads: results.len() as u64,
             },
         );
-        let manifest = Manifest {
-            version: STORE_VERSION,
-            points: entries.values().cloned().collect(),
-        };
-        write_json_atomic(&self.dir.join(MANIFEST_NAME), &manifest, unique)
+        let manifest = Manifest::sealed(STORE_VERSION, entries.values().cloned().collect());
+        write_json_atomic_site(
+            &self.dir.join(MANIFEST_NAME),
+            &manifest,
+            unique,
+            Some(MANIFEST_WRITE_SITE),
+        )
     }
 }
+
+/// Fault site name for point-file writes (see [`crate::fault`]).
+const POINT_WRITE_SITE: &str = "store.point.write";
+/// Fault site name for manifest rewrites.
+const MANIFEST_WRITE_SITE: &str = "store.manifest.write";
+/// Fault site name for point-file reads.
+const POINT_READ_SITE: &str = "store.point.read";
 
 /// Writes `value` as pretty JSON to `path` via a temp file and rename, so a
 /// reader never observes a half-written file. `unique` disambiguates temp
 /// names when several writers in one process target sibling paths (pass any
 /// counter; the pid is already part of the temp name). Shared with the
 /// `elsq-serve` job journal, which needs the same crash-safe update rule.
+///
+/// Durability: the temp file is fsync'd before the rename and the
+/// containing directory is fsync'd after it, so a crash immediately after
+/// this returns cannot lose either the contents or the rename itself.
 pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T, unique: u64) -> Result<(), String> {
+    write_json_atomic_site(path, value, unique, None)
+}
+
+/// [`write_json_atomic`] with a named fault-injection site: when a fault
+/// plan arms a write fault at `site`, this is where it strikes (see
+/// [`crate::fault`] for the action semantics). `site: None` writes are not
+/// instrumented.
+pub fn write_json_atomic_site<T: Serialize>(
+    path: &Path,
+    value: &T,
+    unique: u64,
+    site: Option<&str>,
+) -> Result<(), String> {
     let json = serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize: {e}"))?;
+    let mut bytes = json.into_bytes();
+    if let Some(site) = site {
+        if let Some(injected) = fault::fire(site) {
+            match injected.action {
+                // A crash before this write: nothing lands on disk and the
+                // caller proceeds as if it had (the orphan-adoption window).
+                fault::FaultAction::Lost => return Ok(()),
+                fault::FaultAction::Enospc => {
+                    return Err(format!(
+                        "cannot write {}: injected ENOSPC (no space left on device)",
+                        path.display()
+                    ));
+                }
+                // A crash mid-write: a strict prefix lands directly in the
+                // final file (no rename happened) and the write errors.
+                fault::FaultAction::Torn => {
+                    let keep = fault::torn_len(bytes.len(), injected.seed);
+                    std::fs::write(path, &bytes[..keep])
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    return Err(format!(
+                        "cannot write {}: injected torn write left {keep} of {} bytes",
+                        path.display(),
+                        bytes.len()
+                    ));
+                }
+                fault::FaultAction::BitFlip => fault::flip_bit(&mut bytes, injected.seed),
+                other => {
+                    return Err(format!(
+                        "fault action {other:?} is not a write fault (site {site})"
+                    ));
+                }
+            }
+        }
+    }
     let tmp = path.with_extension(format!("tmp.{}.{unique}", std::process::id()));
-    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    durable_write(&tmp, &bytes)?;
     std::fs::rename(&tmp, path)
-        .map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))
+        .map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))?;
+    sync_parent_dir(path)
+}
+
+/// Creates `path`, writes `bytes`, and fsyncs the file so the contents are
+/// durable before any rename publishes them.
+fn durable_write(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    let mut file =
+        std::fs::File::create(path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    file.write_all(bytes)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("cannot fsync {}: {e}", path.display()))
+}
+
+/// Fsyncs the directory containing `path`, making a just-performed rename
+/// durable (on unix; a no-op elsewhere, where directories cannot be opened
+/// for syncing).
+fn sync_parent_dir(path: &Path) -> Result<(), String> {
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => dir,
+            _ => Path::new("."),
+        };
+        let handle = std::fs::File::open(dir)
+            .map_err(|e| format!("cannot open directory {} to fsync: {e}", dir.display()))?;
+        handle
+            .sync_all()
+            .map_err(|e| format!("cannot fsync directory {}: {e}", dir.display()))?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -600,7 +801,11 @@ mod tests {
     fn wrong_store_version_is_rejected() {
         let dir = tmp_dir("version");
         drop(ResultStore::open(&dir, false).unwrap());
-        std::fs::write(dir.join(MANIFEST_NAME), "{\"version\": 99, \"points\": []}").unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            "{\"version\": 99, \"points\": [], \"checksum\": 0}",
+        )
+        .unwrap();
         let err = ResultStore::open(&dir, true).unwrap_err();
         assert!(err.contains("version"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
@@ -616,15 +821,44 @@ mod tests {
         let err = store.lookup(&key(3)).unwrap_err();
         assert!(err.contains("cannot be read"), "{err}");
         // A point file whose content does not hash to its key is rejected.
-        let other = PointFile {
-            key: key(3).hex(),
-            label: "p".into(),
-            point: key(4),
-            results: vec![result()],
-        };
+        let other = PointFile::sealed(key(3).hex(), "p".into(), key(4), vec![result()]);
         std::fs::write(&path, serde_json::to_string(&other).unwrap()).unwrap();
         let err = store.lookup(&key(3)).unwrap_err();
         assert!(err.contains("does not match its key"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The key only covers the point's identity; a flipped bit in the
+    /// *results* must be caught by the whole-file checksum.
+    #[test]
+    fn tampered_point_results_fail_the_checksum() {
+        let dir = tmp_dir("tamperresults");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(6), "p", &[result()]).unwrap();
+        let path = store.point_path(&key(6).hex());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"cycles\": 10", "\"cycles\": 11", 1);
+        assert_ne!(text, tampered, "the tamper must hit a results byte");
+        std::fs::write(&path, tampered).unwrap();
+        let err = store.lookup(&key(6)).unwrap_err();
+        assert!(err.contains("fails its checksum"), "{err}");
+        assert!(err.contains("point-"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_manifest_fails_the_checksum_on_open() {
+        let dir = tmp_dir("tampermanifest");
+        let store = ResultStore::open(&dir, false).unwrap();
+        store.insert(&key(7), "orig-label", &[result()]).unwrap();
+        drop(store);
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        let tampered = text.replacen("orig-label", "evil-label", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&manifest_path, tampered).unwrap();
+        let err = ResultStore::open(&dir, true).unwrap_err();
+        assert!(err.contains("fails its checksum"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -656,6 +890,7 @@ mod tests {
         let mut manifest: Manifest =
             serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
         manifest.points.retain(|p| p.key != key(2).hex());
+        let manifest = Manifest::sealed(manifest.version, manifest.points);
         std::fs::write(&manifest_path, serde_json::to_string(&manifest).unwrap()).unwrap();
         // An orphan still counts as cached data: reuse demands --resume.
         let err = ResultStore::open(&dir, false).unwrap_err();
@@ -692,12 +927,7 @@ mod tests {
         let dir = tmp_dir("aliasorphan");
         drop(ResultStore::open(&dir, false).unwrap());
         // A well-formed point file planted under the wrong key's name.
-        let point = PointFile {
-            key: key(9).hex(),
-            label: "p".into(),
-            point: key(9),
-            results: vec![result()],
-        };
+        let point = PointFile::sealed(key(9).hex(), "p".into(), key(9), vec![result()]);
         let wrong_name = format!("point-{}.json", key(8).hex());
         std::fs::write(
             dir.join(&wrong_name),

@@ -388,6 +388,21 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::new("invalid number"))?;
+        // RFC 8259: the integer part must not have leading zeros. Without
+        // this check a single corrupted byte can turn ` 2` into `02` and
+        // parse back to the same value — corruption detectors downstream
+        // rely on every byte of a canonical encoding being load-bearing.
+        let int_part = text
+            .strip_prefix('-')
+            .unwrap_or(text)
+            .split(['.', 'e', 'E'])
+            .next()
+            .unwrap_or("");
+        if int_part.len() > 1 && int_part.starts_with('0') {
+            return Err(Error::new(format!(
+                "invalid number `{text}` (leading zero)"
+            )));
+        }
         if is_float {
             text.parse::<f64>()
                 .map(Value::F64)
@@ -477,6 +492,14 @@ mod tests {
         assert!(parse_value("1 2").is_err());
         assert!(parse_value("\"unterminated").is_err());
         assert!(parse_value("nul").is_err());
+        // Leading zeros are invalid JSON (RFC 8259) — `02` must not parse
+        // back to the same value as `2`.
+        assert!(parse_value("02").is_err());
+        assert!(parse_value("-042").is_err());
+        assert!(parse_value("01.5").is_err());
+        assert_eq!(parse_value("0").unwrap(), Value::U64(0));
+        assert_eq!(parse_value("0.5").unwrap(), Value::F64(0.5));
+        assert_eq!(parse_value("-0").unwrap(), Value::I64(0));
     }
 
     #[test]
