@@ -25,6 +25,7 @@ use elsq_sim::fault::FaultPlan;
 use elsq_sim::install_fault_plan;
 use elsq_sim::scenario::{run_plan, run_plan_each, sweep_report, Axis, ScenarioSpec, SweepPlan};
 use elsq_sim::store::ResultStore;
+use elsq_sim::suite::{evaluate, Status, Suite, SuiteOutcome};
 use elsq_stats::report::{ExperimentParams, Report};
 use elsq_workload::suite::WorkloadClass;
 use serde::Serialize;
@@ -33,7 +34,7 @@ use crate::bench::{
     baseline_from_value, check_against_baseline, default_out_path, run_bench, BenchParams,
     BENCH_COMMITS, BENCH_COMMITS_QUICK, BENCH_SEED,
 };
-use crate::diff::{diff_reports, parse_reports};
+use crate::diff::{degraded_cells, diff_reports, parse_reports};
 use crate::trace::{TraceCmd, TraceDumpArgs, TraceFileArgs};
 
 /// Usage text printed by `elsq-lab help` and on parse errors.
@@ -49,6 +50,9 @@ USAGE:
     elsq-lab bench [OPTS]         measure simulator throughput
     elsq-lab diff A.json B.json [--tol REL]
                                   compare two report files cell-by-cell
+    elsq-lab test DIR|FILE... [OPTS]
+                                  run suite files of paper-trend assertions
+                                  (format: docs/SUITES.md)
     elsq-lab trace dump [WORKLOADS...] --out DIR [OPTS]
                                   record workloads to .etrc trace files
     elsq-lab trace info FILE...   print trace provenance and block stats
@@ -175,6 +179,22 @@ BENCH OPTIONS:
 DIFF OPTIONS:
     --tol REL          relative tolerance for numeric cells (default: 0,
                        i.e. exact); text cells always compare exactly
+
+TEST OPTIONS:
+    DIR|FILE...        suite JSON files, or directories scanned for *.json
+                       (sorted by name; see docs/SUITES.md for the format)
+    --cache DIR        consult an on-disk result cache before simulating,
+                       exactly as for `run`/`sweep`; a repeated invocation
+                       answers every point from disk (100% cache hits)
+    --resume           required to reuse a --cache directory that already
+                       holds cached points
+    --jobs N           worker-thread cap per fan-out level, as for `run`
+    --format FORMAT    text | json (default: text); json prints the
+                       machine-readable outcome report to stdout
+    --out FILE         also write the JSON outcome report to FILE (for CI
+                       artifacts), independent of --format
+                       exit codes: 0 all assertions pass, 1 assertion
+                       failure(s), 2 usage error, 3 degraded report(s)
 
 Experiment ids map to paper artifacts; see docs/EXPERIMENTS.md.";
 
@@ -317,6 +337,23 @@ pub struct DiffArgs {
     pub tol: f64,
 }
 
+/// Parsed `elsq-lab test` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestArgs {
+    /// Suite files and/or directories to scan for `*.json` suite files.
+    pub paths: Vec<PathBuf>,
+    /// On-disk result cache to consult/populate.
+    pub cache: Option<PathBuf>,
+    /// Allow reusing a cache directory that already holds points.
+    pub resume: bool,
+    /// Worker-thread cap (exported as `ELSQ_THREADS`).
+    pub jobs: Option<usize>,
+    /// Output format (text or json; csv is rejected at parse time).
+    pub format: OutputFormat,
+    /// Also write the JSON outcome report to this file.
+    pub out: Option<PathBuf>,
+}
+
 /// Parsed `elsq-lab serve` arguments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
@@ -392,6 +429,8 @@ pub enum Command {
     Bench(BenchArgs),
     /// `elsq-lab diff a.json b.json`
     Diff(DiffArgs),
+    /// `elsq-lab test suites/ ...`
+    Test(TestArgs),
     /// `elsq-lab trace dump|info|verify ...`
     Trace(TraceCmd),
     /// `elsq-lab serve ...`
@@ -455,13 +494,15 @@ fn client_error(message: String) -> CliError {
     }
 }
 
-/// A successful CLI invocation: what to print, and the exit code (0, or
-/// [`EXIT_DEGRADED`] when a sweep/submit finished with failed points).
+/// A successful CLI invocation: what to print, and the exit code (0;
+/// [`EXIT_DEGRADED`] when a sweep/submit finished with failed points or a
+/// `test` report is degraded; 1 when `test` assertions failed).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliRun {
     /// What to print to stdout.
     pub output: String,
-    /// Process exit code (0 or [`EXIT_DEGRADED`]).
+    /// Process exit code (0, 1 for `test` assertion failures, or
+    /// [`EXIT_DEGRADED`]).
     pub exit_code: i32,
 }
 
@@ -515,6 +556,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some("sweep") => parse_sweep(it.as_slice()).map(Command::Sweep),
         Some("bench") => parse_bench(it.as_slice()).map(Command::Bench),
         Some("diff") => parse_diff(it.as_slice()).map(Command::Diff),
+        Some("test") => parse_test(it.as_slice()).map(Command::Test),
         Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some("submit") => parse_submit(it.as_slice()).map(Command::Submit),
@@ -609,6 +651,56 @@ fn parse_diff(args: &[String]) -> Result<DiffArgs, CliError> {
         b: b.clone(),
         tol,
     })
+}
+
+fn parse_test(args: &[String]) -> Result<TestArgs, CliError> {
+    let mut test = TestArgs {
+        paths: Vec::new(),
+        cache: None,
+        resume: false,
+        jobs: None,
+        format: OutputFormat::Text,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("`{flag}` requires a value")))
+        };
+        match arg.as_str() {
+            "--cache" => test.cache = Some(PathBuf::from(value_of("--cache")?)),
+            "--resume" => test.resume = true,
+            "--jobs" => {
+                let n: u64 = parse_num(value_of("--jobs")?, "--jobs")?;
+                if n == 0 {
+                    return Err(CliError::usage("`--jobs` must be at least 1"));
+                }
+                test.jobs = Some(n as usize);
+            }
+            "--format" => match OutputFormat::parse(value_of("--format")?)? {
+                OutputFormat::Csv => {
+                    return Err(CliError::usage("`test` supports text or json, not csv"));
+                }
+                format => test.format = format,
+            },
+            "--out" => test.out = Some(PathBuf::from(value_of("--out")?)),
+            flag if flag.starts_with('-') => {
+                return Err(CliError::usage(format!("unknown option `{flag}`")));
+            }
+            path => test.paths.push(PathBuf::from(path)),
+        }
+    }
+    if test.paths.is_empty() {
+        return Err(CliError::usage(
+            "`test` takes one or more suite files or directories: \
+             elsq-lab test suites/",
+        ));
+    }
+    if test.resume && test.cache.is_none() {
+        return Err(CliError::usage("`--resume` requires `--cache DIR`"));
+    }
+    Ok(test)
 }
 
 fn parse_trace(args: &[String]) -> Result<TraceCmd, CliError> {
@@ -1685,13 +1777,40 @@ pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
 }
 
 /// Executes a diff invocation; a mismatch is a runtime error (exit code 1)
-/// whose message lists every differing cell.
+/// whose message lists every differing cell. A file containing degraded
+/// `FAILED (<site>)` cells is refused with [`EXIT_DEGRADED`] before any
+/// comparison — two failure markers matching byte-for-byte says nothing
+/// about the figures they replaced.
 pub fn execute_diff(diff: &DiffArgs) -> Result<String, CliError> {
     let load = |path: &std::path::Path| -> Result<Vec<Report>, CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
-        parse_reports(&text)
-            .map_err(|e| CliError::runtime(format!("cannot parse {}: {e}", path.display())))
+        let reports = parse_reports(&text)
+            .map_err(|e| CliError::runtime(format!("cannot parse {}: {e}", path.display())))?;
+        let degraded: Vec<String> = reports
+            .iter()
+            .flat_map(|r| {
+                let id = r.id.clone();
+                degraded_cells(r)
+                    .into_iter()
+                    .map(move |loc| format!("  {id}: {loc}"))
+            })
+            .collect();
+        if !degraded.is_empty() {
+            return Err(CliError {
+                message: format!(
+                    "{} contains {} degraded cell(s) — refusing to compare a \
+                     degraded report:\n{}\nre-run the experiment to replace the \
+                     failed points first",
+                    path.display(),
+                    degraded.len(),
+                    degraded.join("\n")
+                ),
+                exit_code: EXIT_DEGRADED,
+                show_usage: false,
+            });
+        }
+        Ok(reports)
     };
     let a = load(&diff.a)?;
     let b = load(&diff.b)?;
@@ -1711,6 +1830,180 @@ pub fn execute_diff(diff: &DiffArgs) -> Result<String, CliError> {
             outcome.cells
         )))
     }
+}
+
+/// Expands the `test` operands into concrete suite files: a directory
+/// contributes its `*.json` entries sorted by name, a file contributes
+/// itself. A missing path or an empty directory is a loud error — a CI
+/// job pointed at the wrong directory must not pass vacuously.
+fn discover_suite_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            entries.sort();
+            if entries.is_empty() {
+                return Err(CliError::runtime(format!(
+                    "{} contains no .json suite files",
+                    path.display()
+                )));
+            }
+            files.extend(entries);
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(CliError::runtime(format!(
+                "no such suite file or directory: {}",
+                path.display()
+            )));
+        }
+    }
+    Ok(files)
+}
+
+/// The outcome of a `test` invocation: every suite's evaluated outcome
+/// plus, when a cache was in play, its summary line.
+#[derive(Debug)]
+pub struct TestOutcome {
+    /// One evaluated outcome per suite file, in discovery order.
+    pub suites: Vec<SuiteOutcome>,
+    /// The `cache ...` summary line, if a cache was installed.
+    pub cache_line: Option<String>,
+}
+
+impl TestOutcome {
+    /// The process exit code: degraded ([`EXIT_DEGRADED`]) dominates
+    /// assertion failures (1) dominates all-pass (0).
+    pub fn exit_code(&self) -> i32 {
+        if self.suites.iter().any(|s| s.status() == Status::Degraded) {
+            EXIT_DEGRADED
+        } else if self.suites.iter().any(|s| s.status() == Status::Fail) {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Executes `test`: discovers the suite files, runs each target (through
+/// the `--cache` store when one is configured) and evaluates its
+/// assertions.
+pub fn execute_test(test: &TestArgs) -> Result<TestOutcome, CliError> {
+    #[cfg(test)]
+    let _serial = run_lock();
+    let files = discover_suite_files(&test.paths)?;
+    // Parse every file up front: a malformed suite aborts the invocation
+    // before any simulation runs, not after minutes of grid time.
+    let suites: Vec<(PathBuf, Suite)> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+            let suite = Suite::from_json(&text).map_err(|e| {
+                CliError::runtime(format!("{} is not a suite file: {e}", path.display()))
+            })?;
+            Ok((path.clone(), suite))
+        })
+        .collect::<Result<_, CliError>>()?;
+    let cache = open_cache(&test.cache, test.resume)?;
+    let outcomes = with_jobs(test.jobs, || {
+        suites
+            .iter()
+            .map(|(path, suite)| {
+                let report = suite
+                    .run()
+                    .map_err(|e| CliError::runtime(format!("suite {}: {e}", path.display())))?;
+                // Relative `tolerance` golden paths resolve against the
+                // suite file's own directory.
+                let golden_dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+                let mut outcome = evaluate(suite, &report, golden_dir);
+                // File *name* only: the JSON outcome report must stay
+                // byte-identical across checkouts and working directories.
+                outcome.source = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                Ok(outcome)
+            })
+            .collect::<Result<Vec<_>, CliError>>()
+    })?;
+    let cache_line = cache.as_ref().map(|(store, _guard)| {
+        let mut line = cache_summary(store);
+        if store.misses() == 0 && store.hits() > 0 {
+            line.pop();
+            line.push_str(" (100% cache hits)\n");
+        }
+        line
+    });
+    Ok(TestOutcome {
+        suites: outcomes,
+        cache_line,
+    })
+}
+
+/// Renders a `test` outcome as a test-runner style text listing.
+fn render_test_text(outcome: &TestOutcome) -> String {
+    let mut out = String::new();
+    for suite in &outcome.suites {
+        out.push_str(&format!(
+            "suite {} ({}): target {}, commits={} seed={}\n",
+            suite.suite, suite.source, suite.target, suite.params.commits, suite.params.seed
+        ));
+        for check in &suite.checks {
+            let tag = match check.status {
+                Status::Pass => "PASS",
+                Status::Fail => "FAIL",
+                Status::Degraded => "DEGRADED",
+            };
+            out.push_str(&format!("  {tag} {}: {}\n", check.name, check.detail));
+        }
+        for loc in &suite.degraded {
+            out.push_str(&format!("  DEGRADED report cell: {loc}\n"));
+        }
+    }
+    if let Some(line) = &outcome.cache_line {
+        out.push_str(line);
+    }
+    let (mut passed, mut failed, mut degraded) = (0usize, 0usize, 0usize);
+    for suite in &outcome.suites {
+        passed += suite.passed();
+        failed += suite.failed();
+        degraded += suite
+            .checks
+            .iter()
+            .filter(|c| c.status == Status::Degraded)
+            .count();
+    }
+    let degraded_suites = outcome
+        .suites
+        .iter()
+        .filter(|s| s.status() == Status::Degraded)
+        .count();
+    out.push_str(&format!(
+        "{} suite(s): {passed} passed, {failed} failed assertion(s)",
+        outcome.suites.len()
+    ));
+    if degraded > 0 || degraded_suites > 0 {
+        out.push_str(&format!(
+            ", {degraded_suites} degraded suite(s) ({degraded} degraded assertion(s))"
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a `test` outcome as its machine-readable JSON report: the suite
+/// outcomes only — no wall times, no absolute paths — so the bytes are
+/// stable across runs and checkouts (the golden fixture test pins them).
+fn render_test_json(outcome: &TestOutcome) -> String {
+    let mut json =
+        serde_json::to_string_pretty(&outcome.suites).expect("suite outcomes always serialize");
+    json.push('\n');
+    json
 }
 
 /// Resolves and installs the fault plan of an invocation: the verb's
@@ -1791,6 +2084,29 @@ pub fn run_cli(args: &[String]) -> Result<CliRun, CliError> {
         }
         Command::Bench(bench) => execute_bench(&bench).map(CliRun::ok),
         Command::Diff(diff) => execute_diff(&diff).map(CliRun::ok),
+        Command::Test(test) => {
+            let outcome = execute_test(&test)?;
+            if let Some(path) = &test.out {
+                if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir).map_err(|e| {
+                        CliError::runtime(format!("cannot create {}: {e}", dir.display()))
+                    })?;
+                }
+                std::fs::write(path, render_test_json(&outcome)).map_err(|e| {
+                    CliError::runtime(format!("cannot write {}: {e}", path.display()))
+                })?;
+            }
+            let output = match test.format {
+                // JSON stdout stays pure JSON (`| jq` keeps working); the
+                // cache statistics are a text-mode affordance.
+                OutputFormat::Json => render_test_json(&outcome),
+                _ => render_test_text(&outcome),
+            };
+            Ok(CliRun {
+                output,
+                exit_code: outcome.exit_code(),
+            })
+        }
         Command::Trace(TraceCmd::Dump(dump)) => crate::trace::execute_dump(&dump).map(CliRun::ok),
         Command::Trace(TraceCmd::Info(files)) => crate::trace::execute_info(&files).map(CliRun::ok),
         Command::Trace(TraceCmd::Verify(files)) => {
@@ -2000,6 +2316,220 @@ mod tests {
         let err = execute_diff(&DiffArgs { a, b, tol: 0.0 }).unwrap_err();
         assert_eq!(err.exit_code, 1);
         assert!(err.message.contains("reports differ"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_refuses_degraded_reports_with_exit_3() {
+        let dir = tmp_dir("diff-degraded");
+        // A sweep-style report whose one point failed: the diff must refuse
+        // it loudly instead of matching the two FAILED markers.
+        let degraded = r#"{
+            "id": "sweep-x", "title": "x",
+            "params": {"commits": 100, "seed": 1},
+            "tables": [{
+                "title": "grid",
+                "headers": ["point", "suite", "mean IPC"],
+                "rows": [[
+                    {"text": "rob=48", "value": null},
+                    {"text": "fp", "value": null},
+                    {"text": "FAILED (lsq-alloc)", "value": null}
+                ]]
+            }],
+            "wall_time_ms": 0.0
+        }"#;
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, degraded).unwrap();
+        std::fs::write(&b, degraded).unwrap();
+        let err = execute_diff(&DiffArgs {
+            a: a.clone(),
+            b,
+            tol: 0.0,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code, EXIT_DEGRADED);
+        assert!(!err.show_usage);
+        assert!(
+            err.message.contains("refusing to compare"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("FAILED (lsq-alloc)"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains(&a.display().to_string()),
+            "{}",
+            err.message
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_test_flags_and_usage_errors() {
+        let Command::Test(t) = parse(&args(&[
+            "test",
+            "suites/",
+            "extra.json",
+            "--cache",
+            "c/",
+            "--resume",
+            "--jobs",
+            "2",
+            "--format",
+            "json",
+            "--out",
+            "report.json",
+        ]))
+        .unwrap() else {
+            panic!("expected test");
+        };
+        assert_eq!(
+            t.paths,
+            vec![PathBuf::from("suites/"), PathBuf::from("extra.json")]
+        );
+        assert_eq!(t.cache, Some(PathBuf::from("c/")));
+        assert!(t.resume);
+        assert_eq!(t.jobs, Some(2));
+        assert_eq!(t.format, OutputFormat::Json);
+        assert_eq!(t.out, Some(PathBuf::from("report.json")));
+        // Usage errors exit 2 before anything runs.
+        assert!(parse(&args(&["test"])).is_err());
+        assert!(parse(&args(&["test", "suites/", "--format", "csv"])).is_err());
+        assert!(parse(&args(&["test", "suites/", "--resume"])).is_err());
+        assert!(parse(&args(&["test", "suites/", "--jobs", "0"])).is_err());
+        assert!(parse(&args(&["test", "suites/", "--bogus"])).is_err());
+    }
+
+    /// A tiny scenario-target suite (two grid points, 300 commits) whose
+    /// bound holds; `violated` flips the bound to a knowingly false trend.
+    fn tiny_suite_json(violated: bool) -> String {
+        let bound = if violated {
+            r#""column": "mean IPC", "max": 0.000001"#
+        } else {
+            r#""column": "mean IPC", "min": 0.000001"#
+        };
+        format!(
+            r#"{{
+                "name": "cli-tiny",
+                "scenario": {{
+                    "name": "cli-tiny",
+                    "base": "fmc-hash",
+                    "axes": [{{"name": "rob", "values": ["48", "64"]}}],
+                    "classes": ["fp"],
+                    "params": {{"commits": 300, "seed": 5}}
+                }},
+                "assertions": [
+                    {{"name": "ipc-sane", "kind": "bound", {bound}}}
+                ]
+            }}"#
+        )
+    }
+
+    #[test]
+    fn test_verb_end_to_end_with_cache_round_trip() {
+        let dir = tmp_dir("test-verb");
+        std::fs::write(dir.join("tiny.json"), tiny_suite_json(false)).unwrap();
+        let cache = dir.join("cache");
+        let invoke = |resume: bool| {
+            let mut test = parse_test(&args(&[
+                dir.to_str().unwrap(),
+                "--cache",
+                cache.to_str().unwrap(),
+            ]))
+            .unwrap();
+            test.resume = resume;
+            execute_test(&test).unwrap()
+        };
+        let first = invoke(false);
+        assert_eq!(first.exit_code(), 0);
+        assert_eq!(first.suites.len(), 1);
+        assert_eq!(first.suites[0].status(), Status::Pass);
+        assert_eq!(first.suites[0].source, "tiny.json");
+        let line = first.cache_line.as_deref().unwrap();
+        assert!(line.contains("0 hit(s), 2 miss(es)"), "{line}");
+        // Second run against the same cache: zero simulations, and the
+        // summary line says so (what the CI job greps for).
+        let second = invoke(true);
+        assert_eq!(second.exit_code(), 0);
+        let line = second.cache_line.as_deref().unwrap();
+        assert!(line.contains("2 hit(s), 0 miss(es)"), "{line}");
+        assert!(line.contains("100% cache hits"), "{line}");
+        let text = render_test_text(&second);
+        assert!(text.contains("PASS ipc-sane"), "{text}");
+        assert!(text.contains("suite cli-tiny (tiny.json)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn test_verb_violated_bound_exits_1_naming_the_assertion() {
+        let dir = tmp_dir("test-verb-fail");
+        let file = dir.join("false-trend.json");
+        std::fs::write(&file, tiny_suite_json(true)).unwrap();
+        let out_file = dir.join("report.json");
+        let run = run_cli(&args(&[
+            "test",
+            file.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(run.exit_code, 1);
+        assert!(run.output.contains("FAIL ipc-sane"), "{}", run.output);
+        assert!(
+            run.output.contains("1 failed assertion(s)"),
+            "{}",
+            run.output
+        );
+        // The --out JSON artifact carries the same verdicts.
+        let json = std::fs::read_to_string(&out_file).unwrap();
+        assert!(
+            json.contains("\"status\": \"fail\"") || json.contains("\"status\":\"fail\""),
+            "{json}"
+        );
+        assert!(json.contains("ipc-sane"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn test_verb_rejects_malformed_suites_and_empty_dirs() {
+        let dir = tmp_dir("test-verb-bad");
+        // Empty directory: vacuous passes are forbidden.
+        let err = execute_test(&parse_test(&args(&[dir.to_str().unwrap()])).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(
+            err.message.contains("no .json suite files"),
+            "{}",
+            err.message
+        );
+        // Missing path.
+        let missing = dir.join("absent.json");
+        let err =
+            execute_test(&parse_test(&args(&[missing.to_str().unwrap()])).unwrap()).unwrap_err();
+        assert!(err.message.contains("no such suite"), "{}", err.message);
+        // Malformed suite file: named, with the parse error, before any
+        // simulation runs.
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &bad,
+            r#"{"name": "x", "experiment": "fig7", "asertions": []}"#,
+        )
+        .unwrap();
+        let err = execute_test(&parse_test(&args(&[bad.to_str().unwrap()])).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(
+            err.message.contains("is not a suite file"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("unknown key `asertions`"),
+            "{}",
+            err.message
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,93 @@
+//! Byte-pins the `elsq-lab test --format json` report for a committed
+//! two-assertion suite (one passing bound, one knowingly violated).
+//!
+//! The JSON report is the CI artifact downstream tooling parses, so its
+//! exact shape — key order, status strings, detail wording, the
+//! source-file name — is part of the CLI's contract. Any change shows up
+//! here as a byte diff against the committed fixture; re-record with
+//!
+//! ```text
+//! cargo test -p elsq-bench --test suite_golden -- --ignored regenerate
+//! ```
+//!
+//! The fixture's scenario target is deterministic (two 300-commit grid
+//! points, fixed seed), so the simulated cell values in the assertion
+//! details are stable across machines and runs.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+}
+
+fn expected_path() -> PathBuf {
+    fixtures_dir().join("suite-pass-fail.expected.json")
+}
+
+/// Runs `elsq-lab test <fixture> --format json` and returns the raw stdout
+/// bytes, asserting the exit status is 1 (the suite contains a violated
+/// assertion, nothing degraded).
+fn run_test_verb(fixture: &Path) -> Vec<u8> {
+    let output = Command::new(env!("CARGO_BIN_EXE_elsq-lab"))
+        .args(["test", fixture.to_str().unwrap(), "--format", "json"])
+        .output()
+        .expect("elsq-lab runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "test verb on a pass+fail suite exits 1\nstderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output.stdout
+}
+
+/// The JSON report for the committed pass+fail suite is byte-identical to
+/// the recorded fixture.
+#[test]
+fn test_verb_json_report_matches_the_committed_fixture() {
+    let actual = run_test_verb(&fixtures_dir().join("suite-pass-fail.json"));
+    let expected = std::fs::read(expected_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} — record it with `cargo test -p elsq-bench \
+             --test suite_golden -- --ignored regenerate`",
+            expected_path().display()
+        )
+    });
+    if actual != expected {
+        let actual_text = String::from_utf8_lossy(&actual);
+        let expected_text = String::from_utf8_lossy(&expected);
+        panic!(
+            "suite JSON report drifted from the committed fixture.\n\
+             If the change is intentional, re-record with\n  cargo test -p \
+             elsq-bench --test suite_golden -- --ignored regenerate\n\n\
+             --- expected ---\n{expected_text}\n--- actual ---\n{actual_text}"
+        );
+    }
+}
+
+/// The pinned report says what it must: both assertion names, one pass and
+/// one fail, and the source file name (never an absolute path, so the
+/// bytes are stable across checkouts).
+#[test]
+fn committed_fixture_is_the_pass_fail_shape() {
+    let text = std::fs::read_to_string(expected_path()).unwrap();
+    assert!(text.contains("\"mean-ipc-is-positive\""), "{text}");
+    assert!(
+        text.contains("\"mean-ipc-below-impossible-ceiling\""),
+        "{text}"
+    );
+    assert!(text.contains("\"pass\""), "{text}");
+    assert!(text.contains("\"fail\""), "{text}");
+    assert!(text.contains("\"suite-pass-fail.json\""), "{text}");
+    assert!(!text.contains(env!("CARGO_MANIFEST_DIR")), "{text}");
+}
+
+/// Re-records the fixture. Ignored by default; run explicitly after an
+/// intentional report-format change.
+#[test]
+#[ignore = "re-records the golden fixture"]
+fn regenerate_golden_fixture() {
+    let actual = run_test_verb(&fixtures_dir().join("suite-pass-fail.json"));
+    std::fs::write(expected_path(), &actual).unwrap();
+}

@@ -50,6 +50,7 @@ pub mod fault;
 pub mod pool;
 pub mod scenario;
 pub mod store;
+pub mod suite;
 
 pub use driver::{
     capture_class_suite, run_suite, run_suite_batched, run_suite_sequential,
@@ -62,3 +63,4 @@ pub use scenario::{
     PointOutcome, ScenarioSpec, SweepPlan,
 };
 pub use store::ResultStore;
+pub use suite::{evaluate, CheckOutcome, Status, Suite, SuiteOutcome, SuiteTarget};

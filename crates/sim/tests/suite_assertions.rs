@@ -1,0 +1,268 @@
+//! Property tests for the suite assertion evaluators.
+//!
+//! The unit tests in `elsq_sim::suite` pin individual behaviours on
+//! hand-picked values; these properties pin the evaluator *contracts* over
+//! randomly generated reports: sorted data always satisfies the matching
+//! monotone direction, reversing the row order flips the required
+//! direction, bounds are inclusive at exact boundary equality, NaN and
+//! degraded cells can never produce a silent pass, and a report always
+//! matches itself under zero tolerance.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+use elsq_sim::suite::{
+    evaluate, Check, Direction, Relation, RowSel, Status, Suite, SuiteAssertion, SuiteTarget,
+};
+use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
+use proptest::prelude::*;
+use serde::Serialize;
+
+/// A single-table report with one labeled row per value: rows `r0..rN`,
+/// column `metric`.
+fn column_report(values: &[f64]) -> Report {
+    let mut table = Table::new("trend", &["config", "metric"]);
+    for (i, v) in values.iter().enumerate() {
+        table.row_cells(vec![Cell::text(format!("r{i}")), Cell::f(*v)]);
+    }
+    Report::new("prop", "property fixture", ExperimentParams::quick()).with_table(table)
+}
+
+/// Wraps one check into a runnable suite (the target is never run here —
+/// `evaluate` only needs the report).
+fn one_check_suite(check: Check) -> Suite {
+    Suite {
+        name: "prop-suite".into(),
+        target: SuiteTarget::Experiment("fig7".into()),
+        params: None,
+        assertions: vec![SuiteAssertion {
+            name: "the-check".into(),
+            check,
+        }],
+    }
+}
+
+/// Evaluates one check against a report and returns its status.
+fn verdict(check: Check, report: &Report) -> Status {
+    let suite = one_check_suite(check);
+    let outcome = evaluate(&suite, report, Path::new("."));
+    assert_eq!(outcome.checks.len(), 1);
+    outcome.checks[0].status
+}
+
+fn monotone(direction: Direction, rows: Option<Vec<RowSel>>) -> Check {
+    Check::Monotone {
+        table: None,
+        column: "metric".into(),
+        direction,
+        rows,
+        slack: 0.0,
+    }
+}
+
+fn bound(min: Option<f64>, max: Option<f64>) -> Check {
+    Check::Bound {
+        table: None,
+        column: "metric".into(),
+        rows: None,
+        min,
+        max,
+    }
+}
+
+fn row(label: &str) -> RowSel {
+    RowSel {
+        prefix: vec![label.to_owned()],
+    }
+}
+
+/// Finite values in a range where adding the perturbations used below is
+/// exact enough to stay on the intended side of every boundary.
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6f64
+}
+
+proptest! {
+    /// A column sorted into the asserted direction always passes, whatever
+    /// the values are.
+    #[test]
+    fn sorted_columns_satisfy_their_direction(values in prop::collection::vec(finite(), 1..8)) {
+        let mut values = values;
+        values.sort_by(f64::total_cmp);
+        let ascending = column_report(&values);
+        prop_assert_eq!(verdict(monotone(Direction::NonDecreasing, None), &ascending), Status::Pass);
+        values.reverse();
+        let descending = column_report(&values);
+        prop_assert_eq!(verdict(monotone(Direction::NonIncreasing, None), &descending), Status::Pass);
+    }
+
+    /// Listing the row selectors in reverse order flips the direction a
+    /// column satisfies: a strictly increasing column is non-decreasing in
+    /// table order and non-increasing when the rows are named bottom-up.
+    /// In the wrong direction it fails — strictly monotone data can never
+    /// satisfy both directions at zero slack.
+    #[test]
+    fn reversed_row_order_flips_the_direction(values in prop::collection::vec(finite(), 2..8)) {
+        let mut sorted: Vec<f64> = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        prop_assume!(sorted.len() >= 2);
+        let report = column_report(&sorted);
+        let reversed: Vec<RowSel> =
+            (0..sorted.len()).rev().map(|i| row(&format!("r{i}"))).collect();
+        prop_assert_eq!(verdict(monotone(Direction::NonDecreasing, None), &report), Status::Pass);
+        prop_assert_eq!(
+            verdict(monotone(Direction::NonIncreasing, Some(reversed.clone())), &report),
+            Status::Pass
+        );
+        prop_assert_eq!(verdict(monotone(Direction::NonIncreasing, None), &report), Status::Fail);
+        prop_assert_eq!(
+            verdict(monotone(Direction::NonDecreasing, Some(reversed)), &report),
+            Status::Fail
+        );
+    }
+
+    /// A single-row column is trivially monotone in both directions, and a
+    /// degenerate bound pinning it exactly (`min == max == value`) passes:
+    /// bounds are inclusive at boundary equality.
+    #[test]
+    fn single_row_columns_are_trivially_monotone_and_exactly_boundable(v in finite()) {
+        let report = column_report(&[v]);
+        prop_assert_eq!(verdict(monotone(Direction::NonIncreasing, None), &report), Status::Pass);
+        prop_assert_eq!(verdict(monotone(Direction::NonDecreasing, None), &report), Status::Pass);
+        prop_assert_eq!(verdict(bound(Some(v), Some(v)), &report), Status::Pass);
+    }
+
+    /// Bounds are inclusive on both edges, and a bound pushed strictly past
+    /// the value fails — the boundary itself is never a failure.
+    #[test]
+    fn bounds_are_inclusive_at_the_boundary(v in finite(), step in 0.001..1.0e3f64) {
+        let report = column_report(&[v]);
+        prop_assert_eq!(verdict(bound(Some(v), None), &report), Status::Pass);
+        prop_assert_eq!(verdict(bound(None, Some(v)), &report), Status::Pass);
+        prop_assert_eq!(verdict(bound(Some(v + step), None), &report), Status::Fail);
+        prop_assert_eq!(verdict(bound(None, Some(v - step)), &report), Status::Fail);
+    }
+
+    /// Equal cells sit exactly on the ordering boundary: the non-strict
+    /// relations hold at zero slack, the strict ones fail at zero slack and
+    /// are rescued by any positive slack.
+    #[test]
+    fn equal_values_at_boundary_slack(v in finite(), slack in 0.001..1.0e3f64) {
+        let report = column_report(&[v, v]);
+        let ordering = |relation, slack| Check::Ordering {
+            table: None,
+            column: "metric".into(),
+            a: row("r0"),
+            b: row("r1"),
+            relation,
+            slack,
+        };
+        prop_assert_eq!(verdict(ordering(Relation::Ge, 0.0), &report), Status::Pass);
+        prop_assert_eq!(verdict(ordering(Relation::Le, 0.0), &report), Status::Pass);
+        prop_assert_eq!(verdict(ordering(Relation::Gt, 0.0), &report), Status::Fail);
+        prop_assert_eq!(verdict(ordering(Relation::Lt, 0.0), &report), Status::Fail);
+        prop_assert_eq!(verdict(ordering(Relation::Gt, slack), &report), Status::Pass);
+        prop_assert_eq!(verdict(ordering(Relation::Lt, slack), &report), Status::Pass);
+    }
+
+    /// A NaN cell anywhere in the asserted column fails every evaluator
+    /// loudly — NaN comparisons are all-false, so without the explicit
+    /// check a NaN would slip through `monotone` as a vacuous pass.
+    #[test]
+    fn nan_cells_never_pass(values in prop::collection::vec(finite(), 1..6), at in 0usize..6) {
+        let mut values = values;
+        let at = at % values.len();
+        values[at] = f64::NAN;
+        let report = column_report(&values);
+        prop_assert_eq!(verdict(monotone(Direction::NonIncreasing, None), &report), Status::Fail);
+        prop_assert_eq!(verdict(monotone(Direction::NonDecreasing, None), &report), Status::Fail);
+        prop_assert_eq!(verdict(bound(Some(f64::MIN), Some(f64::MAX)), &report), Status::Fail);
+        let ordering = Check::Ordering {
+            table: None,
+            column: "metric".into(),
+            a: row(&format!("r{at}")),
+            b: row(&format!("r{}", (at + 1) % values.len())),
+            relation: Relation::Ge,
+            slack: f64::MAX,
+        };
+        if values.len() >= 2 {
+            prop_assert_eq!(verdict(ordering, &report), Status::Fail);
+        }
+    }
+
+    /// A degraded `FAILED (<site>)` cell marks every assertion touching it
+    /// — and the whole suite — degraded, never passed: the report-level
+    /// scan catches it even when no assertion selects that row.
+    #[test]
+    fn degraded_cells_dominate_every_verdict(values in prop::collection::vec(finite(), 2..6), at in 0usize..6) {
+        let at = at % values.len();
+        let mut table = Table::new("trend", &["config", "metric"]);
+        for (i, v) in values.iter().enumerate() {
+            if i == at {
+                table.row_cells(vec![Cell::text(format!("r{i}")), Cell::text("FAILED (lsq-alloc)")]);
+            } else {
+                table.row_cells(vec![Cell::text(format!("r{i}")), Cell::f(*v)]);
+            }
+        }
+        let report =
+            Report::new("prop", "property fixture", ExperimentParams::quick()).with_table(table);
+
+        // Touching the degraded cell: the assertion itself is degraded.
+        let touching = one_check_suite(monotone(Direction::NonDecreasing, None));
+        let outcome = evaluate(&touching, &report, Path::new("."));
+        prop_assert_eq!(outcome.checks[0].status, Status::Degraded);
+        prop_assert_eq!(outcome.status(), Status::Degraded);
+        prop_assert!(!outcome.degraded.is_empty());
+
+        // Avoiding the degraded cell: the assertion may pass, but the
+        // report-level scan still marks the suite degraded.
+        let other = (at + 1) % values.len();
+        let avoiding = one_check_suite(Check::Bound {
+            table: None,
+            column: "metric".into(),
+            rows: Some(vec![row(&format!("r{other}"))]),
+            min: Some(f64::MIN),
+            max: Some(f64::MAX),
+        });
+        let outcome = evaluate(&avoiding, &report, Path::new("."));
+        prop_assert_eq!(outcome.checks[0].status, Status::Pass);
+        prop_assert_eq!(outcome.status(), Status::Degraded);
+    }
+
+    /// Every report matches itself under zero tolerance, and a report with
+    /// one perturbed cell does not — self-comparison is the tolerance
+    /// evaluator's fixed point.
+    #[test]
+    fn tolerance_zero_is_exactly_self_comparison(values in prop::collection::vec(finite(), 1..6)) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "elsq-suite-prop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, AtomicOrdering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = column_report(&values);
+        let golden_path = dir.join("golden.json");
+        std::fs::write(
+            &golden_path,
+            serde_json::to_string_pretty(&report.to_value()).unwrap(),
+        )
+        .unwrap();
+
+        let check = Check::Tolerance {
+            golden: "golden.json".into(),
+            tol: 0.0,
+        };
+        let suite = one_check_suite(check.clone());
+        let outcome = evaluate(&suite, &report, &dir);
+        prop_assert_eq!(outcome.checks[0].status, Status::Pass);
+
+        let mut perturbed = values.clone();
+        perturbed[0] += 1.0;
+        let outcome = evaluate(&one_check_suite(check), &column_report(&perturbed), &dir);
+        prop_assert_eq!(outcome.checks[0].status, Status::Fail);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,122 @@
+//! Pins the committed `suites/` directory to the experiment registry:
+//! every suite file parses, and every registered experiment id appears as
+//! the target of at least one suite. A new experiment without a paper-trend
+//! suite — or a suite file with a structural typo — fails here, not in CI's
+//! full `elsq-lab test suites/` run.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use elsq_sim::experiments::registry;
+use elsq_sim::suite::{Suite, SuiteTarget};
+
+/// The committed suite directory, located relative to this crate.
+fn suites_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../suites"))
+}
+
+/// Every committed `suites/*.json` file, parsed — panicking with the file
+/// name and parser message on the first structural mistake.
+fn committed_suites() -> Vec<(String, Suite)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(suites_dir())
+        .expect("suites/ directory exists at the repository root")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "suites/ contains no .json suite files — the committed suites are gone"
+    );
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+            let suite = Suite::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name} is not a valid suite: {e}"));
+            (name, suite)
+        })
+        .collect()
+}
+
+/// Every suite file under `suites/` parses and declares at least one
+/// assertion (the parser rejects empty assertion lists, so this doubles as
+/// a guard against a truncated commit).
+#[test]
+fn every_committed_suite_parses() {
+    for (name, suite) in committed_suites() {
+        assert!(
+            !suite.assertions.is_empty(),
+            "{name} declares no assertions"
+        );
+        assert!(
+            suite.effective_params().is_ok(),
+            "{name} targets an unknown experiment"
+        );
+    }
+}
+
+/// Every experiment id in the registry is covered by at least one
+/// committed suite — adding `fig12` to the registry without a
+/// `suites/fig12.json` (or adding it to an existing suite) fails here.
+#[test]
+fn every_registered_experiment_has_a_suite() {
+    let covered: BTreeSet<String> = committed_suites()
+        .into_iter()
+        .filter_map(|(_, suite)| match suite.target {
+            SuiteTarget::Experiment(id) => Some(id),
+            SuiteTarget::Scenario(_) => None,
+        })
+        .collect();
+    let missing: Vec<&str> = registry()
+        .iter()
+        .map(|e| e.id())
+        .filter(|id| !covered.contains(*id))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "registered experiments without a suite under suites/: {missing:?}"
+    );
+}
+
+/// Suite names are unique across the directory — the runner reports
+/// outcomes by suite name, so a duplicate would make two result lines
+/// indistinguishable.
+#[test]
+fn suite_names_are_unique() {
+    let mut seen = BTreeSet::new();
+    for (file, suite) in committed_suites() {
+        assert!(
+            seen.insert(suite.name.clone()),
+            "suite name `{}` ({file}) is declared by two files",
+            suite.name
+        );
+    }
+}
+
+/// Every suite target named by a committed file resolves: experiment ids
+/// exist in the registry, and inline scenarios expand to a non-empty plan.
+#[test]
+fn committed_suite_targets_resolve() {
+    for (file, suite) in committed_suites() {
+        match &suite.target {
+            SuiteTarget::Experiment(id) => {
+                assert!(
+                    elsq_sim::experiments::find(id).is_some(),
+                    "{file} targets unknown experiment `{id}`"
+                );
+            }
+            SuiteTarget::Scenario(spec) => {
+                let plan = spec
+                    .expand()
+                    .unwrap_or_else(|e| panic!("{file} scenario does not expand: {e}"));
+                assert!(
+                    !plan.points.is_empty(),
+                    "{file} scenario expands to no points"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Cell-by-cell structural comparison of [`Report`]s.
+//!
+//! The comparison core behind `elsq-lab diff` and the `tolerance` suite
+//! assertion (`elsq-lab test`): report ids and parameters, table titles,
+//! headers, row counts, and every cell. Numeric cells (both carrying raw
+//! values) compare by *relative* difference under a tolerance; text cells
+//! compare byte-for-byte. Wall-clock time is ignored — it is the one
+//! non-deterministic report field.
+//!
+//! Degraded reports — ones containing `FAILED (<site>)` cells from
+//! fault-injected or otherwise failed points — are detectable via
+//! [`degraded_cells`]; callers must refuse to treat such reports as
+//! comparable data rather than silently matching the failure markers.
+
+use crate::report::{Cell, Report};
+
+/// Relative difference between two floats, `0` when both are equal
+/// (including both zero / both the same non-finite value).
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Whether two cells match under `tol`. Numeric cells (both carrying raw
+/// values) compare by relative difference; everything else by text.
+pub fn cells_match(a: &Cell, b: &Cell, tol: f64) -> bool {
+    match (a.value, b.value) {
+        (Some(x), Some(y)) => rel_diff(x, y) <= tol,
+        _ => a.text == b.text,
+    }
+}
+
+/// Outcome of a diff: the number of cells compared and every mismatch line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffOutcome {
+    /// Total cells compared.
+    pub cells: usize,
+    /// One human-readable line per mismatch.
+    pub mismatches: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether the two report sets matched everywhere.
+    pub fn is_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    fn push(&mut self, line: String) {
+        self.mismatches.push(line);
+    }
+}
+
+/// Compares two report lists cell-by-cell under a relative tolerance.
+pub fn diff_reports(a: &[Report], b: &[Report], tol: f64) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    if a.len() != b.len() {
+        out.push(format!("report count differs: {} vs {}", a.len(), b.len()));
+        return out;
+    }
+    for (ra, rb) in a.iter().zip(b) {
+        let id = &ra.id;
+        if ra.id != rb.id {
+            out.push(format!("report id differs: `{}` vs `{}`", ra.id, rb.id));
+            continue;
+        }
+        if ra.params != rb.params {
+            out.push(format!(
+                "{id}: params differ: commits={}/seed={} vs commits={}/seed={}",
+                ra.params.commits, ra.params.seed, rb.params.commits, rb.params.seed
+            ));
+        }
+        if ra.tables.len() != rb.tables.len() {
+            out.push(format!(
+                "{id}: table count differs: {} vs {}",
+                ra.tables.len(),
+                rb.tables.len()
+            ));
+            continue;
+        }
+        for (ta, tb) in ra.tables.iter().zip(&rb.tables) {
+            let title = ta.title();
+            if ta.title() != tb.title() {
+                out.push(format!(
+                    "{id}: table title differs: `{}` vs `{}`",
+                    ta.title(),
+                    tb.title()
+                ));
+            }
+            if ta.headers() != tb.headers() {
+                out.push(format!("{id}/{title}: headers differ"));
+                continue;
+            }
+            if ta.len() != tb.len() {
+                out.push(format!(
+                    "{id}/{title}: row count differs: {} vs {}",
+                    ta.len(),
+                    tb.len()
+                ));
+                continue;
+            }
+            for (row, (rowa, rowb)) in ta.rows().iter().zip(tb.rows()).enumerate() {
+                if rowa.len() != rowb.len() {
+                    out.push(format!(
+                        "{id}/{title} row {row}: cell count differs: {} vs {}",
+                        rowa.len(),
+                        rowb.len()
+                    ));
+                    continue;
+                }
+                for (col, (ca, cb)) in rowa.iter().zip(rowb).enumerate() {
+                    out.cells += 1;
+                    if !cells_match(ca, cb, tol) {
+                        let detail = match (ca.value, cb.value) {
+                            (Some(x), Some(y)) => {
+                                format!("{x} vs {y} (rel {:.4} > tol {tol})", rel_diff(x, y))
+                            }
+                            _ => format!("`{}` vs `{}`", ca.text, cb.text),
+                        };
+                        out.push(format!(
+                            "{id}/{title} row {row} col {col} [{}]: {detail}",
+                            ta.headers().get(col).map(String::as_str).unwrap_or("?")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every degraded `FAILED (<site>)` cell of a report, as human-readable
+/// `table / row label / column` locations (empty for a healthy report).
+///
+/// Sweep reports render failed grid points this way (see
+/// `elsq_sim::scenario::sweep_report`), so a consumer asserting on — or
+/// diffing — report data must check this first: a degraded marker is not a
+/// number and must never silently compare equal to another failure.
+pub fn degraded_cells(report: &Report) -> Vec<String> {
+    let mut out = Vec::new();
+    for table in &report.tables {
+        for (row_idx, row) in table.rows().iter().enumerate() {
+            let label = row
+                .first()
+                .map(|c| c.text.as_str())
+                .filter(|t| !t.is_empty())
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("row {row_idx}"));
+            for (col, cell) in row.iter().enumerate() {
+                if cell.is_failed() {
+                    out.push(format!(
+                        "{} / {label} / {}: {}",
+                        table.title(),
+                        table.headers().get(col).map(String::as_str).unwrap_or("?"),
+                        cell.text
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ExperimentParams, Table};
+
+    fn report(id: &str, v: f64) -> Report {
+        let mut t = Table::new("t", &["name", "x"]);
+        t.row_cells(vec![Cell::text("row"), Cell::f(v)]);
+        Report::new(id, "title", ExperimentParams::quick()).with_table(t)
+    }
+
+    #[test]
+    fn identical_reports_match() {
+        let a = [report("fig7", 1.25)];
+        let out = diff_reports(&a, &a, 0.0);
+        assert!(out.is_match());
+        assert_eq!(out.cells, 2);
+    }
+
+    #[test]
+    fn value_mismatch_is_reported_with_location() {
+        let a = [report("fig7", 1.25)];
+        let b = [report("fig7", 1.5)];
+        let out = diff_reports(&a, &b, 0.0);
+        assert_eq!(out.mismatches.len(), 1);
+        assert!(out.mismatches[0].contains("fig7/t row 0 col 1 [x]"));
+        // A generous tolerance absorbs the difference.
+        assert!(diff_reports(&a, &b, 0.25).is_match());
+        assert!(!diff_reports(&a, &b, 0.1).is_match());
+    }
+
+    #[test]
+    fn structural_mismatches_are_reported() {
+        let a = [report("fig7", 1.0)];
+        assert!(!diff_reports(&a, &[], 0.0).is_match());
+        let b = [report("fig8", 1.0)];
+        assert!(!diff_reports(&a, &b, 0.0).is_match());
+        let mut c = report("fig7", 1.0);
+        c.params.seed = 99;
+        assert!(!diff_reports(&a, &[c], 0.0).is_match());
+    }
+
+    #[test]
+    fn text_cells_compare_exactly_regardless_of_tol() {
+        let mut ta = Table::new("t", &["name"]);
+        ta.row_cells(vec![Cell::text("a")]);
+        let mut tb = Table::new("t", &["name"]);
+        tb.row_cells(vec![Cell::text("b")]);
+        let ra = [Report::new("x", "x", ExperimentParams::quick()).with_table(ta)];
+        let rb = [Report::new("x", "x", ExperimentParams::quick()).with_table(tb)];
+        assert!(!diff_reports(&ra, &rb, 10.0).is_match());
+    }
+
+    #[test]
+    fn wall_time_is_ignored() {
+        let mut a = report("fig7", 1.0);
+        let b = report("fig7", 1.0);
+        a.wall_time_ms = 123.0;
+        assert!(diff_reports(&[a], &[b], 0.0).is_match());
+    }
+
+    #[test]
+    fn degraded_cells_are_located_and_named() {
+        let mut t = Table::new("grid", &["point", "suite", "mean IPC"]);
+        t.row_cells(vec![
+            Cell::text("rob=48"),
+            Cell::text("fp"),
+            Cell::text("FAILED (lsq-alloc)"),
+        ]);
+        t.row_cells(vec![Cell::text("rob=64"), Cell::text("fp"), Cell::f(1.2)]);
+        let r = Report::new("sweep-x", "x", ExperimentParams::quick()).with_table(t);
+        let cells = degraded_cells(&r);
+        assert_eq!(cells.len(), 1);
+        assert!(
+            cells[0].contains("grid / rob=48 / mean IPC"),
+            "{}",
+            cells[0]
+        );
+        assert!(cells[0].contains("FAILED (lsq-alloc)"));
+        assert!(degraded_cells(&report("ok", 1.0)).is_empty());
+    }
+
+    #[test]
+    fn two_degraded_reports_still_diff_equal_cellwise() {
+        // diff_reports itself is marker-blind (two identical FAILED texts
+        // match); refusing to compare degraded reports is the *caller's*
+        // job via `degraded_cells` — pinned here so the layering is explicit.
+        let mut t = Table::new("grid", &["point", "mean IPC"]);
+        t.row_cells(vec![Cell::text("p"), Cell::text("FAILED (site)")]);
+        let r = [Report::new("s", "s", ExperimentParams::quick()).with_table(t)];
+        assert!(diff_reports(&r, &r, 0.0).is_match());
+        assert!(!degraded_cells(&r[0]).is_empty());
+    }
+}

@@ -122,6 +122,14 @@ impl Cell {
     pub fn num(&self) -> Option<f64> {
         self.value.or_else(|| self.text.parse().ok())
     }
+
+    /// Whether this cell is a degraded `FAILED (<site>)` marker — the text
+    /// a sweep report renders for a grid point whose simulation failed.
+    /// Such a cell carries no number and must never silently satisfy (or
+    /// match) an assertion on the column's data.
+    pub fn is_failed(&self) -> bool {
+        self.value.is_none() && self.text.starts_with("FAILED (")
+    }
 }
 
 impl fmt::Display for Cell {
@@ -474,6 +482,16 @@ mod tests {
         // Text-only cells fall back to parsing.
         assert_eq!(Cell::text("1.5").num(), Some(1.5));
         assert_eq!(Cell::text("n/a").num(), None);
+    }
+
+    #[test]
+    fn failed_markers_are_detected_and_numbers_are_not() {
+        assert!(Cell::text("FAILED (lsq-alloc)").is_failed());
+        assert!(!Cell::text("scheme").is_failed());
+        assert!(!Cell::f(1.0).is_failed());
+        // A numeric cell whose *text* happens to start with the marker is
+        // still a number (it carries a raw value), not a failure.
+        assert!(!Cell::new("FAILED (never-rendered-like-this)", 1.0).is_failed());
     }
 
     #[test]

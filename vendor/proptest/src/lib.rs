@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of proptest's API that the ELSQ property tests
-//! use: the [`proptest!`] macro, integer-range and tuple strategies,
+//! use: the [`proptest!`] macro, numeric-range and tuple strategies,
 //! [`collection::vec`], and the `prop_assert!` / `prop_assert_eq!` /
 //! [`prop_assume!`] macros.
 //!
@@ -54,6 +54,25 @@ pub mod strategy {
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Uniform in [0, 1), scaled into the span. Rounding can
+                    // land exactly on `end`; resample as `start` to keep the
+                    // half-open contract.
+                    let unit = rng.next_u64() as $t / (u64::MAX as $t + 1.0);
+                    let v = self.start + (self.end - self.start) * unit;
+                    if v < self.end { v } else { self.start }
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
 
     macro_rules! impl_tuple_strategy {
         ($(($($name:ident),+)),+) => {$(
