@@ -32,6 +32,7 @@ use elsq_cpu::config::CpuConfig;
 use elsq_cpu::pipeline::Processor;
 use elsq_sim::driver::capture_class_suite;
 use elsq_stats::report::{Cell, ExperimentParams, Table};
+use elsq_stats::sampling::SamplingSpec;
 use elsq_workload::suite::WorkloadClass;
 
 /// One benchmark case: a processor configuration over a workload suite.
@@ -40,6 +41,9 @@ struct BenchSpec {
     id: &'static str,
     config: CpuConfig,
     class: WorkloadClass,
+    /// Run this case under SMARTS sampling (with [`sampled_spec_for`] the
+    /// budget selects, unless `--sample` overrides it for every case).
+    sampled: bool,
 }
 
 /// The fixed roster: the OoO-64 baseline plus the Figure 7 large-window
@@ -51,33 +55,62 @@ fn roster() -> Vec<BenchSpec> {
             id: "ooo64/int",
             config: CpuConfig::ooo64(),
             class: WorkloadClass::Int,
+            sampled: false,
         },
         BenchSpec {
             id: "ooo64/fp",
             config: CpuConfig::ooo64(),
             class: WorkloadClass::Fp,
+            sampled: false,
         },
         BenchSpec {
             id: "fmc-hash-sqm/int",
             config: CpuConfig::fmc_hash(true),
             class: WorkloadClass::Int,
+            sampled: false,
         },
         BenchSpec {
             id: "fmc-hash-sqm/fp",
             config: CpuConfig::fmc_hash(true),
             class: WorkloadClass::Fp,
+            sampled: false,
         },
         BenchSpec {
             id: "fmc-line-sqm/fp",
             config: CpuConfig::fmc_line(true),
             class: WorkloadClass::Fp,
+            sampled: false,
         },
         BenchSpec {
             id: "central-ideal/fp",
             config: CpuConfig::fmc_central_ideal(),
             class: WorkloadClass::Fp,
+            sampled: false,
+        },
+        // The sampled counterpart of ooo64/fp: the same streams and the
+        // same per-workload budget, but only ~10% of it simulated in
+        // detail. Its Minst/s column (covered instructions per second) is
+        // directly comparable to ooo64/fp's and records the sampling
+        // speedup in every BENCH_*.json trajectory.
+        BenchSpec {
+            id: "ooo64/fp-sampled",
+            config: CpuConfig::ooo64(),
+            class: WorkloadClass::Fp,
+            sampled: true,
         },
     ]
+}
+
+/// The sampling specification a `sampled` roster case derives from the
+/// commit budget: a tenth of the budget per period, a tenth of the period
+/// in the detailed window, half a window of warming — so roughly 10% of
+/// the stream is simulated in detail and 5% functionally warmed at any
+/// budget (including the tiny unit-test budgets).
+fn sampled_spec_for(commits: u64) -> SamplingSpec {
+    let period = (commits / 10).max(10);
+    let window = (period / 10).max(1);
+    let warmup = (window / 2).min(period - window);
+    SamplingSpec::new(period, window, warmup).expect("derived spec is valid at any budget")
 }
 
 /// Measured throughput of one bench case.
@@ -85,7 +118,10 @@ fn roster() -> Vec<BenchSpec> {
 pub struct BenchCaseResult {
     /// Stable case identifier (`scheme/suite`).
     pub id: String,
-    /// Committed instructions summed over the suite's six workloads.
+    /// Committed instructions summed over the suite's six workloads. For
+    /// sampled cases this counts *covered* instructions — committed in
+    /// detailed windows plus functionally skipped and warmed — which is
+    /// the stream length sampling pays for.
     pub committed: u64,
     /// Simulated cycles summed over the suite (determinism witness: this
     /// column must be identical across hosts for the same parameters).
@@ -147,6 +183,10 @@ pub struct BenchParams {
     pub seed: u64,
     /// Label recorded in the report (and the default output file name).
     pub label: String,
+    /// `--sample`: run *every* roster case under this sampling spec
+    /// (`None` leaves only the dedicated `-sampled` roster case sampled,
+    /// with its budget-derived spec).
+    pub sample: Option<SamplingSpec>,
 }
 
 /// Default committed-instruction budgets.
@@ -165,6 +205,7 @@ pub fn run_bench(params: &BenchParams) -> BenchReport {
     let sim_params = ExperimentParams {
         commits: params.commits,
         seed: params.seed,
+        sample: None,
     };
     let fp = capture_class_suite(WorkloadClass::Fp, &sim_params);
     let int = capture_class_suite(WorkloadClass::Int, &sim_params);
@@ -176,12 +217,25 @@ pub fn run_bench(params: &BenchParams) -> BenchReport {
             WorkloadClass::Fp => &fp,
             WorkloadClass::Int => &int,
         };
+        let sample = params
+            .sample
+            .or_else(|| spec.sampled.then(|| sampled_spec_for(params.commits)));
         let start = Instant::now();
         let mut committed = 0u64;
         let mut cycles = 0u64;
         for stream in streams {
-            let result = Processor::new(spec.config).run(&mut stream.cursor(), params.commits);
+            let result = match sample {
+                Some(sample_spec) => Processor::new(spec.config).run_sampled(
+                    &mut stream.cursor(),
+                    params.commits,
+                    sample_spec,
+                ),
+                None => Processor::new(spec.config).run(&mut stream.cursor(), params.commits),
+            };
             committed += result.sim.committed;
+            if let Some(sampling) = &result.sampling {
+                committed += sampling.skipped + sampling.warmed;
+            }
             cycles += result.sim.cycles;
         }
         let secs = start.elapsed().as_secs_f64();
@@ -307,6 +361,7 @@ mod tests {
             commits: 300,
             seed: 7,
             label: "unit".into(),
+            sample: None,
         });
         assert_eq!(report.cases.len(), roster().len());
         for case in &report.cases {
@@ -327,6 +382,7 @@ mod tests {
             commits: 300,
             seed: 7,
             label: "det".into(),
+            sample: None,
         };
         let a = run_bench(&params);
         let b = run_bench(&params);
@@ -352,12 +408,14 @@ mod tests {
             commits: Some(300),
             seed: Some(7),
             out: dir.clone(),
+            checkpoint_every: None,
         })
         .unwrap();
         let params = BenchParams {
             commits: 300,
             seed: 7,
             label: "replay".into(),
+            sample: None,
         };
         let generated = run_bench(&params);
         let guard = crate::trace::install_roster(
@@ -368,6 +426,7 @@ mod tests {
                 ExperimentParams {
                     commits: 300,
                     seed: 7,
+                    sample: None,
                 },
             )],
         )
@@ -395,6 +454,42 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The sampled roster case covers the same stream as its detailed
+    /// twin while simulating far fewer cycles — the structural source of
+    /// the sampling speedup, pinned on the deterministic cycle column
+    /// rather than wall-clock (which is noise on loaded test hosts).
+    #[test]
+    fn sampled_case_covers_the_stream_with_a_fraction_of_the_cycles() {
+        let _serial = crate::cli::run_lock();
+        let report = run_bench(&BenchParams {
+            commits: 2_000,
+            seed: 7,
+            label: "sampled".into(),
+            sample: None,
+        });
+        let full = report.cases.iter().find(|c| c.id == "ooo64/fp").unwrap();
+        let sampled = report
+            .cases
+            .iter()
+            .find(|c| c.id == "ooo64/fp-sampled")
+            .unwrap();
+        // Covered instructions match the detailed run's committed count to
+        // within the final partial period per workload.
+        assert!(
+            sampled.committed * 10 >= full.committed * 9,
+            "sampled covered {} vs detailed {}",
+            sampled.committed,
+            full.committed
+        );
+        // ~10% detailed + 5% warmed means at least ~5x fewer cycles.
+        assert!(
+            sampled.cycles * 5 < full.cycles,
+            "sampled cycles {} vs detailed {}",
+            sampled.cycles,
+            full.cycles
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use elsq_sim::scenario::{run_plan, run_plan_each, sweep_report, Axis, ScenarioSp
 use elsq_sim::store::ResultStore;
 use elsq_sim::suite::{evaluate, Status, Suite, SuiteOutcome};
 use elsq_stats::report::{ExperimentParams, Report};
+use elsq_stats::sampling::SamplingSpec;
 use elsq_workload::suite::WorkloadClass;
 use serde::Serialize;
 
@@ -87,6 +88,12 @@ RUN OPTIONS:
                        and write fresh points back (see docs/SCENARIOS.md)
     --resume           required to reuse a --cache directory that already
                        holds cached points
+    --sample P:W[:U]   SMARTS-style systematic sampling: per PERIOD
+                       instructions, fast-forward functionally, warm for U
+                       (default 0), then simulate a W-instruction detailed
+                       window; mean-IPC cells gain a 95% confidence
+                       interval (see docs/SAMPLING.md); sampled runs cache
+                       under distinct keys from full runs
 
 SWEEP OPTIONS:
     --scenario FILE    run the grid described by a scenario JSON file
@@ -110,7 +117,8 @@ SWEEP OPTIONS:
                        var); a sweep whose points fail completes with a
                        degraded report and exit code 3
     --commits/--seed, --cache DIR/--resume, --format, --out DIR, --jobs,
-    --trace DIR        as for `run` (--out writes DIR/sweep-<name>.<ext>)
+    --trace DIR, --sample P:W[:U]
+                       as for `run` (--out writes DIR/sweep-<name>.<ext>)
 
 SERVE OPTIONS:
     --store DIR        shared result-store directory (required); holds the
@@ -140,7 +148,7 @@ SUBMIT OPTIONS:
                        points failed completes with a degraded report and
                        exit code 3.
     --scenario/--axis/--base/--classes/--name/--quick/--commits/--seed,
-    --format, --out DIR
+    --sample P:W[:U], --format, --out DIR
                        as for `sweep` (--out writes DIR/sweep-<name>.<ext>,
                        byte-identical to the offline sweep's file); the
                        cache flags belong to the server, not to submit
@@ -159,6 +167,10 @@ TRACE DUMP OPTIONS:
     --commits N        instructions to record per workload (default 60k)
     --seed N           generator seed to record at (default 7)
     --out DIR          directory to write `.etrc` files into (required)
+    --checkpoint-every N
+                       write a header-v2 trace with an architectural
+                       checkpoint directory every N instructions, enabling
+                       O(1) fast-forward seeks in sampled replays
 
 BENCH OPTIONS:
     --quick            5k commits per workload instead of 20k
@@ -175,6 +187,9 @@ BENCH OPTIONS:
     --trace DIR        bench over recorded .etrc traces instead of the
                        generators; stream capture is outside the timed
                        window either way, so rates stay comparable
+    --sample P:W[:U]   run every roster case sampled (as for `run`); the
+                       rate counts covered instructions (skipped + warmed
+                       + detailed), which is what sampling accelerates
 
 DIFF OPTIONS:
     --tol REL          relative tolerance for numeric cells (default: 0,
@@ -258,6 +273,8 @@ pub struct RunArgs {
     pub cache: Option<PathBuf>,
     /// Allow reusing a cache directory that already holds points.
     pub resume: bool,
+    /// SMARTS-style sampling specification (`--sample P:W[:U]`).
+    pub sample: Option<SamplingSpec>,
 }
 
 /// Parsed `elsq-lab sweep` arguments.
@@ -299,6 +316,8 @@ pub struct SweepArgs {
     /// Fault plan file to install for the run (`--fault-plan`; overrides
     /// the `FAULT_PLAN` environment variable).
     pub fault_plan: Option<PathBuf>,
+    /// SMARTS-style sampling specification (`--sample P:W[:U]`).
+    pub sample: Option<SamplingSpec>,
 }
 
 /// Parsed `elsq-lab bench` arguments.
@@ -324,6 +343,8 @@ pub struct BenchArgs {
     /// running the generators (setup stays outside the timed window either
     /// way, so the rates are comparable).
     pub trace: Option<PathBuf>,
+    /// SMARTS-style sampling specification (`--sample P:W[:U]`).
+    pub sample: Option<SamplingSpec>,
 }
 
 /// Parsed `elsq-lab diff` arguments.
@@ -579,6 +600,7 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
         check: None,
         max_regress: 0.30,
         trace: None,
+        sample: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -600,6 +622,7 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
             },
             "--check" => bench.check = Some(PathBuf::from(value_of("--check")?)),
             "--trace" => bench.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--sample" => bench.sample = Some(parse_sample(value_of("--sample")?)?),
             "--max-regress" => {
                 let pct: u64 = parse_num(value_of("--max-regress")?, "--max-regress")?;
                 if pct > 100 {
@@ -713,6 +736,7 @@ fn parse_trace(args: &[String]) -> Result<TraceCmd, CliError> {
                 commits: None,
                 seed: None,
                 out: PathBuf::new(),
+                checkpoint_every: None,
             };
             let mut out = None;
             let mut it = it.as_slice().iter();
@@ -728,6 +752,17 @@ fn parse_trace(args: &[String]) -> Result<TraceCmd, CliError> {
                     }
                     "--seed" => dump.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
                     "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+                    "--checkpoint-every" => {
+                        let every =
+                            parse_num(value_of("--checkpoint-every")?, "--checkpoint-every")?;
+                        if every == 0 {
+                            return Err(CliError::usage(
+                                "`--checkpoint-every` must be at least 1 instruction \
+                                 (omit the flag to record a plain v1 trace)",
+                            ));
+                        }
+                        dump.checkpoint_every = Some(every);
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(CliError::usage(format!("unknown option `{flag}`")));
                     }
@@ -814,6 +849,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
         trace: None,
         no_batch: false,
         fault_plan: None,
+        sample: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -842,6 +878,7 @@ fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
                 sweep.jobs = Some(n as usize);
             }
             "--trace" => sweep.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--sample" => sweep.sample = Some(parse_sample(value_of("--sample")?)?),
             "--no-batch" => sweep.no_batch = true,
             "--fault-plan" => sweep.fault_plan = Some(PathBuf::from(value_of("--fault-plan")?)),
             other => {
@@ -958,6 +995,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
         trace: None,
         no_batch: false,
         fault_plan: None,
+        sample: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -977,6 +1015,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
             "--quick" => grid.quick = true,
             "--commits" => grid.commits = Some(parse_num(value_of("--commits")?, "--commits")?),
             "--seed" => grid.seed = Some(parse_num(value_of("--seed")?, "--seed")?),
+            "--sample" => grid.sample = Some(parse_sample(value_of("--sample")?)?),
             "--format" => grid.format = OutputFormat::parse(value_of("--format")?)?,
             "--out" => grid.out = Some(PathBuf::from(value_of("--out")?)),
             flag @ ("--cache" | "--resume") => {
@@ -1061,6 +1100,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
         trace: None,
         cache: None,
         resume: false,
+        sample: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1086,6 +1126,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
             "--trace" => run.trace = Some(PathBuf::from(value_of("--trace")?)),
             "--cache" => run.cache = Some(PathBuf::from(value_of("--cache")?)),
             "--resume" => run.resume = true,
+            "--sample" => run.sample = Some(parse_sample(value_of("--sample")?)?),
             flag if flag.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{flag}`")));
             }
@@ -1111,6 +1152,12 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
 fn parse_num(s: &str, flag: &str) -> Result<u64, CliError> {
     s.parse()
         .map_err(|_| CliError::usage(format!("invalid value `{s}` for `{flag}`")))
+}
+
+/// Parses a `--sample PERIOD:WINDOW[:WARMUP]` specification; malformed
+/// specs are loud usage errors (exit 2) carrying the validator's reason.
+fn parse_sample(s: &str) -> Result<SamplingSpec, CliError> {
+    SamplingSpec::parse(s).map_err(|e| CliError::usage(format!("invalid `--sample {s}`: {e}")))
 }
 
 /// Resolves the experiments a run selects, in registry order for `--all`
@@ -1146,6 +1193,9 @@ pub fn effective_params(experiment: &dyn Experiment, run: &RunArgs) -> Experimen
     }
     if let Some(seed) = run.seed {
         params.seed = seed;
+    }
+    if let Some(sample) = run.sample {
+        params.sample = Some(sample);
     }
     params
 }
@@ -1338,6 +1388,9 @@ pub fn sweep_spec(sweep: &SweepArgs) -> Result<ScenarioSpec, CliError> {
     }
     if let Some(seed) = sweep.seed {
         spec.params.seed = seed;
+    }
+    if let Some(sample) = sweep.sample {
+        spec.params.sample = Some(sample);
     }
     Ok(spec)
 }
@@ -1689,6 +1742,7 @@ pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
         commits,
         seed: bench.seed.unwrap_or(BENCH_SEED),
         label: bench.label.clone().unwrap_or_else(|| "local".to_owned()),
+        sample: bench.sample,
     };
     let _trace_guard = match &bench.trace {
         Some(dir) => Some(crate::trace::install_roster(
@@ -1699,6 +1753,7 @@ pub fn execute_bench(bench: &BenchArgs) -> Result<String, CliError> {
                 ExperimentParams {
                     commits: params.commits,
                     seed: params.seed,
+                    sample: None,
                 },
             )],
         )?),
@@ -2276,6 +2331,84 @@ mod tests {
     }
 
     #[test]
+    fn parse_sample_flag_on_every_verb() {
+        let Command::Run(run) = parse(&args(&["run", "fig7", "--sample", "1000:100:50"])).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(run.sample, Some(SamplingSpec::new(1000, 100, 50).unwrap()));
+        let Command::Sweep(s) = parse(&args(&[
+            "sweep", "--axis", "rob=64", "--sample", "2000:200",
+        ]))
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(s.sample, Some(SamplingSpec::new(2000, 200, 0).unwrap()));
+        let Command::Bench(b) = parse(&args(&["bench", "--sample", "1000:100"])).unwrap() else {
+            panic!("expected bench");
+        };
+        assert_eq!(b.sample, Some(SamplingSpec::new(1000, 100, 0).unwrap()));
+        let Command::Submit(sub) = parse(&args(&[
+            "submit", "--axis", "rob=48", "--sample", "1000:100",
+        ]))
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        assert!(sub.grid.sample.is_some());
+        // The spec reaches the effective run/sweep parameters.
+        let fig7 = elsq_sim::experiments::find("fig7").unwrap();
+        assert_eq!(effective_params(fig7, &run).sample, run.sample);
+        assert_eq!(sweep_spec(&s).unwrap().params.sample, s.sample);
+    }
+
+    #[test]
+    fn parse_sample_rejects_malformed_specs_loudly() {
+        // Malformed specs exit 2 with a usage dump before anything runs.
+        for bad in ["1000", "0:100", "100:0", "1000:900:200", "a:b", "1:2:3:4"] {
+            let err = parse(&args(&["run", "fig7", "--sample", bad])).unwrap_err();
+            assert_eq!(err.exit_code, 2, "`{bad}` accepted");
+            assert!(err.show_usage, "`{bad}` skipped the usage dump");
+            assert!(err.message.contains("--sample"), "`{bad}`: {}", err.message);
+        }
+        assert!(parse(&args(&["run", "fig7", "--sample"])).is_err());
+        assert!(parse(&args(&["sweep", "--axis", "rob=64", "--sample", "10:20"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_dump_checkpoint_every() {
+        let Command::Trace(TraceCmd::Dump(dump)) = parse(&args(&[
+            "trace",
+            "dump",
+            "fp",
+            "--out",
+            "t/",
+            "--checkpoint-every",
+            "512",
+        ]))
+        .unwrap() else {
+            panic!("expected trace dump");
+        };
+        assert_eq!(dump.checkpoint_every, Some(512));
+        let err = parse(&args(&[
+            "trace",
+            "dump",
+            "fp",
+            "--out",
+            "t/",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(
+            err.message.contains("--checkpoint-every"),
+            "{}",
+            err.message
+        );
+        assert!(parse(&args(&["trace", "dump", "--checkpoint-every"])).is_err());
+    }
+
+    #[test]
     fn parse_diff_flags_and_arity() {
         let Command::Diff(d) =
             parse(&args(&["diff", "a.json", "b.json", "--tol", "0.01"])).unwrap()
@@ -2548,6 +2681,7 @@ mod tests {
             check: None,
             max_regress: 0.30,
             trace: None,
+            sample: None,
         };
         execute_bench(&base).unwrap();
         // Same seed, different commit budget: rates are not comparable.
@@ -2578,13 +2712,14 @@ mod tests {
             check: None,
             max_regress: 0.30,
             trace: None,
+            sample: None,
         };
         let output = execute_bench(&bench).unwrap();
         assert!(output.contains("minst_per_sec"));
         assert!(out.exists());
         // JSON mode keeps stdout pure JSON (no "wrote ..." trailer).
         let parsed: crate::bench::BenchReport = serde_json::from_str(&output).unwrap();
-        assert_eq!(parsed.cases.len(), 6);
+        assert_eq!(parsed.cases.len(), 7);
         // A fresh run checked against its own numbers passes (a near-100%
         // threshold keeps the tiny 200-commit run immune to timer noise on a
         // loaded test host; CI uses the real budget with the default 30%).
@@ -2938,6 +3073,7 @@ mod tests {
             trace: None,
             no_batch: false,
             fault_plan: None,
+            sample: None,
         };
         let err = execute_sweep(&sweep).unwrap_err();
         assert_eq!(err.exit_code, 1);
@@ -2973,6 +3109,7 @@ mod tests {
             trace: None,
             no_batch: false,
             fault_plan: None,
+            sample: None,
         };
         let first = execute_sweep(&sweep).unwrap();
         assert_eq!(first.cache, Some((0, 2)), "fresh cache misses everything");
@@ -3021,6 +3158,7 @@ mod tests {
             trace: None,
             no_batch: false,
             fault_plan: None,
+            sample: None,
         };
         let batched = execute_sweep(&sweep).unwrap();
         let each = execute_sweep(&SweepArgs {
@@ -3049,6 +3187,7 @@ mod tests {
             params: ExperimentParams {
                 commits: 400,
                 seed: 5,
+                sample: None,
             },
         };
         let path = dir.join("scenario.json");
@@ -3070,6 +3209,7 @@ mod tests {
             trace: None,
             no_batch: false,
             fault_plan: None,
+            sample: None,
         })
         .unwrap();
         assert_eq!(from_file.report.id, "sweep-filecase");
@@ -3096,6 +3236,7 @@ mod tests {
             trace: None,
             no_batch: false,
             fault_plan: None,
+            sample: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code, 1);

@@ -33,6 +33,7 @@ pub fn bench_params() -> ExperimentParams {
     ExperimentParams {
         commits: 8_000,
         seed: 7,
+        sample: None,
     }
 }
 

@@ -35,6 +35,9 @@ pub struct TraceDumpArgs {
     pub seed: Option<u64>,
     /// Directory the `.etrc` files are written into.
     pub out: PathBuf,
+    /// Record header-v2 files with an architectural checkpoint every this
+    /// many instructions (`--checkpoint-every N`; `None` records v1).
+    pub checkpoint_every: Option<u64>,
 }
 
 /// Parsed `elsq-lab trace info|verify` arguments: one or more files.
@@ -154,19 +157,24 @@ pub fn execute_dump(dump: &TraceDumpArgs) -> Result<String, CliError> {
             .join(member_file_name(class, slot, workload.name()));
         let file = std::fs::File::create(&path)
             .map_err(|e| CliError::runtime(format!("cannot create {}: {e}", path.display())))?;
-        let (_, written) = etrc::record(
+        let (meta, written) = etrc::record_with_checkpoints(
             workload.as_mut(),
             params.commits,
             params.seed,
             class.suite_tag(),
             Some(slot as u8),
+            dump.checkpoint_every,
             std::io::BufWriter::new(file),
         )
         .map_err(|e| CliError::runtime(format!("cannot record {}: {e}", path.display())))?;
         let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let checkpoints = meta
+            .checkpoint_every
+            .map(|every| format!(", checkpoints every {every}"))
+            .unwrap_or_default();
         let _ = writeln!(
             summary,
-            "wrote {}: {written} insts, {bytes} bytes ({:.2} B/inst), seed {}",
+            "wrote {}: {written} insts, {bytes} bytes ({:.2} B/inst), seed {}{checkpoints}",
             path.display(),
             bytes as f64 / written.max(1) as f64,
             params.seed,
@@ -227,6 +235,18 @@ pub fn execute_info(args: &TraceFileArgs) -> Result<String, CliError> {
             "  blocks         {} ({} raw bytes -> {} compressed, {ratio:.2}:1)",
             stats.blocks, stats.raw_bytes, stats.compressed_bytes
         );
+        match meta.checkpoint_every {
+            Some(every) => {
+                let _ = writeln!(
+                    out,
+                    "  checkpoints    {} (every {every} insts)",
+                    stats.checkpoints
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  checkpoints    none (v1 file)");
+            }
+        }
         let _ = writeln!(out, "  file bytes     {}", stats.file_bytes);
     }
     Ok(out)
@@ -323,6 +343,7 @@ mod tests {
             commits: Some(400),
             seed: Some(5),
             out: dir.clone(),
+            checkpoint_every: None,
         };
         let summary = execute_dump(&dump).unwrap();
         assert_eq!(summary.lines().count(), 12, "both suites dumped");
@@ -351,6 +372,7 @@ mod tests {
             commits: Some(100),
             seed: None,
             out: dir.clone(),
+            checkpoint_every: None,
         };
         // Resolve the real name first: pick the first INT member's name.
         let name = suite(WorkloadClass::Int, 7)[0].name().to_owned();
@@ -380,6 +402,7 @@ mod tests {
             commits: Some(120),
             seed: Some(3),
             out: dir.clone(),
+            checkpoint_every: None,
         };
         execute_dump(&dump).unwrap();
         let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -422,6 +445,7 @@ mod tests {
                 commits: Some(500),
                 seed: Some(3),
                 out: PathBuf::from("traces/"),
+                checkpoint_every: None,
             }))
         );
         let cmd = parse(&args(&["trace", "info", "a.etrc", "b.etrc"])).unwrap();
@@ -448,6 +472,7 @@ mod tests {
             commits: Some(10),
             seed: None,
             out: std::env::temp_dir().join("elsq-trace-unreached"),
+            checkpoint_every: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code, 2);
@@ -476,6 +501,7 @@ mod tests {
             commits: Some(800),
             seed: Some(7),
             out: dir.clone(),
+            checkpoint_every: None,
         })
         .unwrap();
         let run = RunArgs {
@@ -491,6 +517,7 @@ mod tests {
             trace: Some(dir.clone()),
             cache: None,
             resume: false,
+            sample: None,
         };
         let replayed = execute_run(&run).unwrap();
         assert_eq!(replayed[0].id, "tuning");
@@ -519,6 +546,7 @@ mod tests {
             commits: Some(1500),
             seed: Some(7),
             out: dir.clone(),
+            checkpoint_every: None,
         })
         .unwrap();
         let run = RunArgs {
@@ -534,6 +562,7 @@ mod tests {
             trace: None,
             cache: None,
             resume: false,
+            sample: None,
         };
         let generated: Vec<Report> = execute_run(&run)
             .unwrap()

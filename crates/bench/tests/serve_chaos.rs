@@ -88,6 +88,7 @@ fn chaos_spec() -> ScenarioSpec {
         params: ExperimentParams {
             commits: 400,
             seed: 5,
+            sample: None,
         },
     }
 }
@@ -344,6 +345,7 @@ fn sigterm_drains_journals_and_a_resume_boot_finishes_the_job() {
         params: ExperimentParams {
             commits: 400,
             seed: 5,
+            sample: None,
         },
     };
     let (first_point_tx, first_point) = mpsc::channel();

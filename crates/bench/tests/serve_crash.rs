@@ -85,6 +85,7 @@ fn killed_server_resumes_job_computing_only_missing_points() {
         params: ExperimentParams {
             commits: 400,
             seed: 5,
+            sample: None,
         },
     };
     let total = 16u64;

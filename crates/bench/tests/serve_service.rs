@@ -70,6 +70,7 @@ fn spec(name: &str, rob: &[&str]) -> ScenarioSpec {
         params: ExperimentParams {
             commits: 400,
             seed: 5,
+            sample: None,
         },
     }
 }

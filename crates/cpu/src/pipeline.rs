@@ -30,6 +30,7 @@ use elsq_core::svw::{LoadVulnerability, SvwReexecutor};
 use elsq_isa::{DynInst, TraceSource};
 use elsq_mem::hierarchy::MemoryHierarchy;
 use elsq_mem::ports::PortSchedule;
+use elsq_stats::sampling::{SamplingSpec, SamplingStats, WindowSample};
 
 use crate::config::CpuConfig;
 use crate::lsq_driver::{ExecSite, LsqDriver};
@@ -110,10 +111,139 @@ impl Processor {
     /// Runs `workload` until `max_commits` correct-path instructions have
     /// committed (or the trace ends) and returns the collected statistics.
     pub fn run(&mut self, workload: &mut dyn TraceSource, max_commits: u64) -> SimResult {
+        let mut st = self.init_state(workload.name());
+        self.run_window(&mut st, workload, max_commits);
+        self.finalize_run(st)
+    }
+
+    /// Runs `workload` for up to `total_insts` instructions under
+    /// SMARTS-style systematic sampling: each period of `spec.period`
+    /// instructions fast-forwards `spec.skip()` of them (architectural
+    /// position only), functionally warms caches and store filters for
+    /// `spec.warmup`, then simulates a detailed window of `spec.window`
+    /// through the full cycle loop. Every completed window contributes one
+    /// IPC observation to the result's [`SimResult::sampling`] record.
+    ///
+    /// Deterministic for a given workload/spec: identical invocations
+    /// produce byte-identical results.
+    pub fn run_sampled(
+        &mut self,
+        workload: &mut dyn TraceSource,
+        total_insts: u64,
+        spec: SamplingSpec,
+    ) -> SimResult {
+        let mut st = self.init_state(workload.name());
+        let mut sampling = SamplingStats {
+            spec,
+            skipped: 0,
+            warmed: 0,
+            windows: Vec::new(),
+        };
+        let mut consumed = 0u64;
+        while consumed < total_insts {
+            let skip = spec.skip().min(total_insts - consumed);
+            if skip > 0 {
+                let skipped = workload.skip_insts(skip);
+                sampling.skipped += skipped;
+                consumed += skipped;
+                if skipped < skip {
+                    break;
+                }
+            }
+            let warm = spec.warmup.min(total_insts - consumed);
+            if warm > 0 {
+                let warmed = self.warm(&mut st, workload, warm);
+                sampling.warmed += warmed;
+                consumed += warmed;
+                if warmed < warm {
+                    break;
+                }
+            }
+            let window = spec.window.min(total_insts - consumed);
+            if window == 0 {
+                break;
+            }
+            let cycles_before = st.last_commit_cycle;
+            let committed = self.run_window(&mut st, workload, window);
+            consumed += committed;
+            if committed > 0 {
+                sampling.windows.push(WindowSample {
+                    committed,
+                    cycles: st.last_commit_cycle.saturating_sub(cycles_before),
+                });
+            }
+            if committed < window {
+                break;
+            }
+        }
+        let mut result = self.finalize_run(st);
+        result.sampling = Some(sampling);
+        result
+    }
+
+    /// Functional warming: consumes up to `n` instructions, touching the
+    /// cache hierarchy and training the SVW store filter so the next
+    /// detailed window starts warm, without engaging the cycle loop.
+    /// Returns how many instructions the trace actually yielded.
+    fn warm(&mut self, st: &mut RunState, workload: &mut dyn TraceSource, n: u64) -> u64 {
+        let mut warmed = 0;
+        while warmed < n {
+            let Some(inst) = workload.next_inst() else {
+                break;
+            };
+            warmed += 1;
+            let seq = st.seq;
+            st.seq += 1;
+            if let Some(mem) = inst.mem {
+                st.hierarchy.access(mem.addr, inst.is_store());
+                if inst.is_store() {
+                    if let Some(svw) = st.svw.as_mut() {
+                        svw.on_store_commit(seq, mem.addr);
+                    }
+                }
+            }
+        }
+        warmed
+    }
+
+    /// Drives the cycle loop until `commits` further instructions commit
+    /// (or the trace ends) and returns how many actually committed.
+    fn run_window(
+        &mut self,
+        st: &mut RunState,
+        workload: &mut dyn TraceSource,
+        commits: u64,
+    ) -> u64 {
+        let start = st.result.sim.committed;
+        let target = start.saturating_add(commits);
+        while st.result.sim.committed < target {
+            let Some(inst) = workload.next_inst() else {
+                break;
+            };
+            let timing = self.process_inst(st, inst, false);
+            // Mispredicted branch: fetch down the wrong path until the branch
+            // resolves, then squash and redirect.
+            if inst.is_mispredicted_branch() {
+                self.run_wrong_path(st, workload, timing.complete);
+            }
+            // Periodically prune schedules so memory stays bounded.
+            if st.seq % 4096 == 0 {
+                let horizon = st.last_commit_cycle.saturating_sub(2);
+                st.fetch_ports.retire_before(horizon.saturating_sub(10_000));
+                st.issue_ports.retire_before(horizon.saturating_sub(10_000));
+                st.commit_ports
+                    .retire_before(horizon.saturating_sub(10_000));
+                st.cache_ports.retire_before(horizon.saturating_sub(10_000));
+            }
+        }
+        st.result.sim.committed - start
+    }
+
+    fn init_state(&self, workload_name: &str) -> RunState {
         let cfg = &self.config;
         let me_count = cfg.fmc.map(|f| f.num_engines).unwrap_or(0);
         let (lq_cap, sq_cap) = self.lsq_caps();
-        let mut st = RunState {
+        RunState {
             hierarchy: MemoryHierarchy::new(cfg.hierarchy),
             lsq: LsqDriver::new(&cfg.lsq),
             svw: cfg
@@ -140,30 +270,11 @@ impl Processor {
             mp_busy_until: 0,
             mp_busy_total: 0,
             seq: 0,
-            result: SimResult::new(workload.name()),
-        };
-
-        while st.result.sim.committed < max_commits {
-            let Some(inst) = workload.next_inst() else {
-                break;
-            };
-            let timing = self.process_inst(&mut st, inst, false);
-            // Mispredicted branch: fetch down the wrong path until the branch
-            // resolves, then squash and redirect.
-            if inst.is_mispredicted_branch() {
-                self.run_wrong_path(&mut st, workload, timing.complete);
-            }
-            // Periodically prune schedules so memory stays bounded.
-            if st.seq % 4096 == 0 {
-                let horizon = st.last_commit_cycle.saturating_sub(2);
-                st.fetch_ports.retire_before(horizon.saturating_sub(10_000));
-                st.issue_ports.retire_before(horizon.saturating_sub(10_000));
-                st.commit_ports
-                    .retire_before(horizon.saturating_sub(10_000));
-                st.cache_ports.retire_before(horizon.saturating_sub(10_000));
-            }
+            result: SimResult::new(workload_name),
         }
+    }
 
+    fn finalize_run(&self, mut st: RunState) -> SimResult {
         // Flush the Memory-Processor busy interval and finalize counters.
         if st.mp_busy_until > st.mp_busy_start {
             st.mp_busy_total += st.mp_busy_until - st.mp_busy_start;
@@ -943,5 +1054,73 @@ mod tests {
         assert!(r.sim.cycles > 0);
         assert_eq!(r.sim.committed, 5_000);
         assert!(r.sim.ll_idle_cycles + r.sim.ll_active_cycles == r.sim.cycles);
+    }
+
+    #[test]
+    fn sampled_run_collects_one_window_per_period() {
+        let spec = SamplingSpec::new(1_000, 200, 100).unwrap();
+        let mut t = StreamingFp::swim_like(1);
+        let r = Processor::new(CpuConfig::ooo64()).run_sampled(&mut t, 20_000, spec);
+        let s = r.sampling.as_ref().expect("sampled run records sampling");
+        assert_eq!(s.window_count(), 20);
+        assert_eq!(s.skipped, 20 * 700);
+        assert_eq!(s.warmed, 20 * 100);
+        for w in &s.windows {
+            assert_eq!(w.committed, 200);
+            assert!(w.cycles > 0);
+        }
+        assert_eq!(r.sim.committed, 20 * 200);
+        assert!(s.mean_ipc() > 0.0);
+        assert!(s.ci95_half_width() >= 0.0);
+    }
+
+    #[test]
+    fn all_detailed_spec_matches_the_plain_run() {
+        // window == period means nothing is skipped or warmed: the sampled
+        // run must walk exactly the plain run's path.
+        let spec = SamplingSpec::new(500, 500, 0).unwrap();
+        let mut t1 = PointerChaseInt::mcf_like(3);
+        let sampled = Processor::new(CpuConfig::fmc_hash(true)).run_sampled(&mut t1, 10_000, spec);
+        let mut t2 = PointerChaseInt::mcf_like(3);
+        let plain = run(CpuConfig::fmc_hash(true), &mut t2, 10_000);
+        assert_eq!(sampled.sim, plain.sim);
+        assert_eq!(sampled.lsq, plain.lsq);
+        let s = sampled.sampling.unwrap();
+        assert_eq!(s.window_count(), 20);
+        assert_eq!(s.skipped + s.warmed, 0);
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic() {
+        let spec = SamplingSpec::new(2_000, 300, 150).unwrap();
+        let run_once = || {
+            let mut t = StreamingFp::swim_like(9);
+            Processor::new(CpuConfig::fmc_hash(true)).run_sampled(&mut t, 30_000, spec)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn sampled_run_stops_cleanly_at_trace_end() {
+        use elsq_isa::trace::VecTrace;
+        let mut insts = Vec::new();
+        for i in 0..1_500u64 {
+            insts.push(
+                InstBuilder::alu(i * 4, OpClass::IntAlu)
+                    .dst(ArchReg::int(1))
+                    .src(ArchReg::int(0))
+                    .build(),
+            );
+        }
+        let spec = SamplingSpec::new(1_000, 100, 50).unwrap();
+        let mut t = VecTrace::new(insts);
+        let r = Processor::new(CpuConfig::ooo64()).run_sampled(&mut t, 50_000, spec);
+        let s = r.sampling.unwrap();
+        // Period 1: skip 850 + warm 50 + window 100 = 1000. Period 2: the
+        // trace ends 500 instructions in, mid-skip.
+        assert_eq!(s.window_count(), 1);
+        assert_eq!(s.skipped, 850 + 500);
+        assert_eq!(s.warmed, 50);
+        assert_eq!(r.sim.committed, 100);
     }
 }

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use elsq_stats::counters::{LsqAccessCounters, SimCounters};
+use elsq_stats::sampling::SamplingStats;
 
 /// A fixed-bin histogram (30-cycle bins, as in Figure 1).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,7 +97,7 @@ impl Histogram {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Whole-run counters (cycles, commits, squashes, MP activity).
     pub sim: SimCounters,
@@ -108,6 +109,52 @@ pub struct SimResult {
     pub store_addr_hist: Histogram,
     /// Name of the workload that produced this result.
     pub workload: String,
+    /// Per-window sampling statistics, present only for sampled runs
+    /// (`Processor::run_sampled`).
+    pub sampling: Option<SamplingStats>,
+}
+
+// Hand-written so an absent `sampling` is *omitted* rather than null:
+// canonical hashes of full-run results (pinned by the golden-report tests)
+// keep their value, and result-store files written before sampling existed
+// keep decoding.
+impl Serialize for SimResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("sim".to_owned(), self.sim.to_value()),
+            ("lsq".to_owned(), self.lsq.to_value()),
+            ("load_addr_hist".to_owned(), self.load_addr_hist.to_value()),
+            (
+                "store_addr_hist".to_owned(),
+                self.store_addr_hist.to_value(),
+            ),
+            ("workload".to_owned(), self.workload.to_value()),
+        ];
+        if let Some(sampling) = &self.sampling {
+            fields.push(("sampling".to_owned(), sampling.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let sampling = match value {
+            serde::Value::Map(_) => match value.get("sampling") {
+                Some(v) => Option::<SamplingStats>::from_value(v)?,
+                None => None,
+            },
+            other => return Err(serde::Error::expected("map", other)),
+        };
+        Ok(Self {
+            sim: SimCounters::from_value(serde::map_field(value, "sim")?)?,
+            lsq: LsqAccessCounters::from_value(serde::map_field(value, "lsq")?)?,
+            load_addr_hist: Histogram::from_value(serde::map_field(value, "load_addr_hist")?)?,
+            store_addr_hist: Histogram::from_value(serde::map_field(value, "store_addr_hist")?)?,
+            workload: String::from_value(serde::map_field(value, "workload")?)?,
+            sampling,
+        })
+    }
 }
 
 impl SimResult {
@@ -119,6 +166,7 @@ impl SimResult {
             load_addr_hist: Histogram::figure1(),
             store_addr_hist: Histogram::figure1(),
             workload: workload.into(),
+            sampling: None,
         }
     }
 
@@ -232,6 +280,38 @@ mod tests {
         r2.sim.committed = 50;
         assert!((SimResult::mean_ipc(&[r1, r2]) - 1.0).abs() < 1e-12);
         assert_eq!(SimResult::mean_ipc(&[]), 0.0);
+    }
+
+    #[test]
+    fn serde_omits_an_absent_sampling_record() {
+        let full = SimResult::new("full");
+        let keys = |v: &serde::Value| -> Vec<String> {
+            match v {
+                serde::Value::Map(fields) => fields.iter().map(|(k, _)| k.clone()).collect(),
+                _ => panic!("expected a map"),
+            }
+        };
+        assert!(
+            !keys(&full.to_value()).contains(&"sampling".to_owned()),
+            "unsampled results must not carry a sampling key"
+        );
+        // A legacy value (no sampling key) decodes to sampling: None.
+        let back = SimResult::from_value(&full.to_value()).unwrap();
+        assert_eq!(back, full);
+
+        let mut sampled = SimResult::new("sampled");
+        sampled.sampling = Some(elsq_stats::sampling::SamplingStats {
+            spec: elsq_stats::sampling::SamplingSpec::new(1_000, 100, 50).unwrap(),
+            skipped: 850,
+            warmed: 50,
+            windows: vec![elsq_stats::sampling::WindowSample {
+                committed: 100,
+                cycles: 80,
+            }],
+        });
+        assert!(keys(&sampled.to_value()).contains(&"sampling".to_owned()));
+        let back = SimResult::from_value(&sampled.to_value()).unwrap();
+        assert_eq!(back, sampled);
     }
 
     #[test]

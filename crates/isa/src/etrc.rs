@@ -14,11 +14,19 @@
 //! module is the reference implementation. File layout at a glance:
 //!
 //! ```text
-//! header  | magic "ELSQETRC", version, flags, provenance, name, CRC-32
+//! header  | magic "ELSQETRC", version, flags, provenance, name,
+//!         | [v2: checkpoint directory], CRC-32
 //! block*  | n_records, raw_len, comp_len, encoding, CRC-32, payload
 //! end     | an all-zero block header (17 zero bytes)
 //! trailer | magic "ETRCEND\0", instruction count, CRC-32
 //! ```
+//!
+//! Version-2 headers additionally carry a *checkpoint directory*: periodic
+//! architectural checkpoints (instruction count, block byte offset, last
+//! program counter and memory address) taken at block boundaries, so a
+//! seekable reader ([`EtrcReader::seek_to_checkpoint`]) can jump near any
+//! sample window without decoding the prefix. The directory sits between
+//! the name and the header CRC and is covered by it.
 //!
 //! # Example
 //!
@@ -38,7 +46,7 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::inst::{BranchInfo, DynInst, InvalidInstError, MemAccess, MAX_SRCS};
@@ -51,8 +59,12 @@ use crate::wrongpath::{WrongPathSpec, WrongPathSynth};
 pub const MAGIC: [u8; 8] = *b"ELSQETRC";
 /// Trailer magic, written after the end-of-blocks marker.
 pub const END_MAGIC: [u8; 8] = *b"ETRCEND\0";
-/// Current (and only) format version.
+/// Original format version: no checkpoint directory.
 pub const FORMAT_VERSION: u16 = 1;
+/// Format version 2: the header carries a checkpoint directory between the
+/// name and the header CRC, so a seekable reader can jump to any sample
+/// window without decoding the prefix.
+pub const FORMAT_VERSION_V2: u16 = 2;
 /// Default uncompressed block payload target in bytes.
 pub const DEFAULT_BLOCK_TARGET: u32 = 64 * 1024;
 /// Header flag bit: a wrong-path spec is present.
@@ -73,6 +85,11 @@ pub const ENC_LZSS: u8 = 1;
 const HEADER_FIXED_LEN: usize = 60;
 const BLOCK_HEADER_LEN: usize = 17;
 const TRAILER_LEN: usize = 20;
+/// Fixed on-disk size of one checkpoint directory entry.
+pub const CHECKPOINT_ENTRY_LEN: usize = 32;
+/// Upper bound on directory entries a reader will accept. A million entries
+/// is already a 32 MiB header; anything larger is treated as corruption.
+pub const MAX_CHECKPOINTS: u32 = 1 << 20;
 /// Minimum LZSS match length; shorter repeats are emitted as literals.
 const LZSS_MIN_MATCH: usize = 4;
 /// Maximum LZSS match length (`LZSS_MIN_MATCH + 255`).
@@ -110,7 +127,7 @@ impl fmt::Display for EtrcError {
             EtrcError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported .etrc version {v} (reader supports {FORMAT_VERSION})"
+                    "unsupported .etrc version {v} (reader supports up to {FORMAT_VERSION_V2})"
                 )
             }
             EtrcError::Truncated(what) => write!(f, "truncated file: unexpected end inside {what}"),
@@ -156,6 +173,9 @@ pub struct TraceMeta {
     pub wrong_path: Option<WrongPathSpec>,
     /// Uncompressed block payload target in bytes.
     pub block_target: u32,
+    /// Checkpoint spacing in instructions, if the header carries a
+    /// checkpoint directory (version-2 files only).
+    pub checkpoint_every: Option<u64>,
 }
 
 impl TraceMeta {
@@ -170,8 +190,33 @@ impl TraceMeta {
             suite_index: None,
             wrong_path: None,
             block_target: DEFAULT_BLOCK_TARGET,
+            checkpoint_every: None,
         }
     }
+
+    /// Upgrades the meta to a version-2 file whose header carries a
+    /// checkpoint directory with one entry every `every` instructions.
+    pub fn with_checkpoints(mut self, every: u64) -> Self {
+        self.version = FORMAT_VERSION_V2;
+        self.checkpoint_every = Some(every);
+        self
+    }
+}
+
+/// One entry of a version-2 checkpoint directory: the architectural state
+/// needed to resume decoding at a block boundary without reading the
+/// prefix. Entry 0 is always the trace start (all fields zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Correct-path instructions decoded before this point.
+    pub insts: u64,
+    /// Byte offset of the next block header, measured from the end of the
+    /// file header (so it stays valid whatever the name length is).
+    pub offset: u64,
+    /// Program counter of the last instruction before the checkpoint.
+    pub pc: u64,
+    /// Last data-memory address touched before the checkpoint.
+    pub mem_addr: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -584,14 +629,65 @@ fn decode_record(
 // Header / trailer codec
 // ---------------------------------------------------------------------------
 
+/// Structural checks shared by the encoder and the decoder: a directory
+/// must start at the trace start and advance strictly in both instruction
+/// count and byte offset, or seeking through it would misposition reads.
+fn validate_directory(every: u64, entries: &[Checkpoint]) -> Result<(), EtrcError> {
+    if every == 0 {
+        return Err(EtrcError::Corrupt(
+            "checkpoint interval of zero instructions".into(),
+        ));
+    }
+    if entries.len() > MAX_CHECKPOINTS as usize {
+        return Err(EtrcError::Corrupt(format!(
+            "checkpoint directory of {} entries exceeds the {MAX_CHECKPOINTS} cap",
+            entries.len()
+        )));
+    }
+    match entries.first() {
+        None => {
+            return Err(EtrcError::Corrupt("empty checkpoint directory".into()));
+        }
+        Some(first) if *first != Checkpoint::default() => {
+            return Err(EtrcError::Corrupt(
+                "checkpoint directory entry 0 is not the trace start".into(),
+            ));
+        }
+        Some(_) => {}
+    }
+    for pair in entries.windows(2) {
+        if pair[1].insts <= pair[0].insts || pair[1].offset <= pair[0].offset {
+            return Err(EtrcError::Corrupt(
+                "checkpoint directory entries are not strictly increasing".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
 // Encoding enforces every constraint decoding checks, so a writer can
 // never produce a file its own reader refuses to open.
-fn encode_header(meta: &TraceMeta) -> Result<Vec<u8>, EtrcError> {
-    if meta.version != FORMAT_VERSION {
-        return Err(EtrcError::Corrupt(format!(
-            "writer can only produce format version {FORMAT_VERSION}, not {}",
-            meta.version
-        )));
+fn encode_header(meta: &TraceMeta, checkpoints: &[Checkpoint]) -> Result<Vec<u8>, EtrcError> {
+    match meta.checkpoint_every {
+        Some(every) => {
+            if meta.version != FORMAT_VERSION_V2 {
+                return Err(EtrcError::Corrupt(format!(
+                    "checkpoint directories require format version {FORMAT_VERSION_V2}, not {}",
+                    meta.version
+                )));
+            }
+            validate_directory(every, checkpoints)?;
+        }
+        None => {
+            if meta.version != FORMAT_VERSION {
+                return Err(EtrcError::Corrupt(format!(
+                    "writer can only produce format version {FORMAT_VERSION} without a \
+                     checkpoint directory, not {}",
+                    meta.version
+                )));
+            }
+            debug_assert!(checkpoints.is_empty());
+        }
     }
     let name = meta.name.as_bytes();
     if name.len() > u16::MAX as usize {
@@ -610,9 +706,11 @@ fn encode_header(meta: &TraceMeta) -> Result<Vec<u8>, EtrcError> {
             )));
         }
     }
-    let mut buf = Vec::with_capacity(HEADER_FIXED_LEN + name.len() + 4);
+    let mut buf = Vec::with_capacity(
+        HEADER_FIXED_LEN + name.len() + checkpoints.len() * CHECKPOINT_ENTRY_LEN + 16,
+    );
     buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&meta.version.to_le_bytes());
     let flags = if meta.wrong_path.is_some() {
         FLAG_WRONG_PATH
     } else {
@@ -643,6 +741,16 @@ fn encode_header(meta: &TraceMeta) -> Result<Vec<u8>, EtrcError> {
     buf.extend_from_slice(&meta.block_target.to_le_bytes());
     debug_assert_eq!(buf.len(), HEADER_FIXED_LEN);
     buf.extend_from_slice(name);
+    if let Some(every) = meta.checkpoint_every {
+        buf.extend_from_slice(&every.to_le_bytes());
+        buf.extend_from_slice(&(checkpoints.len() as u32).to_le_bytes());
+        for c in checkpoints {
+            buf.extend_from_slice(&c.insts.to_le_bytes());
+            buf.extend_from_slice(&c.offset.to_le_bytes());
+            buf.extend_from_slice(&c.pc.to_le_bytes());
+            buf.extend_from_slice(&c.mem_addr.to_le_bytes());
+        }
+    }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
     Ok(buf)
@@ -658,7 +766,7 @@ fn read_exact_or(src: &mut impl Read, buf: &mut [u8], what: &'static str) -> Res
     })
 }
 
-fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
+fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64, Vec<Checkpoint>), EtrcError> {
     let mut fixed = [0u8; HEADER_FIXED_LEN];
     read_exact_or(src, &mut fixed, "header")?;
     if fixed[0..8] != MAGIC {
@@ -668,7 +776,7 @@ fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
     let u32_at = |i: usize| u32::from_le_bytes(fixed[i..i + 4].try_into().unwrap());
     let u64_at = |i: usize| u64::from_le_bytes(fixed[i..i + 8].try_into().unwrap());
     let version = u16_at(8);
-    if version == 0 || version > FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION_V2 {
         return Err(EtrcError::UnsupportedVersion(version));
     }
     let flags = u16_at(10);
@@ -708,10 +816,29 @@ fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
     }
     let mut name = vec![0u8; name_len];
     read_exact_or(src, &mut name, "header name")?;
+    let mut directory = Vec::new();
+    if version >= FORMAT_VERSION_V2 {
+        let mut dir_fixed = [0u8; 12];
+        read_exact_or(src, &mut dir_fixed, "checkpoint directory")?;
+        let count = u32::from_le_bytes(dir_fixed[8..12].try_into().unwrap());
+        if count == 0 {
+            return Err(EtrcError::Corrupt("empty checkpoint directory".into()));
+        }
+        if count > MAX_CHECKPOINTS {
+            return Err(EtrcError::Corrupt(format!(
+                "checkpoint directory of {count} entries exceeds the {MAX_CHECKPOINTS} cap"
+            )));
+        }
+        let mut entries = vec![0u8; count as usize * CHECKPOINT_ENTRY_LEN];
+        read_exact_or(src, &mut entries, "checkpoint directory entries")?;
+        directory.extend_from_slice(&dir_fixed);
+        directory.extend_from_slice(&entries);
+    }
     let mut crc_bytes = [0u8; 4];
     read_exact_or(src, &mut crc_bytes, "header CRC")?;
     let mut crc_input = fixed.to_vec();
     crc_input.extend_from_slice(&name);
+    crc_input.extend_from_slice(&directory);
     if crc32(&crc_input) != u32::from_le_bytes(crc_bytes) {
         return Err(EtrcError::Crc {
             what: "header",
@@ -720,7 +847,26 @@ fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
     }
     let name = String::from_utf8(name)
         .map_err(|_| EtrcError::Corrupt("workload name is not UTF-8".into()))?;
-    let consumed = (HEADER_FIXED_LEN + name_len + 4) as u64;
+    let mut checkpoint_every = None;
+    let mut checkpoints = Vec::new();
+    if version >= FORMAT_VERSION_V2 {
+        let d64 = |i: usize| u64::from_le_bytes(directory[i..i + 8].try_into().unwrap());
+        let every = d64(0);
+        let count = u32::from_le_bytes(directory[8..12].try_into().unwrap()) as usize;
+        checkpoints.reserve(count);
+        for e in 0..count {
+            let at = 12 + e * CHECKPOINT_ENTRY_LEN;
+            checkpoints.push(Checkpoint {
+                insts: d64(at),
+                offset: d64(at + 8),
+                pc: d64(at + 16),
+                mem_addr: d64(at + 24),
+            });
+        }
+        validate_directory(every, &checkpoints)?;
+        checkpoint_every = Some(every);
+    }
+    let consumed = (HEADER_FIXED_LEN + name_len + directory.len() + 4) as u64;
     Ok((
         TraceMeta {
             version,
@@ -730,8 +876,10 @@ fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
             suite_index,
             wrong_path,
             block_target,
+            checkpoint_every,
         },
         consumed,
+        checkpoints,
     ))
 }
 
@@ -746,19 +894,42 @@ fn decode_header(src: &mut impl Read) -> Result<(TraceMeta, u64), EtrcError> {
 /// end-of-blocks marker and the counting trailer; a file abandoned without
 /// `finish` is detectably truncated (readers error rather than silently
 /// yielding a short stream).
+///
+/// When the meta carries a [`TraceMeta::checkpoint_every`] interval, a
+/// block is additionally flushed every `every` instructions and its offset
+/// recorded in the header's checkpoint directory. The directory is only
+/// complete once the stream ends, so checkpointed bodies are buffered in
+/// memory and written — header first — by `finish`.
 pub struct EtrcWriter<W: Write> {
     sink: W,
+    meta: TraceMeta,
     raw: Vec<u8>,
     n_records: u32,
     delta: DeltaState,
     block_target: usize,
     inst_count: u64,
+    /// Flushed block bytes, held back until `finish` (checkpointing only).
+    body: Vec<u8>,
+    checkpoints: Vec<Checkpoint>,
+    /// Instruction count at which the next checkpoint fires (`u64::MAX`
+    /// when the meta asks for none).
+    next_checkpoint: u64,
+    last_pc: u64,
+    last_mem_addr: u64,
 }
 
 impl<W: Write> EtrcWriter<W> {
-    /// Creates a writer and immediately writes the header for `meta`.
+    /// Creates a writer and immediately writes the header for `meta` (for
+    /// checkpointed traces the header is validated now but written by
+    /// [`EtrcWriter::finish`], once the directory is known).
     pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, EtrcError> {
-        sink.write_all(&encode_header(meta)?)?;
+        if meta.checkpoint_every.is_some() {
+            // Fail on a bad meta before any instruction is buffered; the
+            // directory itself grows as blocks flush.
+            encode_header(meta, &[Checkpoint::default()])?;
+        } else {
+            sink.write_all(&encode_header(meta, &[])?)?;
+        }
         Ok(Self {
             sink,
             raw: Vec::with_capacity(meta.block_target as usize + 64),
@@ -766,6 +937,16 @@ impl<W: Write> EtrcWriter<W> {
             delta: DeltaState::default(),
             block_target: meta.block_target as usize,
             inst_count: 0,
+            body: Vec::new(),
+            checkpoints: if meta.checkpoint_every.is_some() {
+                vec![Checkpoint::default()]
+            } else {
+                Vec::new()
+            },
+            next_checkpoint: meta.checkpoint_every.unwrap_or(u64::MAX),
+            last_pc: 0,
+            last_mem_addr: 0,
+            meta: meta.clone(),
         })
     }
 
@@ -777,8 +958,24 @@ impl<W: Write> EtrcWriter<W> {
         encode_record(&mut self.raw, inst, &mut self.delta)?;
         self.n_records += 1;
         self.inst_count += 1;
-        // Flush after completing a record so records never straddle blocks.
-        if self.raw.len() >= self.block_target {
+        self.last_pc = inst.pc;
+        if let Some(mem) = inst.mem {
+            self.last_mem_addr = mem.addr;
+        }
+        // Flush after completing a record so records never straddle
+        // blocks; a due checkpoint forces the flush so its directory entry
+        // lands exactly on a block boundary.
+        if self.inst_count == self.next_checkpoint {
+            self.flush_block()?;
+            self.checkpoints.push(Checkpoint {
+                insts: self.inst_count,
+                offset: self.body.len() as u64,
+                pc: self.last_pc,
+                mem_addr: self.last_mem_addr,
+            });
+            let every = self.meta.checkpoint_every.unwrap_or(u64::MAX);
+            self.next_checkpoint = self.next_checkpoint.saturating_add(every);
+        } else if self.raw.len() >= self.block_target {
             self.flush_block()?;
         }
         Ok(())
@@ -800,8 +997,13 @@ impl<W: Write> EtrcWriter<W> {
         header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[12] = encoding;
         header[13..17].copy_from_slice(&crc.to_le_bytes());
-        self.sink.write_all(&header)?;
-        self.sink.write_all(payload)?;
+        if self.meta.checkpoint_every.is_some() {
+            self.body.extend_from_slice(&header);
+            self.body.extend_from_slice(payload);
+        } else {
+            self.sink.write_all(&header)?;
+            self.sink.write_all(payload)?;
+        }
         self.raw.clear();
         self.n_records = 0;
         // Each block decodes independently: deltas restart from zero.
@@ -813,6 +1015,11 @@ impl<W: Write> EtrcWriter<W> {
     /// returns the total number of instruction records written.
     pub fn finish(mut self) -> Result<u64, EtrcError> {
         self.flush_block()?;
+        if self.meta.checkpoint_every.is_some() {
+            self.sink
+                .write_all(&encode_header(&self.meta, &self.checkpoints)?)?;
+            self.sink.write_all(&self.body)?;
+        }
         self.sink.write_all(&[0u8; BLOCK_HEADER_LEN])?;
         let mut trailer = [0u8; TRAILER_LEN];
         trailer[0..8].copy_from_slice(&END_MAGIC);
@@ -848,6 +1055,8 @@ pub struct TraceStats {
     pub stores: u64,
     /// Branches decoded.
     pub branches: u64,
+    /// Checkpoint directory entries in the header (0 for version-1 files).
+    pub checkpoints: u64,
 }
 
 /// Streaming `.etrc` decoder over any [`Read`] source.
@@ -864,12 +1073,14 @@ pub struct EtrcReader<R: Read> {
     delta: DeltaState,
     stats: TraceStats,
     done: bool,
+    checkpoints: Vec<Checkpoint>,
+    header_len: u64,
 }
 
 impl<R: Read> EtrcReader<R> {
     /// Opens a trace, parsing and CRC-checking the header.
     pub fn new(mut src: R) -> Result<Self, EtrcError> {
-        let (meta, header_bytes) = decode_header(&mut src)?;
+        let (meta, header_bytes, checkpoints) = decode_header(&mut src)?;
         Ok(Self {
             src,
             meta,
@@ -879,15 +1090,23 @@ impl<R: Read> EtrcReader<R> {
             delta: DeltaState::default(),
             stats: TraceStats {
                 file_bytes: header_bytes,
+                checkpoints: checkpoints.len() as u64,
                 ..TraceStats::default()
             },
             done: false,
+            checkpoints,
+            header_len: header_bytes,
         })
     }
 
     /// The header metadata.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The header's checkpoint directory (empty for version-1 files).
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
     }
 
     /// Statistics over everything decoded so far (complete once
@@ -1001,6 +1220,41 @@ impl<R: Read> EtrcReader<R> {
     }
 }
 
+impl<R: Read + Seek> EtrcReader<R> {
+    /// Repositions the reader at the greatest checkpoint at or before
+    /// `target_insts` and returns that checkpoint's instruction count (the
+    /// caller decode-discards the remaining `target - returned` records).
+    ///
+    /// Errors on version-1 files, which carry no directory. After a seek,
+    /// [`TraceStats::insts`] restarts from the checkpoint's count, so the
+    /// trailer verification still requires the suffix to decode completely;
+    /// block/byte statistics only cover what this reader actually decoded.
+    pub fn seek_to_checkpoint(&mut self, target_insts: u64) -> Result<u64, EtrcError> {
+        let entry = match self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.insts <= target_insts)
+        {
+            Some(c) => *c,
+            None => {
+                return Err(EtrcError::Corrupt(
+                    "trace has no checkpoint directory to seek in".into(),
+                ));
+            }
+        };
+        self.src
+            .seek(SeekFrom::Start(self.header_len + entry.offset))?;
+        self.block.clear();
+        self.cursor = 0;
+        self.records_left = 0;
+        self.delta = DeltaState::default();
+        self.done = false;
+        self.stats.insts = entry.insts;
+        Ok(entry.insts)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // FileTrace: the TraceSource adapter
 // ---------------------------------------------------------------------------
@@ -1054,6 +1308,37 @@ impl TraceSource for FileTrace {
             .unwrap_or_else(|e| panic!("corrupt trace {}: {e}", self.path.display()))
     }
 
+    fn skip_insts(&mut self, n: u64) -> u64 {
+        let current = self.reader.stats().insts;
+        let target = current.saturating_add(n);
+        // Seek only when a checkpoint lies strictly ahead of the cursor;
+        // otherwise decode-discard is already the fastest path. Skipped
+        // blocks also skip their CRC checks — `trace verify` is the tool
+        // for whole-file integrity.
+        let best = self
+            .reader
+            .checkpoints()
+            .iter()
+            .rev()
+            .find(|c| c.insts <= target)
+            .copied();
+        if let Some(entry) = best {
+            if entry.insts > current {
+                self.reader
+                    .seek_to_checkpoint(target)
+                    .unwrap_or_else(|e| panic!("corrupt trace {}: {e}", self.path.display()));
+            }
+        }
+        let mut skipped = self.reader.stats().insts - current;
+        while skipped < n {
+            if self.next_inst().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
+
     fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
         match &mut self.wrong_path {
             Some(synth) => synth.inst(pc),
@@ -1087,14 +1372,35 @@ pub fn record<W: Write>(
     suite_index: Option<u8>,
     sink: W,
 ) -> Result<(TraceMeta, u64), EtrcError> {
+    record_with_checkpoints(source, insts, seed, suite_tag, suite_index, None, sink)
+}
+
+/// [`record`], with an optional checkpoint interval: `Some(every)` emits a
+/// version-2 file whose header directory holds a checkpoint every `every`
+/// instructions (the whole body is buffered in memory until the directory
+/// is complete — fine for the trace sizes sampled simulation uses).
+pub fn record_with_checkpoints<W: Write>(
+    source: &mut dyn TraceSource,
+    insts: u64,
+    seed: u64,
+    suite_tag: u8,
+    suite_index: Option<u8>,
+    checkpoint_every: Option<u64>,
+    sink: W,
+) -> Result<(TraceMeta, u64), EtrcError> {
     let meta = TraceMeta {
-        version: FORMAT_VERSION,
+        version: if checkpoint_every.is_some() {
+            FORMAT_VERSION_V2
+        } else {
+            FORMAT_VERSION
+        },
         name: source.name().to_owned(),
         seed,
         suite_tag,
         suite_index,
         wrong_path: source.wrong_path_spec(),
         block_target: DEFAULT_BLOCK_TARGET,
+        checkpoint_every,
     };
     let mut writer = EtrcWriter::new(sink, &meta)?;
     for _ in 0..insts {
@@ -1465,5 +1771,193 @@ mod tests {
         // Standard check value for CRC-32/ISO-HDLC.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    // -- version-2 checkpoint directory ------------------------------------
+
+    fn checkpointed_bytes(n: usize, every: u64) -> (Vec<DynInst>, Vec<u8>) {
+        let insts = sample_stream(n);
+        let mut meta = TraceMeta::named("ckpt", 5).with_checkpoints(every);
+        meta.block_target = 512; // several organic flushes between checkpoints
+        let bytes = write_trace(&insts, &meta).unwrap();
+        (insts, bytes)
+    }
+
+    #[test]
+    fn checkpointed_trace_round_trips_with_directory() {
+        let (insts, bytes) = checkpointed_bytes(1000, 250);
+        let mut reader = EtrcReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.meta().version, FORMAT_VERSION_V2);
+        assert_eq!(reader.meta().checkpoint_every, Some(250));
+        // Entry 0 plus one per full interval.
+        let checkpoints = reader.checkpoints().to_vec();
+        assert_eq!(checkpoints.len(), 5);
+        assert_eq!(checkpoints[0], Checkpoint::default());
+        for (i, c) in checkpoints.iter().enumerate() {
+            assert_eq!(c.insts, i as u64 * 250);
+        }
+        let mut back = Vec::new();
+        while let Some(i) = reader.next_inst().unwrap() {
+            back.push(i);
+        }
+        assert_eq!(back, insts);
+        assert_eq!(reader.stats().checkpoints, 5);
+        assert_eq!(reader.stats().file_bytes as usize, bytes.len());
+    }
+
+    #[test]
+    fn seek_decodes_the_same_suffix_the_prefix_decode_reaches() {
+        let (insts, bytes) = checkpointed_bytes(1000, 200);
+        for target in [0u64, 199, 200, 450, 999, 5000] {
+            let mut reader = EtrcReader::new(std::io::Cursor::new(&bytes)).unwrap();
+            let resumed = reader.seek_to_checkpoint(target).unwrap();
+            assert_eq!(resumed, (target / 200 * 200).min(1000));
+            let mut suffix = Vec::new();
+            while let Some(i) = reader.next_inst().unwrap() {
+                suffix.push(i);
+            }
+            assert_eq!(
+                suffix,
+                insts[resumed as usize..],
+                "suffix from checkpoint {resumed} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_files_have_no_directory_and_refuse_to_seek() {
+        let bytes = write_trace(&sample_stream(100), &TraceMeta::named("v1", 0)).unwrap();
+        let mut reader = EtrcReader::new(std::io::Cursor::new(&bytes)).unwrap();
+        assert!(reader.checkpoints().is_empty());
+        assert_eq!(reader.stats().checkpoints, 0);
+        assert!(reader.meta().checkpoint_every.is_none());
+        let err = reader.seek_to_checkpoint(50).unwrap_err();
+        assert!(
+            matches!(&err, EtrcError::Corrupt(msg) if msg.contains("no checkpoint directory")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_directory_entries_fail_the_header_crc() {
+        let (_, bytes) = checkpointed_bytes(600, 200);
+        // Flip a byte inside the directory (fixed header + name "ckpt" +
+        // every/count + first entry lands well inside it).
+        let mut bad = bytes.clone();
+        bad[HEADER_FIXED_LEN + 4 + 12 + CHECKPOINT_ENTRY_LEN + 3] ^= 0x10;
+        let err = read_trace(&bad).unwrap_err();
+        assert!(
+            matches!(err, EtrcError::Crc { what: "header", .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn non_monotonic_directory_is_rejected_even_with_a_valid_crc() {
+        let (_, bytes) = checkpointed_bytes(600, 200);
+        let mut bad = bytes.clone();
+        // Swap entries 1 and 2 (each CHECKPOINT_ENTRY_LEN bytes), then
+        // re-sign the header CRC so only the monotonicity check can object.
+        let dir_at = HEADER_FIXED_LEN + 4 + 12;
+        let e1 = dir_at + CHECKPOINT_ENTRY_LEN;
+        let e2 = e1 + CHECKPOINT_ENTRY_LEN;
+        let tmp: Vec<u8> = bad[e1..e1 + CHECKPOINT_ENTRY_LEN].to_vec();
+        bad.copy_within(e2..e2 + CHECKPOINT_ENTRY_LEN, e1);
+        bad[e2..e2 + CHECKPOINT_ENTRY_LEN].copy_from_slice(&tmp);
+        let crc_at = dir_at + 4 * CHECKPOINT_ENTRY_LEN;
+        let crc = crc32(&bad[..crc_at]);
+        bad[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = read_trace(&bad).unwrap_err();
+        assert!(
+            matches!(&err, EtrcError::Corrupt(msg) if msg.contains("strictly increasing")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn writer_rejects_malformed_checkpoint_requests() {
+        let meta = TraceMeta::named("z", 0).with_checkpoints(0);
+        let err = write_trace(&[], &meta).unwrap_err();
+        assert!(
+            matches!(&err, EtrcError::Corrupt(msg) if msg.contains("zero instructions")),
+            "got {err}"
+        );
+        // checkpoint_every without the version bump is a meta bug.
+        let mut meta = TraceMeta::named("z", 0);
+        meta.checkpoint_every = Some(100);
+        assert!(write_trace(&[], &meta).is_err(), "v1 with a directory");
+    }
+
+    #[test]
+    fn short_checkpointed_trace_keeps_only_the_start_entry() {
+        let meta = TraceMeta::named("short", 0).with_checkpoints(1_000_000);
+        let bytes = write_trace(&sample_stream(10), &meta).unwrap();
+        let reader = EtrcReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.checkpoints(), &[Checkpoint::default()]);
+    }
+
+    #[test]
+    fn record_with_checkpoints_captures_the_directory() {
+        let mut src = VecTrace::with_name(sample_stream(500), "rec");
+        let mut bytes = Vec::new();
+        let (meta, written) =
+            record_with_checkpoints(&mut src, 500, 3, SUITE_NONE, None, Some(100), &mut bytes)
+                .unwrap();
+        assert_eq!(written, 500);
+        assert_eq!(meta.version, FORMAT_VERSION_V2);
+        assert_eq!(meta.checkpoint_every, Some(100));
+        let (read_meta, insts) = read_trace(&bytes).unwrap();
+        assert_eq!(read_meta, meta);
+        assert_eq!(insts.len(), 500);
+        let reader = EtrcReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.checkpoints().len(), 6);
+    }
+
+    #[test]
+    fn file_trace_skips_via_checkpoints_and_replays_the_same_suffix() {
+        let dir = std::env::temp_dir().join(format!("etrc-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.etrc");
+        let insts = sample_stream(800);
+        let mut meta = TraceMeta::named("skip", 7).with_checkpoints(150);
+        meta.block_target = 512;
+        std::fs::write(&path, write_trace(&insts, &meta).unwrap()).unwrap();
+
+        // Skip from the start: lands past checkpoint 2 (insts 300).
+        let mut ft = FileTrace::open(&path).unwrap();
+        assert_eq!(ft.skip_insts(400), 400);
+        let mut suffix = Vec::new();
+        while let Some(i) = ft.next_inst() {
+            suffix.push(i);
+        }
+        assert_eq!(suffix, insts[400..]);
+
+        // Mid-stream skip after some decoding, and a skip past the end.
+        let mut ft = FileTrace::open(&path).unwrap();
+        for _ in 0..100 {
+            ft.next_inst().unwrap();
+        }
+        assert_eq!(ft.skip_insts(250), 250);
+        assert_eq!(ft.next_inst().unwrap(), insts[350]);
+        assert_eq!(ft.skip_insts(10_000), 800 - 351);
+        assert!(ft.next_inst().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_skip_matches_decode_discard_on_v1_files() {
+        let dir = std::env::temp_dir().join(format!("etrc-skip-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.etrc");
+        let insts = sample_stream(300);
+        std::fs::write(
+            &path,
+            write_trace(&insts, &TraceMeta::named("v1", 0)).unwrap(),
+        )
+        .unwrap();
+        let mut ft = FileTrace::open(&path).unwrap();
+        assert_eq!(ft.skip_insts(120), 120);
+        assert_eq!(ft.next_inst().unwrap(), insts[120]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

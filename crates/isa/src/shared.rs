@@ -126,6 +126,14 @@ impl TraceSource for SharedCursor {
         inst
     }
 
+    fn skip_insts(&mut self, n: u64) -> u64 {
+        // The capture is random-access: a skip is a bounded position jump.
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        let skipped = n.min(self.stream.insts.len() - self.pos);
+        self.pos += skipped;
+        skipped as u64
+    }
+
     fn wrong_path_inst(&mut self, pc: u64) -> DynInst {
         match &mut self.synth {
             Some(synth) => synth.inst(pc),
@@ -187,6 +195,18 @@ mod tests {
         assert_eq!(a.next_inst().unwrap(), insts[3]);
         assert!(a.next_inst().is_none());
         assert_eq!(b.next_inst().unwrap(), insts[1]);
+    }
+
+    #[test]
+    fn skip_jumps_the_cursor_and_clamps_at_the_end() {
+        let insts = mk(6);
+        let mut src = VecTrace::new(insts.clone());
+        let stream = Arc::new(SharedStream::capture(&mut src, 6));
+        let mut c = stream.cursor();
+        assert_eq!(c.skip_insts(4), 4);
+        assert_eq!(c.next_inst().unwrap(), insts[4]);
+        assert_eq!(c.skip_insts(10), 1, "only one instruction was left");
+        assert!(c.next_inst().is_none());
     }
 
     #[test]

@@ -50,6 +50,27 @@ pub trait TraceSource: Send {
         "trace"
     }
 
+    /// Skips up to `n` correct-path instructions, advancing architectural
+    /// position without handing them to the caller, and returns how many
+    /// were actually skipped (fewer only when the trace ends first).
+    ///
+    /// The default decode-discards through [`TraceSource::next_inst`];
+    /// sources with random access (an in-memory capture, a checkpointed
+    /// `.etrc` file) override it with an O(1)-per-checkpoint jump. Skipped
+    /// instructions are invisible to the skipper, so a fast-forwarding
+    /// simulator that wants to warm caches must consume them with
+    /// `next_inst` instead.
+    fn skip_insts(&mut self, n: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < n {
+            if self.next_inst().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
+
     /// The parameters of this source's wrong-path synthesis, if it is a
     /// pure function of a [`WrongPathSpec`].
     ///

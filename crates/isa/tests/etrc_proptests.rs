@@ -2,7 +2,7 @@
 //! identity over arbitrary valid instruction streams, and damaged files
 //! must be rejected rather than silently mis-decoded.
 
-use elsq_isa::etrc::{read_trace, write_trace, EtrcError, TraceMeta};
+use elsq_isa::etrc::{read_trace, write_trace, EtrcError, EtrcReader, TraceMeta};
 use elsq_isa::{ArchReg, DynInst, InstBuilder, OpClass};
 use proptest::prelude::*;
 
@@ -97,6 +97,86 @@ proptest! {
             .map(|&((kind, pc, a), (reg, size_log2, bits))| build_inst(kind, pc, a, reg, size_log2, bits))
             .collect();
         let bytes = write_trace(&insts, &TraceMeta::named("flip", 0)).unwrap();
+        let pos = (bytes.len() as u64 * pos_frac as u64 / 1000) as usize;
+        prop_assume!(pos < bytes.len());
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+        match read_trace(&bad) {
+            Err(_) => {}
+            Ok((_, decoded)) => prop_assert_eq!(
+                decoded, insts,
+                "corruption at byte {} accepted with a different stream", pos
+            ),
+        }
+    }
+
+    /// Version-2 round trip: any valid stream with any checkpoint interval
+    /// decodes back exactly, and seeking to any checkpoint decodes the same
+    /// suffix the straight-through read produces.
+    #[test]
+    fn checkpointed_encode_decode_and_seek_are_identity(
+        raw in prop::collection::vec(((0u8..6, 0u64..u64::MAX, 0u64..u64::MAX), (0u8..32, 0u8..4, 0u8..8)), 1..400),
+        block_target in 1u32..4096,
+        every in 1u64..500,
+        target_frac in 0u32..1200,
+    ) {
+        let insts: Vec<DynInst> = raw
+            .iter()
+            .map(|&((kind, pc, a), (reg, size_log2, bits))| build_inst(kind, pc, a, reg, size_log2, bits))
+            .collect();
+        let mut meta = TraceMeta::named("prop2", 0).with_checkpoints(every);
+        meta.block_target = block_target;
+        let bytes = write_trace(&insts, &meta).unwrap();
+        let (back_meta, back) = read_trace(&bytes).unwrap();
+        prop_assert_eq!(&back_meta, &meta);
+        prop_assert_eq!(&back, &insts);
+        let mut reader = EtrcReader::new(std::io::Cursor::new(&bytes)).unwrap();
+        let target = insts.len() as u64 * target_frac as u64 / 1000;
+        let resumed = reader.seek_to_checkpoint(target).unwrap();
+        prop_assert_eq!(resumed, (target / every * every).min(insts.len() as u64 / every * every));
+        let mut suffix = Vec::new();
+        while let Some(i) = reader.next_inst().unwrap() {
+            suffix.push(i);
+        }
+        prop_assert_eq!(&suffix[..], &insts[resumed as usize..]);
+    }
+
+    /// Truncating a checkpointed trace anywhere — header directory
+    /// included — must error, never silently shorten.
+    #[test]
+    fn checkpointed_truncation_never_decodes_cleanly(
+        raw in prop::collection::vec(((0u8..6, 0u64..u64::MAX, 0u64..u64::MAX), (0u8..32, 0u8..4, 0u8..8)), 1..60),
+        every in 1u64..40,
+        cut_frac in 1u32..1000,
+    ) {
+        let insts: Vec<DynInst> = raw
+            .iter()
+            .map(|&((kind, pc, a), (reg, size_log2, bits))| build_inst(kind, pc, a, reg, size_log2, bits))
+            .collect();
+        let bytes = write_trace(&insts, &TraceMeta::named("cut2", 0).with_checkpoints(every)).unwrap();
+        let cut = (bytes.len() as u64 * cut_frac as u64 / 1000) as usize;
+        prop_assume!(cut < bytes.len());
+        let err = read_trace(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, EtrcError::Truncated(_) | EtrcError::Crc { .. } | EtrcError::BadMagic),
+            "cut at {} of {} gave unexpected error: {}", cut, bytes.len(), err
+        );
+    }
+
+    /// A single flipped byte in a checkpointed file — directory entries
+    /// included — must never decode to a *different* stream.
+    #[test]
+    fn checkpointed_single_byte_corruption_is_never_misread(
+        raw in prop::collection::vec(((0u8..6, 0u64..u64::MAX, 0u64..u64::MAX), (0u8..32, 0u8..4, 0u8..8)), 1..60),
+        every in 1u64..40,
+        pos_frac in 0u32..1000,
+        flip in 1u8..=255,
+    ) {
+        let insts: Vec<DynInst> = raw
+            .iter()
+            .map(|&((kind, pc, a), (reg, size_log2, bits))| build_inst(kind, pc, a, reg, size_log2, bits))
+            .collect();
+        let bytes = write_trace(&insts, &TraceMeta::named("flip2", 0).with_checkpoints(every)).unwrap();
         let pos = (bytes.len() as u64 * pos_frac as u64 / 1000) as usize;
         prop_assume!(pos < bytes.len());
         let mut bad = bytes.clone();

@@ -311,6 +311,7 @@ mod tests {
                 params: ExperimentParams {
                     commits: 500,
                     seed: 7,
+                    sample: None,
                 },
             },
             total: 1,

@@ -268,6 +268,7 @@ mod tests {
             params: ExperimentParams {
                 commits: 500,
                 seed: 7,
+                sample: None,
             },
         }
     }

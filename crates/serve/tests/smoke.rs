@@ -25,6 +25,7 @@ fn spec(name: &str) -> ScenarioSpec {
         params: ExperimentParams {
             commits: 400,
             seed: 7,
+            sample: None,
         },
     }
 }

@@ -238,6 +238,23 @@ pub fn result_cache() -> Option<Arc<ResultStore>> {
 /// params.seed)` over `params.commits` commits (wrong seed, short or
 /// missing traces). `elsq-lab` validates rosters up front and reports the
 /// same message as a clean CLI error instead.
+/// Runs one pipeline instance over one workload under `params` — the single
+/// seam where a sampling spec switches the detailed cycle loop
+/// ([`Processor::run`]) for SMARTS-style systematic sampling
+/// ([`Processor::run_sampled`]). Every `run_suite*` entry point funnels
+/// through here, so sampled and full runs stay behaviorally identical
+/// everywhere except the run mode itself.
+fn simulate(
+    config: CpuConfig,
+    workload: &mut dyn TraceSource,
+    params: &ExperimentParams,
+) -> SimResult {
+    match params.sample {
+        Some(spec) => Processor::new(config).run_sampled(workload, params.commits, spec),
+        None => Processor::new(config).run(workload, params.commits),
+    }
+}
+
 fn build_suite(class: WorkloadClass, params: &ExperimentParams) -> Vec<Box<dyn TraceSource>> {
     match trace_override() {
         Some(roster) => {
@@ -348,7 +365,7 @@ pub fn try_run_suite_labeled(
         if i == 0 {
             trigger_point_fault(doomed);
         }
-        Processor::new(config).run(workload.as_mut(), params.commits)
+        simulate(config, workload.as_mut(), params)
     });
     let mut results = Vec::with_capacity(attempts.len());
     for attempt in attempts {
@@ -457,12 +474,12 @@ pub fn try_run_suite_batched(
                     .map(move |(si, s)| (mi, si, config, Arc::clone(s)))
             })
             .collect();
-        let commits = params.commits;
+        let run_params = *params;
         let results = try_parallel_map(jobs, move |(mi, si, config, stream)| {
             if si == 0 {
                 trigger_point_fault(&dooms[mi]);
             }
-            Processor::new(config).run(&mut stream.cursor(), commits)
+            simulate(config, &mut stream.cursor(), &run_params)
         });
         for (&i, attempts) in misses.iter().zip(results.chunks(streams.len())) {
             let mut suite_results = Vec::with_capacity(attempts.len());
@@ -507,7 +524,7 @@ pub fn run_suite_with_threads(
 ) -> Vec<SimResult> {
     parallel_map_with(
         build_suite(class, params),
-        |mut workload| Processor::new(config).run(workload.as_mut(), params.commits),
+        |mut workload| simulate(config, workload.as_mut(), params),
         workers,
     )
 }
@@ -521,7 +538,7 @@ pub fn run_suite_sequential(
 ) -> Vec<SimResult> {
     build_suite(class, params)
         .into_iter()
-        .map(|mut workload| Processor::new(config).run(workload.as_mut(), params.commits))
+        .map(|mut workload| simulate(config, workload.as_mut(), params))
         .collect()
 }
 
@@ -570,6 +587,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 1_500,
             seed: 7,
+            sample: None,
         };
         let points = [
             ("a", CpuConfig::ooo64()),
@@ -590,6 +608,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 2_000,
             seed: 11,
+            sample: None,
         };
         for class in CLASSES {
             let parallel = run_suite_with_threads(CpuConfig::fmc_hash(true), class, &params, 4);

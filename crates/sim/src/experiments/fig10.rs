@@ -173,6 +173,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 3_000,
             seed: 3,
+            sample: None,
         };
         let points = measure(&params);
         assert_eq!(points.len(), 2 * 2 * 2 * SSBF_BITS.len());

@@ -109,6 +109,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 3,
+            sample: None,
         };
         let small = idle_fraction(WorkloadClass::Fp, 1, &params);
         let big = idle_fraction(WorkloadClass::Fp, 8, &params);

@@ -113,6 +113,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 3,
+            sample: None,
         };
         let int = speedups(WorkloadClass::Int, &params);
         let fp = speedups(WorkloadClass::Fp, &params);
@@ -137,6 +138,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 3,
+            sample: None,
         };
         let int: std::collections::HashMap<String, f64> =
             speedups(WorkloadClass::Int, &params).into_iter().collect();

@@ -211,6 +211,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 3,
+            sample: None,
         };
         let narrow = false_positives(ErtKind::Hash { bits: 6 }, WorkloadClass::Int, &params);
         let wide = false_positives(ErtKind::Hash { bits: 16 }, WorkloadClass::Int, &params);

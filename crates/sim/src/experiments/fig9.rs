@@ -105,6 +105,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 5,
+            sample: None,
         };
         for (model, ipc) in model_ipcs(WorkloadClass::Fp, &params) {
             let (_, full) = model_ipcs(WorkloadClass::Fp, &params)[0];

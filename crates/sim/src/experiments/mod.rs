@@ -117,6 +117,7 @@ pub(crate) fn tiny_params() -> ExperimentParams {
     ExperimentParams {
         commits: 1_200,
         seed: 3,
+        sample: None,
     }
 }
 
@@ -177,6 +178,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 800,
             seed: 3,
+            sample: None,
         };
         let jobs = || {
             vec![

@@ -115,6 +115,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 3_000,
             seed: 3,
+            sample: None,
         };
         let t = run(WorkloadClass::Fp, &params);
         let find = |name: &str| -> Vec<Cell> {

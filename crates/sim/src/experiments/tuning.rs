@@ -99,6 +99,7 @@ mod tests {
         let params = crate::driver::ExperimentParams {
             commits: 4_000,
             seed: 3,
+            sample: None,
         };
         let t = run(&params);
         let row = t

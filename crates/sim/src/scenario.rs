@@ -34,6 +34,7 @@ use elsq_cpu::config::{CpuConfig, LsqKind};
 use elsq_cpu::result::SimResult;
 use elsq_stats::canon::{canonical_hash_of, hash_hex};
 use elsq_stats::report::{Cell, ExperimentParams, Report, Table};
+use elsq_stats::sampling::{combine_ci, SamplingSpec};
 use elsq_workload::suite::WorkloadClass;
 
 use crate::driver::{trace_fingerprint, try_run_suite_batched, try_run_suite_labeled, SiteFailure};
@@ -159,13 +160,14 @@ impl SweepPlan {
 /// The canonical content hash of this struct ([`PointKey::hash`]) addresses
 /// the on-disk result cache, so it must stay invariant under serialization
 /// round trips and field reordering — pinned by the scenario proptests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointKey {
     /// The full processor configuration.
     pub config: CpuConfig,
     /// The workload suite.
     pub class: WorkloadClass,
-    /// Committed instructions per workload.
+    /// Committed instructions per workload — the *total* instruction budget
+    /// when a sampling spec is set.
     pub commits: u64,
     /// Workload generator seed.
     pub seed: u64,
@@ -173,6 +175,51 @@ pub struct PointKey {
     /// recorded traces instead of generators (`None` for generator runs, so
     /// a replayed point can never alias a generated one).
     pub trace: Option<u64>,
+    /// The sampling spec of a sampled run (`None` for full detailed runs,
+    /// so a sampled point can never alias — or be answered from — a full
+    /// run of the same configuration, and vice versa).
+    pub sample: Option<SamplingSpec>,
+}
+
+// Hand-written so an absent `sample` is *omitted* rather than null (the
+// canonical hash keeps explicit nulls): every full-run cache key hashes
+// exactly as it did before sampling existed, so populated result stores
+// stay valid. `trace` keeps its historical always-present/null encoding
+// for the same reason.
+impl Serialize for PointKey {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("config".to_owned(), self.config.to_value()),
+            ("class".to_owned(), self.class.to_value()),
+            ("commits".to_owned(), self.commits.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("trace".to_owned(), self.trace.to_value()),
+        ];
+        if let Some(sample) = &self.sample {
+            fields.push(("sample".to_owned(), sample.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for PointKey {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let sample = match value {
+            serde::Value::Map(_) => match value.get("sample") {
+                Some(v) => Option::<SamplingSpec>::from_value(v)?,
+                None => None,
+            },
+            other => return Err(serde::Error::expected("map", other)),
+        };
+        Ok(Self {
+            config: CpuConfig::from_value(serde::map_field(value, "config")?)?,
+            class: WorkloadClass::from_value(serde::map_field(value, "class")?)?,
+            commits: u64::from_value(serde::map_field(value, "commits")?)?,
+            seed: u64::from_value(serde::map_field(value, "seed")?)?,
+            trace: Option::<u64>::from_value(serde::map_field(value, "trace")?)?,
+            sample,
+        })
+    }
 }
 
 impl PointKey {
@@ -185,6 +232,7 @@ impl PointKey {
             commits: params.commits,
             seed: params.seed,
             trace: trace_fingerprint(),
+            sample: params.sample,
         }
     }
 
@@ -742,6 +790,26 @@ pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults
     }
 }
 
+/// The `mean ±hw (n=W)` cell of a sampled suite, or `None` when the results
+/// carry no sampling records (a full detailed run).
+fn sampled_suite_ci(suite: &[SimResult]) -> Option<Cell> {
+    let members: Vec<(f64, f64)> = suite
+        .iter()
+        .filter_map(|r| r.sampling.as_ref())
+        .map(|s| (s.mean_ipc(), s.ci95_half_width()))
+        .collect();
+    if members.is_empty() {
+        return None;
+    }
+    let windows: usize = suite
+        .iter()
+        .filter_map(|r| r.sampling.as_ref())
+        .map(|s| s.window_count())
+        .sum();
+    let (mean, half) = combine_ci(&members);
+    Some(Cell::ci(mean, half, windows))
+}
+
 /// Assembles the merged sweep report: one row per `(grid point, class)`,
 /// with one column per axis plus the suite and its mean IPC.
 ///
@@ -754,6 +822,11 @@ pub fn run_plan_each(plan: &SweepPlan, params: &ExperimentParams) -> PlanResults
 /// A *degraded* run renders its failed points as `FAILED (<site>)` in the
 /// mean-IPC column instead of a number; runs where every point succeeded
 /// produce byte-identical reports to before failure-awareness existed.
+///
+/// Under a sampling spec the mean-IPC column renders as `mean ±hw (n=W)`:
+/// the suite's per-workload window means combined with a root-sum-square
+/// half-width ([`combine_ci`]) and the total detailed-window count. Full
+/// (unsampled) sweeps render exactly as before.
 pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults) -> Report {
     let mut headers: Vec<&str> = plan.axes.iter().map(String::as_str).collect();
     if headers.is_empty() {
@@ -777,7 +850,10 @@ pub fn sweep_report(spec: &ScenarioSpec, plan: &SweepPlan, results: &PlanResults
         };
         cells.push(Cell::text(point.class.to_string()));
         cells.push(match outcome {
-            PointOutcome::Ok(suite) => Cell::f(SimResult::mean_ipc(suite)),
+            PointOutcome::Ok(suite) => match sampled_suite_ci(suite) {
+                Some(cell) => cell,
+                None => Cell::f(SimResult::mean_ipc(suite)),
+            },
             PointOutcome::Failed { site, .. } => Cell::text(format!("FAILED ({site})")),
         });
         table.row_cells(cells);
@@ -803,6 +879,7 @@ mod tests {
             params: ExperimentParams {
                 commits: 1_000,
                 seed: 7,
+                sample: None,
             },
         }
     }
@@ -944,6 +1021,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 1_000,
             seed: 7,
+            sample: None,
         };
         let a = PointKey::current(CpuConfig::ooo64(), WorkloadClass::Fp, &params);
         assert_eq!(a.trace, None, "no trace override installed");
@@ -970,11 +1048,49 @@ mod tests {
             config: CpuConfig::fmc_hash(true),
             ..a.clone()
         });
+        distinct.push(PointKey {
+            sample: Some(SamplingSpec::parse("1000:100:50").unwrap()),
+            ..a.clone()
+        });
+        distinct.push(PointKey {
+            sample: Some(SamplingSpec::parse("1000:100").unwrap()),
+            ..a.clone()
+        });
         let mut hashes: Vec<u64> = distinct.iter().map(PointKey::hash).collect();
         hashes.sort_unstable();
         hashes.dedup();
         assert_eq!(hashes.len(), distinct.len(), "cache keys aliased");
         assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn point_key_serde_omits_an_absent_sample() {
+        let params = ExperimentParams {
+            commits: 1_000,
+            seed: 7,
+            sample: None,
+        };
+        let full = PointKey::current(CpuConfig::ooo64(), WorkloadClass::Fp, &params);
+        let value = full.to_value();
+        match &value {
+            serde::Value::Map(fields) => {
+                assert!(
+                    fields.iter().all(|(k, _)| k != "sample"),
+                    "full-run keys must hash exactly as before sampling existed"
+                );
+                // `trace` keeps its historical always-present encoding.
+                assert!(fields.iter().any(|(k, _)| k == "trace"));
+            }
+            other => panic!("expected a map, got {}", other.kind()),
+        }
+        // A legacy value (no sample key) decodes to sample: None ...
+        assert_eq!(PointKey::from_value(&value).unwrap(), full);
+        // ... and a sampled key round-trips with the key present.
+        let sampled = PointKey {
+            sample: Some(SamplingSpec::parse("2000:300:150").unwrap()),
+            ..full
+        };
+        assert_eq!(PointKey::from_value(&sampled.to_value()).unwrap(), sampled);
     }
 
     #[test]
@@ -1000,6 +1116,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 400,
             seed: 3,
+            sample: None,
         };
         let mut plan = SweepPlan::new("mini");
         plan.push("base", CpuConfig::ooo64(), WorkloadClass::Fp);

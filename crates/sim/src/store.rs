@@ -738,6 +738,7 @@ mod tests {
             commits: 100,
             seed,
             trace: None,
+            sample: None,
         }
     }
 
@@ -1003,6 +1004,7 @@ mod tests {
         let params = ExperimentParams {
             commits: 100,
             seed: 9,
+            sample: None,
         };
         let k = PointKey::current(CpuConfig::ooo64(), WorkloadClass::Fp, &params);
         assert_eq!((k.commits, k.seed), (100, 9));

@@ -1069,7 +1069,8 @@ mod tests {
             suite.params,
             Some(ExperimentParams {
                 commits: 4000,
-                seed: 3
+                seed: 3,
+                sample: None,
             })
         );
         assert_eq!(suite.assertions.len(), 1);

@@ -47,7 +47,7 @@ proptest! {
     ) {
         let (commits, seed, class_pick) = run;
         let class = if class_pick == 0 { WorkloadClass::Fp } else { WorkloadClass::Int };
-        let params = ExperimentParams { commits, seed };
+        let params = ExperimentParams { commits, seed, sample: None, };
         let points: Vec<(String, CpuConfig)> = shapes
             .iter()
             .enumerate()
@@ -87,7 +87,7 @@ proptest! {
         run in (40u64..90, 0u64..32),
     ) {
         let (commits, seed) = run;
-        let params = ExperimentParams { commits, seed };
+        let params = ExperimentParams { commits, seed, sample: None, };
         let mut plan = SweepPlan::new("batch-prop");
         for (i, &(base, rob, issue)) in shapes.iter().enumerate() {
             let config = random_config(base, rob, issue);

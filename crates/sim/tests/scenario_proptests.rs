@@ -9,6 +9,7 @@
 
 use elsq_sim::scenario::{apply_axis, named_config, PointKey, BASE_CONFIGS};
 use elsq_stats::canon::{canonical_hash, canonical_hash_of};
+use elsq_stats::sampling::SamplingSpec;
 use elsq_workload::suite::WorkloadClass;
 use proptest::prelude::*;
 use serde::Serialize;
@@ -57,6 +58,13 @@ proptest! {
             commits,
             seed,
             trace: if base_pick % 3 == 0 { Some(seed.wrapping_mul(7)) } else { None },
+            sample: if base_pick % 2 == 0 {
+                let period = commits.max(2);
+                let window = period / 2 + 1;
+                Some(SamplingSpec::new(period, window, (period - window).min(seed % 50)).unwrap())
+            } else {
+                None
+            },
         };
         let json = serde_json::to_string(&key).expect("keys serialize");
         let back: PointKey = serde_json::from_str(&json).expect("keys deserialize");
@@ -82,6 +90,7 @@ proptest! {
             commits,
             seed,
             trace: None,
+            sample: Some(SamplingSpec::new(1_000, 100, 50).unwrap()),
         };
         let value = key.to_value();
         let reversed = reverse_maps(&value);
@@ -101,10 +110,17 @@ proptest! {
             commits,
             seed,
             trace: None,
+            sample: None,
         };
         let bumped_commits = PointKey { commits: commits + 1, ..key.clone() };
         let bumped_seed = PointKey { seed: seed + 1, ..key.clone() };
+        let sampled = PointKey {
+            sample: Some(SamplingSpec::new(1_000, 100, 0).unwrap()),
+            ..key.clone()
+        };
         prop_assert_ne!(key.hash(), bumped_commits.hash());
         prop_assert_ne!(key.hash(), bumped_seed.hash());
+        // Sampled and full runs must never alias in the cache.
+        prop_assert_ne!(key.hash(), sampled.hash());
     }
 }

@@ -33,9 +33,11 @@ pub mod counters;
 pub mod diff;
 pub mod energy;
 pub mod report;
+pub mod sampling;
 
 pub use canon::{canonical_hash, canonical_hash_of, hash_hex};
 pub use counters::{LsqAccessCounters, SimCounters};
 pub use diff::{degraded_cells, diff_reports, DiffOutcome};
 pub use energy::{EnergyModel, StructureKind, StructureSpec};
 pub use report::{Cell, ExperimentParams, Report, Table};
+pub use sampling::{SamplingSpec, SamplingStats, WindowSample};

@@ -10,13 +10,55 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::sampling::SamplingSpec;
+
 /// Parameters shared by every experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentParams {
-    /// Committed instructions simulated per workload.
+    /// Committed instructions simulated per workload. Under a sampling
+    /// spec this is the *total* instruction budget per workload
+    /// (fast-forward + warm-up + detailed windows).
     pub commits: u64,
     /// Seed for the workload generators.
     pub seed: u64,
+    /// Systematic-sampling specification; `None` runs the full detailed
+    /// cycle loop over every instruction.
+    pub sample: Option<SamplingSpec>,
+}
+
+// Hand-written (not derived) so the `sample` key is *omitted* when absent:
+// the canonical hash does not drop explicit nulls, and every pre-sampling
+// report/cache hash must stay byte-identical for full (unsampled) runs.
+impl Serialize for ExperimentParams {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("commits".to_owned(), self.commits.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+        ];
+        if let Some(sample) = &self.sample {
+            fields.push(("sample".to_owned(), sample.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ExperimentParams {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let commits = u64::from_value(serde::map_field(value, "commits")?)?;
+        let seed = u64::from_value(serde::map_field(value, "seed")?)?;
+        let sample = match value {
+            serde::Value::Map(_) => match value.get("sample") {
+                Some(v) => Option::<SamplingSpec>::from_value(v)?,
+                None => None,
+            },
+            other => return Err(serde::Error::expected("map", other)),
+        };
+        Ok(Self {
+            commits,
+            seed,
+            sample,
+        })
+    }
 }
 
 impl ExperimentParams {
@@ -26,6 +68,7 @@ impl ExperimentParams {
         Self {
             commits: 5_000,
             seed: 7,
+            sample: None,
         }
     }
 
@@ -36,6 +79,7 @@ impl ExperimentParams {
         Self {
             commits: 60_000,
             seed: 7,
+            sample: None,
         }
     }
 
@@ -44,7 +88,14 @@ impl ExperimentParams {
         Self {
             commits: 30_000,
             seed: 7,
+            sample: None,
         }
+    }
+
+    /// Builder-style: the same parameters under a sampling spec.
+    pub fn with_sample(mut self, sample: SamplingSpec) -> Self {
+        self.sample = Some(sample);
+        self
     }
 }
 
@@ -115,6 +166,16 @@ impl Cell {
         Self {
             text: text.into(),
             value: Some(value),
+        }
+    }
+
+    /// A sampled-estimate cell: mean ± 95% confidence half-width with the
+    /// window count, e.g. `1.234 ±0.012 (n=24)`. The raw value is the mean
+    /// so figure diffing and suite bounds keep working on sampled columns.
+    pub fn ci(mean: f64, half_width: f64, windows: usize) -> Self {
+        Self {
+            text: format!("{} ±{} (n={windows})", fmt_f(mean), fmt_f(half_width)),
+            value: Some(mean),
         }
     }
 
@@ -365,8 +426,12 @@ impl Report {
 
     /// Renders the report header plus every table as plain text.
     pub fn render(&self) -> String {
+        let sample = match &self.params.sample {
+            Some(spec) => format!(", sample={spec}"),
+            None => String::new(),
+        };
         let mut out = format!(
-            "# {} — {} (commits={}, seed={})\n",
+            "# {} — {} (commits={}, seed={}{sample})\n",
             self.id, self.title, self.params.commits, self.params.seed
         );
         for table in &self.tables {
@@ -524,6 +589,45 @@ mod tests {
         let csv = report.to_csv();
         assert_eq!(csv.matches("# t1\n").count(), 2);
         assert!(csv.contains("x\n0.500\n"));
+    }
+
+    #[test]
+    fn ci_cells_render_mean_half_width_and_count() {
+        let c = Cell::ci(1.2345, 0.0123, 24);
+        assert_eq!(c.text, "1.234 ±0.012 (n=24)");
+        assert_eq!(c.value, Some(1.2345));
+        assert!(!c.is_failed());
+    }
+
+    #[test]
+    fn params_serde_omits_an_absent_sample() {
+        use crate::sampling::SamplingSpec;
+        let full = ExperimentParams::quick();
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(!json.contains("sample"), "{json}");
+        let back: ExperimentParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, full);
+        // ... so pre-sampling JSON (no `sample` key) still decodes ...
+        let legacy: ExperimentParams =
+            serde_json::from_str("{\"commits\": 5000, \"seed\": 7}").unwrap();
+        assert_eq!(legacy, full);
+        // ... while sampled params round-trip with the key present.
+        let sampled = full.with_sample(SamplingSpec::parse("1000:100:50").unwrap());
+        let json = serde_json::to_string(&sampled).unwrap();
+        assert!(json.contains("sample"), "{json}");
+        let back: ExperimentParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sampled);
+    }
+
+    #[test]
+    fn sampled_report_headers_name_the_spec() {
+        use crate::sampling::SamplingSpec;
+        let params =
+            ExperimentParams::quick().with_sample(SamplingSpec::parse("1000:100").unwrap());
+        let r = Report::new("s", "sampled", params);
+        assert!(r.render().contains("sample=1000:100:0"), "{}", r.render());
+        let full = Report::new("f", "full", ExperimentParams::quick());
+        assert!(!full.render().contains("sample"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() {
     let params = ExperimentParams {
         commits: 20_000,
         seed: 7,
+        sample: None,
     };
     let specs = LsqStructureSpecs::default();
 

@@ -67,6 +67,7 @@ fn parallel_driver_matches_sequential_driver() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: SEED,
+        sample: None,
     };
     for cfg in [CpuConfig::ooo64(), CpuConfig::fmc_hash(true)] {
         for class in [WorkloadClass::Fp, WorkloadClass::Int] {

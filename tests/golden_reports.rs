@@ -41,6 +41,7 @@ fn golden_hash(id: &str) -> u64 {
     let params = ExperimentParams {
         commits: 2_000,
         seed: 7,
+        sample: None,
     };
     let experiment = find(id).expect("experiment is registered");
     let report = experiment.run(&params).without_wall_time();

@@ -64,6 +64,7 @@ fn large_window_speedup_is_bigger_for_fp_than_int() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     let speedup = |class: WorkloadClass| -> f64 {
         let base = SimResult::mean_ipc(&run_suite(CpuConfig::ooo64(), class, &params));
@@ -84,6 +85,7 @@ fn elsq_with_sqm_is_competitive_with_idealized_central_lsq() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     for class in [WorkloadClass::Fp, WorkloadClass::Int] {
         let central =
@@ -101,6 +103,7 @@ fn sqm_helps_int_more_than_it_hurts() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     let with_sqm = SimResult::mean_ipc(&run_suite(
         CpuConfig::fmc_hash(true),
@@ -126,6 +129,7 @@ fn restricted_sac_is_cheaper_than_restricted_lac() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 9,
+        sample: None,
     };
     let ipc_of = |model: DisambiguationModel| {
         SimResult::mean_ipc(&run_suite(
@@ -149,6 +153,7 @@ fn line_and_hash_erts_behave_similarly_at_default_geometry() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     for class in [WorkloadClass::Fp, WorkloadClass::Int] {
         let hash = SimResult::mean_ipc(&run_suite(CpuConfig::fmc_hash(true), class, &params));
@@ -166,6 +171,7 @@ fn wider_ert_hash_reduces_false_positives_end_to_end() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     let fp_of = |bits: u32| {
         let cfg = CpuConfig::fmc_elsq(
@@ -191,6 +197,7 @@ fn table2_shape_holds_for_the_fmc() {
     let params = ExperimentParams {
         commits: COMMITS,
         seed: 5,
+        sample: None,
     };
     let mean = SimResult::mean_lsq_per_100m(&run_suite(
         CpuConfig::fmc_hash(true),

@@ -45,6 +45,7 @@ fn experiment_params_round_trip_through_json() {
         ExperimentParams {
             commits: 123_456,
             seed: u64::MAX,
+            sample: None,
         },
     ] {
         let json = serde_json::to_string(&params).unwrap();
@@ -58,6 +59,7 @@ fn reports_round_trip_through_json_with_cell_values_intact() {
     let params = ExperimentParams {
         commits: 1_000,
         seed: 3,
+        sample: None,
     };
     let tuning = experiments::find("tuning").expect("registered");
     let report = experiments::run_experiment(tuning, &params);
@@ -75,6 +77,7 @@ fn sim_results_round_trip_through_json() {
     let params = ExperimentParams {
         commits: 800,
         seed: 5,
+        sample: None,
     };
     let results = run_suite(CpuConfig::fmc_hash(true), WorkloadClass::Int, &params);
     let json = serde_json::to_string(&results).unwrap();

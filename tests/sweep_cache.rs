@@ -159,6 +159,7 @@ fn cached_experiment_reports_are_byte_identical() {
     let params = ExperimentParams {
         commits: 600,
         seed: 7,
+        sample: None,
     };
     let experiment = elsq_sim::find("fig7").expect("fig7 is registered");
     let dir = tmp_dir("experiment");

@@ -52,6 +52,7 @@ fn recorded_replay_matches_generator_run_on_every_driver_path() {
     let params = ExperimentParams {
         commits: 900,
         seed: 13,
+        sample: None,
     };
     let dir = tmp_dir("driver");
     dump_suites(&dir, params.seed, params.commits);
@@ -84,6 +85,7 @@ fn replay_is_stable_across_reopens_and_override_restores() {
     let params = ExperimentParams {
         commits: 400,
         seed: 21,
+        sample: None,
     };
     let dir = tmp_dir("stable");
     dump_suites(&dir, params.seed, params.commits);
